@@ -1,0 +1,106 @@
+// Micro-benchmarks (google-benchmark) for the substrate hot paths: state-
+// vector gate application, noisy trajectory sampling, transpilation, and the
+// TetrisLock designer-side transforms. These guard against performance
+// regressions in the loops the experiment harnesses hammer.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "compiler/compiler.h"
+#include "compiler/target.h"
+#include "lock/obfuscator.h"
+#include "lock/pipeline.h"
+#include "lock/splitter.h"
+#include "revlib/benchmarks.h"
+#include "sim/sampler.h"
+#include "sim/statevector.h"
+
+namespace {
+
+using namespace tetris;
+
+void BM_StateVectorHLayer(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::StateVector sv(n);
+  for (auto _ : state) {
+    for (int q = 0; q < n; ++q) sv.apply_gate(qir::make_h(q));
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StateVectorHLayer)->Arg(5)->Arg(10)->Arg(12)->Arg(16);
+
+void BM_StateVectorCxChain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::StateVector sv(n);
+  for (auto _ : state) {
+    for (int q = 0; q + 1 < n; ++q) sv.apply_gate(qir::make_cx(q, q + 1));
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 1));
+}
+BENCHMARK(BM_StateVectorCxChain)->Arg(5)->Arg(10)->Arg(12)->Arg(16);
+
+void BM_NoisySampling(benchmark::State& state) {
+  const auto& b = revlib::get_benchmark("rd53");
+  auto target = compiler::device_for(b.circuit.num_qubits());
+  compiler::Compiler comp(
+      {target, compiler::LayoutStrategy::GreedyDegree, true, std::nullopt});
+  auto compiled = comp.compile(b.circuit);
+  Rng rng(1);
+  sim::SampleOptions opts;
+  opts.shots = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto counts = sim::sample(compiled.circuit, target.noise, rng, opts);
+    benchmark::DoNotOptimize(counts.shots);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NoisySampling)->Arg(100)->Arg(1000);
+
+void BM_CompileBenchmark(benchmark::State& state) {
+  const auto& all = revlib::table1_benchmarks();
+  const auto& b = all[static_cast<std::size_t>(state.range(0))];
+  auto target = compiler::device_for(b.circuit.num_qubits());
+  compiler::CompileOptions opts{target, compiler::LayoutStrategy::GreedyDegree,
+                                true, std::nullopt};
+  for (auto _ : state) {
+    compiler::Compiler comp(opts);
+    auto result = comp.compile(b.circuit);
+    benchmark::DoNotOptimize(result.circuit.size());
+  }
+  state.SetLabel(b.name);
+}
+BENCHMARK(BM_CompileBenchmark)->DenseRange(0, 7);
+
+void BM_ObfuscateAndSplit(benchmark::State& state) {
+  const auto& all = revlib::table1_benchmarks();
+  const auto& b = all[static_cast<std::size_t>(state.range(0))];
+  Rng rng(7);
+  for (auto _ : state) {
+    lock::Obfuscator obfuscator;
+    auto obf = obfuscator.obfuscate(b.circuit, rng);
+    lock::InterlockSplitter splitter;
+    auto pair = splitter.split(obf, rng);
+    benchmark::DoNotOptimize(pair.first.gate_indices.size());
+  }
+  state.SetLabel(b.name);
+}
+BENCHMARK(BM_ObfuscateAndSplit)->DenseRange(0, 7);
+
+void BM_FullFlow(benchmark::State& state) {
+  const auto& b = revlib::get_benchmark("4mod5");
+  auto target = compiler::device_for(b.circuit.num_qubits());
+  lock::FlowConfig cfg;
+  cfg.shots = 200;
+  Rng rng(3);
+  for (auto _ : state) {
+    auto r = lock::run_flow(b.circuit, b.measured, target, cfg, rng);
+    benchmark::DoNotOptimize(r.accuracy_restored);
+  }
+}
+BENCHMARK(BM_FullFlow);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Noise-robustness ablation (not in the paper, but the question a user asks
+// first): how do the Table-I accuracies and the Figure-4 TVD separation
+// degrade as the backend noise scales from ideal (0x) to 8x the calibrated
+// FakeValencia band? The TetrisLock guarantee to check: the *separation*
+// between obfuscated and restored TVD survives every noise level, and the
+// restored accuracy tracks the unprotected accuracy (the locking scheme adds
+// no noise-amplification of its own).
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "compiler/target.h"
+#include "lock/pipeline.h"
+#include "metrics/metrics.h"
+#include "revlib/benchmarks.h"
+
+int main(int argc, char** argv) {
+  using namespace tetris;
+  auto args = benchutil::parse_args(argc, argv);
+  const int iterations = std::min(args.iterations, 8);
+
+  std::cout << "== Noise sweep: accuracy and TVD vs noise scale ("
+            << iterations << " iterations x " << args.shots << " shots) ==\n\n";
+
+  const double scales[] = {0.0, 0.5, 1.0, 2.0, 4.0, 8.0};
+
+  benchutil::Table table({"circuit", "scale", "acc_orig", "acc_rest",
+                          "tvd_obf", "tvd_rest", "separation"},
+                         {10, 6, 8, 8, 8, 8, 10});
+  table.print_header();
+
+  for (const auto& name : {"4mod5", "rd53", "rd84"}) {
+    const auto& b = revlib::get_benchmark(name);
+    for (double scale : scales) {
+      auto target = compiler::device_for(b.circuit.num_qubits());
+      target.noise = target.noise.scaled(scale);
+      lock::FlowConfig cfg;
+      cfg.shots = args.shots;
+
+      Rng master(args.seed);
+      metrics::RunningStats acc_o, acc_r, tvd_o, tvd_r;
+      for (int it = 0; it < iterations; ++it) {
+        Rng rng = master.fork();
+        auto r = lock::run_flow(b.circuit, b.measured, target, cfg, rng);
+        acc_o.add(r.accuracy_original);
+        acc_r.add(r.accuracy_restored);
+        tvd_o.add(r.tvd_obfuscated);
+        tvd_r.add(r.tvd_restored);
+      }
+      table.print_row({b.name, fmt_double(scale, 1),
+                       fmt_double(acc_o.mean(), 3), fmt_double(acc_r.mean(), 3),
+                       fmt_double(tvd_o.mean(), 3), fmt_double(tvd_r.mean(), 3),
+                       fmt_double(tvd_o.mean() - tvd_r.mean(), 3)});
+    }
+  }
+
+  std::cout << "\npass criteria: acc_rest tracks acc_orig at every scale "
+               "(locking adds no noise\namplification); separation = tvd_obf "
+               "- tvd_rest stays positive until noise\nswamps the signal.\n";
+  return 0;
+}

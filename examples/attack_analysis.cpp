@@ -1,0 +1,79 @@
+// Adversary's-eye view: what an untrusted compiler (or a colluding pair) can
+// and cannot do against TetrisLock, demonstrated concretely.
+//
+//   $ ./attack_analysis
+//
+// Part 1 - boundary identification: the prefix-insertion baseline leaks its
+//          R|C boundary through a depth footprint; TetrisLock does not.
+// Part 2 - collusion: exhaustive qubit-matching cost against a cascade split
+//          vs a TetrisLock split on the same circuit.
+// Part 3 - Eq. 1 at device scale: the search space sizes for real backends.
+
+#include <iostream>
+
+#include "attack/boundary.h"
+#include "attack/collusion.h"
+#include "baselines/das_insertion.h"
+#include "baselines/saki_split.h"
+#include "common/combinatorics.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "lock/complexity.h"
+#include "lock/obfuscator.h"
+#include "lock/splitter.h"
+#include "revlib/benchmarks.h"
+
+int main() {
+  using namespace tetris;
+  Rng rng(7);
+
+  std::cout << "=== Part 1: boundary identification ===\n";
+  const auto& adder = revlib::get_benchmark("1bit_adder");
+  auto das = baselines::prefix_obfuscate(adder.circuit, 3, rng);
+  auto das_scan =
+      attack::scan_prefix_boundary(das.obfuscated, das.random.gate_count());
+  std::cout << "prefix-insertion baseline: true boundary flagged? "
+            << (das_scan.true_prefix_flagged ? "YES (design exposed)" : "no")
+            << ", false positives " << das_scan.false_positives << "\n";
+
+  lock::Obfuscator obfuscator;
+  auto obf = obfuscator.obfuscate(adder.circuit, rng);
+  auto tetris_scan =
+      attack::scan_prefix_boundary(obf.masked(), obf.random.size());
+  std::cout << "tetrislock slot-filling:   true boundary flagged? "
+            << (tetris_scan.true_prefix_flagged ? "YES" : "no (hidden)")
+            << "\n\n";
+
+  std::cout << "=== Part 2: colluding compilers, exhaustive matching ===\n";
+  auto cascade = baselines::cascade_split(adder.circuit, 0.5);
+  auto cascade_result = attack::cascade_collusion_attack(
+      cascade.first, cascade.second, adder.circuit, 1'000'000);
+  std::cout << "cascade split (equal qubit counts): space "
+            << cascade_result.search_space << ", broken after "
+            << cascade_result.mappings_tried << " tries\n";
+
+  lock::InterlockSplitter splitter;
+  auto pair = splitter.split(obf, rng);
+  auto tetris_result = attack::collusion_attack(
+      pair.first.circuit, pair.second.circuit, adder.circuit,
+      pair.first.local_to_orig, 1'000'000);
+  std::cout << "tetrislock split (" << pair.first.circuit.num_qubits()
+            << " vs " << pair.second.circuit.num_qubits()
+            << " qubits): space " << tetris_result.search_space
+            << ", oracle match after " << tetris_result.mappings_tried
+            << " tries\n";
+  std::cout << "(the oracle knows the original unitary — a real attacker "
+               "does not even have\n a success test, so these tries are a "
+               "lower bound)\n\n";
+
+  std::cout << "=== Part 3: Eq. 1 at device scale (log10 candidates) ===\n";
+  for (int n : {5, 12}) {
+    double cascade_c = lock::log_attack_complexity_cascade(n, 1.0);
+    double tetris_127 = lock::log_attack_complexity_tetrislock(n, 127, 1.0);
+    std::cout << "  n = " << pad_left(std::to_string(n), 2)
+              << ": cascade 10^" << fmt_double(log_to_log10(cascade_c), 1)
+              << "   tetrislock(nmax=127) 10^"
+              << fmt_double(log_to_log10(tetris_127), 1) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "attack/boundary.h"
+
+#include <numeric>
+
+#include "common/error.h"
+
+namespace tetris::attack {
+
+BoundaryScan scan_prefix_boundary(const qir::Circuit& obfuscated,
+                                  std::size_t true_prefix_len) {
+  BoundaryScan scan;
+  const std::size_t total = obfuscated.size();
+  TETRIS_REQUIRE(true_prefix_len <= total,
+                 "scan_prefix_boundary: prefix longer than circuit");
+  const int full_depth = obfuscated.depth();
+
+  for (std::size_t k = 1; k + 1 <= total; ++k) {
+    // Candidate prefix = gates [0, k); candidate remainder = [k, total).
+    std::vector<std::size_t> prefix_idx(k);
+    std::iota(prefix_idx.begin(), prefix_idx.end(), std::size_t{0});
+    std::vector<std::size_t> suffix_idx(total - k);
+    std::iota(suffix_idx.begin(), suffix_idx.end(), k);
+
+    qir::Circuit prefix = obfuscated.subcircuit(prefix_idx);
+    qir::Circuit suffix = obfuscated.subcircuit(suffix_idx);
+
+    // Depth-consistency: the suffix is shallower by exactly the prefix's own
+    // depth, i.e. the prefix occupied dedicated leading layers.
+    int prefix_depth = prefix.depth();
+    if (prefix_depth > 0 && suffix.depth() == full_depth - prefix_depth) {
+      scan.flagged_prefixes.push_back(k);
+      if (k == true_prefix_len) {
+        scan.true_prefix_flagged = true;
+      } else {
+        ++scan.false_positives;
+      }
+    }
+  }
+  return scan;
+}
+
+}  // namespace tetris::attack

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "qir/circuit.h"
+
+namespace tetris::attack {
+
+/// Structural boundary-identification attack against prefix-insertion
+/// obfuscation (the weakness of the random-insertion baseline that
+/// Sec. II-C of the paper points out: "the topology of the original circuit
+/// remains fully exposed").
+///
+/// The detector exploits that a random block prepended as *fresh layers*
+/// leaves a footprint: deleting the true prefix shrinks the ASAP depth by
+/// exactly the block's own depth. TetrisLock's slot-filling insertion leaves
+/// no such footprint — no prefix deletion reduces the depth at all.
+struct BoundaryScan {
+  /// Prefix lengths k whose removal is depth-consistent with "gates 0..k-1
+  /// were an inserted block occupying dedicated leading layers".
+  std::vector<std::size_t> flagged_prefixes;
+  /// Whether the true prefix length was flagged (attacker success).
+  bool true_prefix_flagged = false;
+  /// Number of false candidates flagged alongside (attacker ambiguity).
+  std::size_t false_positives = 0;
+};
+
+/// Scans every prefix length 1..size-1 of `obfuscated` and flags the
+/// depth-consistent ones; `true_prefix_len` is the designer's ground truth
+/// used only for scoring.
+BoundaryScan scan_prefix_boundary(const qir::Circuit& obfuscated,
+                                  std::size_t true_prefix_len);
+
+}  // namespace tetris::attack

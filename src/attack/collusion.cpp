@@ -1,0 +1,143 @@
+#include "attack/collusion.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/combinatorics.h"
+#include "common/error.h"
+#include "sim/unitary.h"
+
+namespace tetris::attack {
+
+namespace {
+
+/// All j-element subsets of {0..n-1}, lexicographic.
+std::vector<std::vector<int>> subsets(int n, int j) {
+  std::vector<std::vector<int>> out;
+  std::vector<int> cur(static_cast<std::size_t>(j));
+  std::iota(cur.begin(), cur.end(), 0);
+  if (j == 0) {
+    out.push_back({});
+    return out;
+  }
+  if (j > n) return out;
+  while (true) {
+    out.push_back(cur);
+    int i = j - 1;
+    while (i >= 0 && cur[static_cast<std::size_t>(i)] == n - j + i) --i;
+    if (i < 0) break;
+    ++cur[static_cast<std::size_t>(i)];
+    for (int t = i + 1; t < j; ++t) {
+      cur[static_cast<std::size_t>(t)] = cur[static_cast<std::size_t>(t - 1)] + 1;
+    }
+  }
+  return out;
+}
+
+/// Builds the candidate recombination and tests it against the original.
+bool test_candidate(const qir::Circuit& first, const qir::Circuit& second,
+                    const qir::Circuit& original,
+                    const std::vector<int>& first_map,
+                    const std::vector<int>& second_map) {
+  const int n = original.num_qubits();
+  qir::Circuit candidate(n, "candidate");
+  candidate.append_mapped(first, first_map);
+  candidate.append_mapped(second, second_map);
+  return sim::circuits_equivalent(candidate, original);
+}
+
+}  // namespace
+
+CollusionResult collusion_attack(const qir::Circuit& first,
+                                 const qir::Circuit& second,
+                                 const qir::Circuit& original,
+                                 const std::vector<int>& ground_truth_first,
+                                 std::uint64_t max_tries) {
+  const int n1 = first.num_qubits();
+  const int n2 = second.num_qubits();
+  const int n = original.num_qubits();
+  TETRIS_REQUIRE(static_cast<int>(ground_truth_first.size()) == n1,
+                 "collusion_attack: ground truth size mismatch");
+  TETRIS_REQUIRE(n <= 12, "collusion_attack: register too wide for oracle");
+
+  CollusionResult result;
+  for (int j = 0; j <= std::min(n1, n2); ++j) {
+    result.search_space += binomial_exact(n1, j) * binomial_exact(n2, j) *
+                           factorial_exact(j);
+  }
+
+  // Original qubits not covered by the first split, in ascending order —
+  // canonical labels for unmatched second-split qubits.
+  std::vector<char> covered(static_cast<std::size_t>(n), 0);
+  for (int o : ground_truth_first) covered[static_cast<std::size_t>(o)] = 1;
+  std::vector<int> spare;
+  for (int o = 0; o < n; ++o) {
+    if (!covered[static_cast<std::size_t>(o)]) spare.push_back(o);
+  }
+
+  for (int j = 0; j <= std::min(n1, n2); ++j) {
+    for (const auto& sub1 : subsets(n1, j)) {
+      for (const auto& sub2 : subsets(n2, j)) {
+        std::vector<int> perm(static_cast<std::size_t>(j));
+        std::iota(perm.begin(), perm.end(), 0);
+        do {
+          if (result.mappings_tried >= max_tries) return result;
+          ++result.mappings_tried;
+
+          // Second-split local -> original label.
+          std::vector<int> second_map(static_cast<std::size_t>(n2), -1);
+          for (int t = 0; t < j; ++t) {
+            int l2 = sub2[static_cast<std::size_t>(t)];
+            int l1 = sub1[static_cast<std::size_t>(perm[static_cast<std::size_t>(t)])];
+            second_map[static_cast<std::size_t>(l2)] = ground_truth_first[static_cast<std::size_t>(l1)];
+          }
+          // Unmatched second qubits take the spare labels in order; the
+          // candidate is ill-formed (wrong total width) when counts differ.
+          int unmatched = n2 - j;
+          if (unmatched != static_cast<int>(spare.size())) continue;
+          std::size_t s = 0;
+          bool ok = true;
+          for (auto& m : second_map) {
+            if (m < 0) m = spare[s++];
+          }
+          if (!ok) continue;
+
+          if (test_candidate(first, second, original, ground_truth_first,
+                             second_map)) {
+            result.success = true;
+            return result;
+          }
+        } while (std::next_permutation(perm.begin(), perm.end()));
+      }
+    }
+  }
+  return result;
+}
+
+CollusionResult cascade_collusion_attack(const qir::Circuit& first,
+                                         const qir::Circuit& second,
+                                         const qir::Circuit& original,
+                                         std::uint64_t max_tries) {
+  const int n = original.num_qubits();
+  TETRIS_REQUIRE(first.num_qubits() == n && second.num_qubits() == n,
+                 "cascade_collusion_attack: cascade parts must be full width");
+  TETRIS_REQUIRE(n <= 10, "cascade_collusion_attack: register too wide");
+
+  CollusionResult result;
+  result.search_space = factorial_exact(n);
+
+  std::vector<int> identity(static_cast<std::size_t>(n));
+  std::iota(identity.begin(), identity.end(), 0);
+  std::vector<int> perm = identity;
+  do {
+    if (result.mappings_tried >= max_tries) return result;
+    ++result.mappings_tried;
+    if (test_candidate(first, second, original, identity, perm)) {
+      result.success = true;
+      return result;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return result;
+}
+
+}  // namespace tetris::attack

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qir/circuit.h"
+
+namespace tetris::attack {
+
+/// Empirical colluding-compilers attack.
+///
+/// Two untrusted compilers pool the splits they received and try to stitch
+/// them back into the original circuit by guessing which qubits of split A
+/// connect to which qubits of split B (Sec. IV-C of the paper). The attacker
+/// here is given a *stronger-than-real* oracle: it can test a candidate
+/// stitching against the true original unitary. Measured try counts are
+/// therefore lower bounds on real attack effort — which is the conservative
+/// direction for evaluating the defense.
+struct CollusionResult {
+  bool success = false;
+  std::uint64_t mappings_tried = 0;   ///< candidates tested before success
+  std::uint64_t search_space = 0;     ///< total candidate count enumerated
+};
+
+/// Enumerates all qubit matchings between `first` (width n1) and `second`
+/// (width n2): a matching picks j in [0, min(n1,n2)], a j-subset of each
+/// side, and a bijection between them — the Eq. 1 search space for k = 1.
+/// Each candidate is stitched (first, then second, shared qubits identified)
+/// and, when its merged width equals original.num_qubits(), tested for
+/// functional equivalence against `original` under the candidate labeling.
+///
+/// `ground_truth_first` maps first-split local qubits to original qubits;
+/// the attacker does NOT use it for searching — it anchors the labeling of
+/// the first split so the oracle comparison is well defined.
+CollusionResult collusion_attack(const qir::Circuit& first,
+                                 const qir::Circuit& second,
+                                 const qir::Circuit& original,
+                                 const std::vector<int>& ground_truth_first,
+                                 std::uint64_t max_tries);
+
+/// The same attack against a cascade (Saki-style) split where both parts
+/// span the full register: the attacker enumerates the n! qubit bijections
+/// for the second part.
+CollusionResult cascade_collusion_attack(const qir::Circuit& first,
+                                         const qir::Circuit& second,
+                                         const qir::Circuit& original,
+                                         std::uint64_t max_tries);
+
+}  // namespace tetris::attack

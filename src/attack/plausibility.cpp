@@ -1,0 +1,115 @@
+#include "attack/plausibility.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+#include "compiler/commute.h"
+#include "compiler/optimize.h"
+
+namespace tetris::attack {
+
+double plausibility_score(const qir::Circuit& circuit) {
+  const std::size_t before = circuit.gate_count();
+  if (before == 0) return 0.0;
+  qir::Circuit cleaned = compiler::commute_cancel(compiler::optimize(circuit));
+  const std::size_t after = cleaned.gate_count();
+  return static_cast<double>(before - after) / static_cast<double>(before);
+}
+
+namespace {
+
+std::vector<std::vector<int>> subsets(int n, int j) {
+  std::vector<std::vector<int>> out;
+  if (j == 0) {
+    out.push_back({});
+    return out;
+  }
+  if (j > n) return out;
+  std::vector<int> cur(static_cast<std::size_t>(j));
+  std::iota(cur.begin(), cur.end(), 0);
+  while (true) {
+    out.push_back(cur);
+    int i = j - 1;
+    while (i >= 0 && cur[static_cast<std::size_t>(i)] == n - j + i) --i;
+    if (i < 0) break;
+    ++cur[static_cast<std::size_t>(i)];
+    for (int t = i + 1; t < j; ++t) {
+      cur[static_cast<std::size_t>(t)] = cur[static_cast<std::size_t>(t - 1)] + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+HeuristicAttackResult heuristic_collusion_attack(
+    const qir::Circuit& first, const qir::Circuit& second,
+    const std::vector<int>& ground_truth_first,
+    const std::vector<int>& true_second_map, int num_original_qubits,
+    std::uint64_t max_candidates) {
+  const int n1 = first.num_qubits();
+  const int n2 = second.num_qubits();
+  TETRIS_REQUIRE(static_cast<int>(ground_truth_first.size()) == n1,
+                 "heuristic attack: first ground truth size mismatch");
+  TETRIS_REQUIRE(static_cast<int>(true_second_map.size()) == n2,
+                 "heuristic attack: second ground truth size mismatch");
+
+  std::vector<char> covered(static_cast<std::size_t>(num_original_qubits), 0);
+  for (int o : ground_truth_first) covered[static_cast<std::size_t>(o)] = 1;
+  std::vector<int> spare;
+  for (int o = 0; o < num_original_qubits; ++o) {
+    if (!covered[static_cast<std::size_t>(o)]) spare.push_back(o);
+  }
+
+  HeuristicAttackResult result;
+  double true_score = -1.0;
+  std::vector<double> scores;
+
+  for (int j = 0; j <= std::min(n1, n2); ++j) {
+    for (const auto& sub1 : subsets(n1, j)) {
+      for (const auto& sub2 : subsets(n2, j)) {
+        std::vector<int> perm(static_cast<std::size_t>(j));
+        std::iota(perm.begin(), perm.end(), 0);
+        do {
+          if (result.candidates >= max_candidates) goto done;
+
+          std::vector<int> second_map(static_cast<std::size_t>(n2), -1);
+          for (int t = 0; t < j; ++t) {
+            int l2 = sub2[static_cast<std::size_t>(t)];
+            int l1 = sub1[static_cast<std::size_t>(perm[static_cast<std::size_t>(t)])];
+            second_map[static_cast<std::size_t>(l2)] =
+                ground_truth_first[static_cast<std::size_t>(l1)];
+          }
+          if (n2 - j != static_cast<int>(spare.size())) continue;
+          std::size_t s = 0;
+          for (auto& m : second_map) {
+            if (m < 0) m = spare[s++];
+          }
+          ++result.candidates;
+
+          qir::Circuit candidate(num_original_qubits, "cand");
+          candidate.append_mapped(first, ground_truth_first);
+          candidate.append_mapped(second, second_map);
+          double score = plausibility_score(candidate);
+          scores.push_back(score);
+          if (second_map == true_second_map) true_score = score;
+        } while (std::next_permutation(perm.begin(), perm.end()));
+      }
+    }
+  }
+done:
+  TETRIS_REQUIRE(true_score >= 0.0,
+                 "heuristic attack: true stitching not in enumerated space");
+  result.true_score = true_score;
+  result.best_score = *std::max_element(scores.begin(), scores.end());
+  // Pessimistic (attacker-friendly is lower rank; ties resolved against the
+  // defender would be rank among equals first — we count all >= as ahead).
+  result.true_rank = 1;
+  for (double sc : scores) {
+    if (sc > true_score) ++result.true_rank;
+  }
+  return result;
+}
+
+}  // namespace tetris::attack

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qir/circuit.h"
+
+namespace tetris::attack {
+
+/// Oracle-free collusion heuristic.
+///
+/// A real colluding-compiler pair cannot test a candidate stitching against
+/// the true unitary (they never had it). What they *can* do is exploit a
+/// structural side channel: in a correctly stitched TetrisLock pair, the
+/// R^-1 block of split 1 meets the R block of split 2 and cancels under
+/// commutation-aware optimization, so the correct candidate "simplifies
+/// more" than wrong ones. This module quantifies that leakage:
+/// plausibility_score measures the cancellation fraction, and
+/// heuristic_collusion_attack ranks the Eq.-1 candidate space by it.
+///
+/// The benches use the *rank of the true stitching* as the leakage metric:
+/// rank 1 means the heuristic identifies the design immediately; a rank deep
+/// in the candidate list means the cancellation channel is uninformative.
+/// (Designers can suppress the channel by compiling splits before release —
+/// lowered R fragments no longer cancel gate-for-gate.)
+
+/// Fraction of gates removed when the circuit is cleaned with the peephole +
+/// commutation passes. 0 = nothing cancels, ~1 = almost everything does.
+double plausibility_score(const qir::Circuit& circuit);
+
+struct HeuristicAttackResult {
+  /// 1-based rank of the true stitching under the score (ties counted
+  /// pessimistically for the attacker: equal scores rank by enumeration
+  /// order, true candidate last among equals).
+  std::uint64_t true_rank = 0;
+  std::uint64_t candidates = 0;   ///< total candidates enumerated
+  double true_score = 0.0;
+  double best_score = 0.0;
+};
+
+/// Enumerates qubit matchings between the splits (same space as
+/// collusion_attack), scores each stitched candidate, and reports where the
+/// true stitching lands. `true_second_map` is the designer's ground truth
+/// (second-split local -> original), used only for ranking.
+HeuristicAttackResult heuristic_collusion_attack(
+    const qir::Circuit& first, const qir::Circuit& second,
+    const std::vector<int>& ground_truth_first,
+    const std::vector<int>& true_second_map, int num_original_qubits,
+    std::uint64_t max_candidates);
+
+}  // namespace tetris::attack

@@ -1,0 +1,51 @@
+#include "baselines/das_insertion.h"
+
+#include "common/error.h"
+
+namespace tetris::baselines {
+
+PrefixObfuscation prefix_obfuscate(const qir::Circuit& circuit,
+                                   int num_random_gates, Rng& rng) {
+  TETRIS_REQUIRE(num_random_gates >= 0, "prefix_obfuscate: negative count");
+  const int n = circuit.num_qubits();
+  TETRIS_REQUIRE(n >= 1, "prefix_obfuscate: empty register");
+
+  PrefixObfuscation out;
+  out.random = qir::Circuit(n, "R_prefix");
+  for (int i = 0; i < num_random_gates; ++i) {
+    double r = rng.uniform();
+    if (n >= 3 && r < 0.25) {
+      int a = rng.uniform_int(0, n - 1);
+      int b = rng.uniform_int(0, n - 1);
+      while (b == a) b = rng.uniform_int(0, n - 1);
+      int c = rng.uniform_int(0, n - 1);
+      while (c == a || c == b) c = rng.uniform_int(0, n - 1);
+      out.random.ccx(a, b, c);
+    } else if (n >= 2 && r < 0.6) {
+      int a = rng.uniform_int(0, n - 1);
+      int b = rng.uniform_int(0, n - 1);
+      while (b == a) b = rng.uniform_int(0, n - 1);
+      out.random.cx(a, b);
+    } else {
+      out.random.x(rng.uniform_int(0, n - 1));
+    }
+  }
+
+  out.obfuscated = qir::Circuit(n, circuit.name() + "_prefix_obf");
+  out.obfuscated.append(out.random);
+  // The de-obfuscation step of this scheme must know where R ends to undo it
+  // after compilation, so the R|C boundary is preserved as a barrier — which
+  // is precisely the structural footprint the boundary attack exploits.
+  if (num_random_gates > 0) out.obfuscated.barrier();
+  out.obfuscated.append(circuit);
+  return out;
+}
+
+qir::Circuit prefix_restore(const PrefixObfuscation& obf) {
+  qir::Circuit out(obf.obfuscated.num_qubits(), "prefix_restored");
+  out.append(obf.random.inverse());
+  out.append(obf.obfuscated);
+  return out;
+}
+
+}  // namespace tetris::baselines

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "common/rng.h"
+#include "qir/circuit.h"
+
+namespace tetris::baselines {
+
+/// The random reversible-circuit insertion baseline (Das & Ghosh 2023,
+/// Suresh et al. 2021).
+///
+/// A random reversible block R is *prepended as new layers* in front of the
+/// original circuit C; the compiler sees R.C, and the designer restores
+/// functionality afterwards by applying R^-1 (compiled separately or by a
+/// trusted step). Two properties distinguish it from TetrisLock, and both
+/// are measured in the benches:
+///  - the inserted block adds depth (R occupies fresh leading layers), and
+///  - the boundary between R and C is structurally visible: deleting the
+///    true prefix shrinks the depth by exactly depth(R) (see
+///    attack/boundary.h).
+struct PrefixObfuscation {
+  qir::Circuit obfuscated;  ///< R . C — what the untrusted compiler sees
+  qir::Circuit random;      ///< R
+};
+
+/// Builds R from `num_random_gates` uniformly random X/CX/CCX gates over the
+/// whole register and prepends it.
+PrefixObfuscation prefix_obfuscate(const qir::Circuit& circuit,
+                                   int num_random_gates, Rng& rng);
+
+/// The restored circuit R^-1 . R . C (functionally C).
+qir::Circuit prefix_restore(const PrefixObfuscation& obf);
+
+}  // namespace tetris::baselines

@@ -1,0 +1,119 @@
+#include "baselines/saki_split.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+#include "qir/layers.h"
+
+namespace tetris::baselines {
+
+namespace {
+
+CascadeSplit split_at_layer(const qir::Circuit& circuit, int cut_layer) {
+  qir::LayerSchedule sched(circuit);
+  CascadeSplit out;
+  out.first = qir::Circuit(circuit.num_qubits(), circuit.name() + "_part1");
+  out.second = qir::Circuit(circuit.num_qubits(), circuit.name() + "_part2");
+  for (std::size_t i = 0; i < circuit.size(); ++i) {
+    const auto& g = circuit.gate(i);
+    if (g.kind == qir::GateKind::Barrier) continue;
+    if (sched.layer_of(i) < cut_layer) {
+      out.first.add(g);
+    } else {
+      out.second.add(g);
+    }
+  }
+  out.permutation.resize(static_cast<std::size_t>(circuit.num_qubits()));
+  std::iota(out.permutation.begin(), out.permutation.end(), 0);
+  return out;
+}
+
+/// Emits SWAPs realising `perm` (logical q ends on wire perm[q]).
+void emit_permutation(qir::Circuit& circuit, std::vector<int> perm) {
+  // Decompose the permutation into transpositions with selection sort on the
+  // wire contents.
+  const int n = static_cast<int>(perm.size());
+  std::vector<int> pos(static_cast<std::size_t>(n));  // pos[q] = current wire of q
+  for (int q = 0; q < n; ++q) pos[static_cast<std::size_t>(q)] = q;
+  for (int q = 0; q < n; ++q) {
+    int want = perm[static_cast<std::size_t>(q)];
+    int cur = pos[static_cast<std::size_t>(q)];
+    if (cur == want) continue;
+    // Whoever sits on `want` swaps with q.
+    int other = -1;
+    for (int r = 0; r < n; ++r) {
+      if (pos[static_cast<std::size_t>(r)] == want) {
+        other = r;
+        break;
+      }
+    }
+    circuit.swap(cur, want);
+    pos[static_cast<std::size_t>(q)] = want;
+    if (other >= 0) pos[static_cast<std::size_t>(other)] = cur;
+  }
+}
+
+}  // namespace
+
+CascadeSplit cascade_split(const qir::Circuit& circuit, double cut_fraction) {
+  TETRIS_REQUIRE(cut_fraction > 0.0 && cut_fraction < 1.0,
+                 "cascade_split: cut_fraction must be in (0,1)");
+  int depth = circuit.depth();
+  int cut = std::max(1, static_cast<int>(depth * cut_fraction));
+  return split_at_layer(circuit, cut);
+}
+
+CascadeSplit cascade_split_with_swap_network(const qir::Circuit& circuit,
+                                             Rng& rng, double cut_fraction) {
+  CascadeSplit out = cascade_split(circuit, cut_fraction);
+  std::vector<int> perm(static_cast<std::size_t>(circuit.num_qubits()));
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.shuffle(perm);
+  emit_permutation(out.first, perm);
+  // The second section must read logical q from wire perm[q].
+  out.second = out.second.remapped(perm, circuit.num_qubits());
+  out.permutation = std::move(perm);
+  return out;
+}
+
+qir::Circuit cascade_recombine(const CascadeSplit& split) {
+  qir::Circuit out(split.first.num_qubits(), "cascade_recombined");
+  out.append(split.first);
+  out.append(split.second);
+  // Undo the swap-network permutation so qubit q ends on wire q again.
+  const auto& perm = split.permutation;
+  bool identity = true;
+  for (std::size_t q = 0; q < perm.size(); ++q) {
+    identity = identity && perm[q] == static_cast<int>(q);
+  }
+  if (!identity) {
+    // Wire perm[q] holds logical q; swap back to identity.
+    std::vector<int> inverse(perm.size());
+    for (std::size_t q = 0; q < perm.size(); ++q) {
+      inverse[static_cast<std::size_t>(perm[q])] = static_cast<int>(q);
+    }
+    // Apply the inverse permutation via SWAPs: content on wire w must move to
+    // wire inverse-of... emit a permutation network sending logical q
+    // (currently on wire perm[q]) back to wire q.
+    const int n = static_cast<int>(perm.size());
+    std::vector<int> pos(perm.begin(), perm.end());  // pos[q] = wire of q
+    for (int q = 0; q < n; ++q) {
+      int cur = pos[static_cast<std::size_t>(q)];
+      if (cur == q) continue;
+      int other = -1;
+      for (int r = 0; r < n; ++r) {
+        if (pos[static_cast<std::size_t>(r)] == q) {
+          other = r;
+          break;
+        }
+      }
+      out.swap(cur, q);
+      pos[static_cast<std::size_t>(q)] = q;
+      if (other >= 0) pos[static_cast<std::size_t>(other)] = cur;
+    }
+  }
+  return out;
+}
+
+}  // namespace tetris::baselines

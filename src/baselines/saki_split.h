@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "qir/circuit.h"
+
+namespace tetris::baselines {
+
+/// The cascading split-compilation baseline (Saki et al., ICCAD'21).
+///
+/// The circuit is cut at a straight layer boundary into two sections that
+/// both span the *full* qubit register, each compiled by a different
+/// compiler. Optionally a random swap network is appended to the first
+/// section (and undone by relabelling the second) so that a compiler seeing
+/// both sections cannot align qubits by position alone. The known weakness —
+/// which TetrisLock removes — is that both sections have the same qubit
+/// count, so a colluding attacker only has to search the k_n * n! qubit
+/// matchings (Sec. IV-C of the TetrisLock paper).
+struct CascadeSplit {
+  qir::Circuit first;   ///< layers [0, cut)
+  qir::Circuit second;  ///< layers [cut, depth)
+  /// Permutation applied by the swap network: logical qubit q of the original
+  /// circuit exits the first section on wire permutation[q]. Identity when no
+  /// swap network was requested.
+  std::vector<int> permutation;
+};
+
+/// Splits at `cut_fraction` of the depth (straight vertical cut).
+CascadeSplit cascade_split(const qir::Circuit& circuit,
+                           double cut_fraction = 0.5);
+
+/// Same, plus a uniformly random swap network at the boundary.
+CascadeSplit cascade_split_with_swap_network(const qir::Circuit& circuit,
+                                             Rng& rng,
+                                             double cut_fraction = 0.5);
+
+/// Recombines the two sections; functionally equal to the original circuit.
+qir::Circuit cascade_recombine(const CascadeSplit& split);
+
+}  // namespace tetris::baselines

@@ -1,0 +1,56 @@
+#include "common/combinatorics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace tetris {
+
+double log_factorial(std::int64_t n) {
+  TETRIS_REQUIRE(n >= 0, "log_factorial requires n >= 0");
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double log_binomial(std::int64_t n, std::int64_t k) {
+  if (k < 0 || k > n || n < 0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
+}
+
+std::uint64_t factorial_exact(std::int64_t n) {
+  TETRIS_REQUIRE(n >= 0 && n <= 20, "factorial_exact supports 0 <= n <= 20");
+  std::uint64_t r = 1;
+  for (std::int64_t i = 2; i <= n; ++i) r *= static_cast<std::uint64_t>(i);
+  return r;
+}
+
+std::uint64_t binomial_exact(std::int64_t n, std::int64_t k) {
+  TETRIS_REQUIRE(n >= 0, "binomial_exact requires n >= 0");
+  if (k < 0 || k > n) return 0;
+  k = std::min(k, n - k);
+  std::uint64_t result = 1;
+  for (std::int64_t i = 1; i <= k; ++i) {
+    // Multiply before divide stays exact because result * (n-k+i) is always
+    // divisible by i at this point; guard against overflow first.
+    std::uint64_t num = static_cast<std::uint64_t>(n - k + i);
+    TETRIS_REQUIRE(result <= std::numeric_limits<std::uint64_t>::max() / num,
+                   "binomial_exact overflow");
+    result = result * num / static_cast<std::uint64_t>(i);
+  }
+  return result;
+}
+
+double log_add(double la, double lb) {
+  if (std::isinf(la) && la < 0) return lb;
+  if (std::isinf(lb) && lb < 0) return la;
+  double hi = std::max(la, lb);
+  double lo = std::min(la, lb);
+  return hi + std::log1p(std::exp(lo - hi));
+}
+
+double log_to_log10(double ln_value) { return ln_value / std::log(10.0); }
+
+}  // namespace tetris

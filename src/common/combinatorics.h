@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+namespace tetris {
+
+/// Log-space combinatorics used by the attack-complexity analysis (Eq. 1 of
+/// the paper). Complexities overflow 64-bit integers well before n = 12, so
+/// the public API works in natural logarithms and only converts to linear
+/// scale when the caller asks for it.
+
+/// ln(n!) via lgamma. n >= 0.
+double log_factorial(std::int64_t n);
+
+/// ln(C(n, k)); returns -inf if k < 0 or k > n.
+double log_binomial(std::int64_t n, std::int64_t k);
+
+/// Exact factorial for small n (n <= 20), throws InvalidArgument beyond.
+std::uint64_t factorial_exact(std::int64_t n);
+
+/// Exact binomial for small results; throws on overflow.
+std::uint64_t binomial_exact(std::int64_t n, std::int64_t k);
+
+/// log(a + b) given la = log a, lb = log b (handles -inf).
+double log_add(double la, double lb);
+
+/// Converts a natural log to log10 for human-readable magnitudes.
+double log_to_log10(double ln_value);
+
+}  // namespace tetris

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tetris {
+
+/// Base class for all errors thrown by the TetrisLock library.
+///
+/// Every subsystem throws a subclass of Error so callers can either catch the
+/// precise failure (e.g. ParseError from the RevLib reader) or the whole
+/// family with a single handler.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Invalid arguments to a public API (bad qubit index, negative shots, ...).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Malformed textual input (RevLib .real, OpenQASM).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// A compiler pass could not lower the circuit to the target.
+class CompileError : public Error {
+ public:
+  explicit CompileError(const std::string& what) : Error(what) {}
+};
+
+/// A structural invariant of the locking scheme would be violated
+/// (e.g. a split that is not an order ideal of the circuit DAG).
+class LockError : public Error {
+ public:
+  explicit LockError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid(const std::string& what) {
+  throw InvalidArgument(what);
+}
+}  // namespace detail
+
+/// Precondition check used across the library; throws InvalidArgument.
+#define TETRIS_REQUIRE(cond, msg)                                  \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::tetris::detail::throw_invalid(std::string(msg) +           \
+                                      " [failed: " #cond "]");     \
+    }                                                              \
+  } while (false)
+
+}  // namespace tetris

@@ -1,0 +1,49 @@
+#include "common/rng.h"
+
+#include <numeric>
+
+namespace tetris {
+
+Rng::Rng(std::uint64_t seed) : engine_(seed) {}
+
+int Rng::uniform_int(int lo, int hi) {
+  TETRIS_REQUIRE(lo <= hi, "Rng::uniform_int requires lo <= hi");
+  std::uniform_int_distribution<int> d(lo, hi);
+  return d(engine_);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  TETRIS_REQUIRE(n > 0, "Rng::index requires n > 0");
+  std::uniform_int_distribution<std::size_t> d(0, n - 1);
+  return d(engine_);
+}
+
+double Rng::uniform() {
+  std::uniform_real_distribution<double> d(0.0, 1.0);
+  return d(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  TETRIS_REQUIRE(!weights.empty(), "weighted_index on empty weights");
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  TETRIS_REQUIRE(total > 0.0, "weighted_index requires positive total weight");
+  double r = uniform() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;  // numerical edge: r == total
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+std::uint64_t Rng::next_u64() { return engine_(); }
+
+}  // namespace tetris

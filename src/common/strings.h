@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tetris {
+
+/// Small string utilities shared by the textual front-ends (RevLib parser,
+/// QASM writer) and the benchmark table printers.
+
+/// Splits on any run of whitespace; no empty tokens are produced.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Splits on a single character delimiter; empty fields are preserved.
+std::vector<std::string> split_char(std::string_view s, char delim);
+
+/// Removes leading/trailing whitespace.
+std::string trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Lower-cases ASCII.
+std::string to_lower(std::string_view s);
+
+/// printf-style double formatting with fixed decimals (for table output).
+std::string fmt_double(double v, int decimals);
+
+/// Left-pads or right-pads `s` with spaces to `width` columns.
+std::string pad_right(std::string_view s, std::size_t width);
+std::string pad_left(std::string_view s, std::size_t width);
+
+}  // namespace tetris

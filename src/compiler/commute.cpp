@@ -1,0 +1,98 @@
+#include "compiler/commute.h"
+
+#include <algorithm>
+
+namespace tetris::compiler {
+
+namespace {
+
+using qir::Gate;
+using qir::GateKind;
+
+bool shares_qubit(const Gate& a, const Gate& b) {
+  for (int q : a.qubits) {
+    for (int p : b.qubits) {
+      if (p == q) return true;
+    }
+  }
+  return false;
+}
+
+bool is_x_family_1q(GateKind k) {
+  return k == GateKind::X || k == GateKind::SX || k == GateKind::SXdg ||
+         k == GateKind::RX;
+}
+
+bool is_controlled_x(GateKind k) {
+  return k == GateKind::CX || k == GateKind::CCX || k == GateKind::MCX;
+}
+
+bool is_diagonal_1q(const Gate& g) {
+  return g.num_qubits() == 1 && g.is_diagonal();
+}
+
+/// One-directional rules: does single-qubit gate `s` commute with
+/// (possibly multi-qubit) gate `m`?
+bool single_commutes_with(const Gate& s, const Gate& m) {
+  if (s.num_qubits() != 1) return false;
+  int q = s.qubits[0];
+  if (is_controlled_x(m.kind)) {
+    bool on_target = m.qubits.back() == q;
+    if (on_target) return is_x_family_1q(s.kind);
+    bool on_control =
+        std::find(m.qubits.begin(), m.qubits.end() - 1, q) != m.qubits.end() - 1;
+    if (on_control) return is_diagonal_1q(s);
+    return false;
+  }
+  if (m.num_qubits() == 1 && m.qubits[0] == q) {
+    // Same-wire single-qubit pairs: both diagonal, or both X-family.
+    if (is_diagonal_1q(s) && is_diagonal_1q(m)) return true;
+    if (is_x_family_1q(s.kind) && is_x_family_1q(m.kind)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool gates_commute(const Gate& a, const Gate& b) {
+  if (a.kind == GateKind::Barrier || b.kind == GateKind::Barrier) return false;
+  if (!shares_qubit(a, b)) return true;
+  if (a.is_diagonal() && b.is_diagonal()) return true;
+  if (single_commutes_with(a, b)) return true;
+  if (single_commutes_with(b, a)) return true;
+  return false;
+}
+
+qir::Circuit commute_cancel(const qir::Circuit& circuit, OptimizeStats* stats) {
+  OptimizeStats local;
+  std::vector<Gate> gates(circuit.gates().begin(), circuit.gates().end());
+  std::vector<char> alive(gates.size(), 1);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+      if (!alive[i] || gates[i].kind == GateKind::Barrier) continue;
+      Gate inverse = gates[i].adjoint();
+      for (std::size_t j = i + 1; j < gates.size(); ++j) {
+        if (!alive[j]) continue;
+        if (gates[j].approx_equal(inverse, 1e-9)) {
+          alive[i] = alive[j] = 0;
+          ++local.cancelled_pairs;
+          changed = true;
+          break;
+        }
+        if (!gates_commute(gates[i], gates[j])) break;  // wall
+      }
+    }
+  }
+
+  qir::Circuit out(circuit.num_qubits(), circuit.name());
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    if (alive[i]) out.add(std::move(gates[i]));
+  }
+  if (stats) *stats = local;
+  return out;
+}
+
+}  // namespace tetris::compiler

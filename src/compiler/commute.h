@@ -1,0 +1,31 @@
+#pragma once
+
+#include "compiler/optimize.h"
+#include "qir/circuit.h"
+
+namespace tetris::compiler {
+
+/// Conservative commutation rules between two gates.
+///
+/// Returns true only when [A, B] = 0 is guaranteed by one of:
+///  - disjoint qubit supports,
+///  - both gates diagonal in the computational basis (Z/S/T/RZ/P/CZ/CP/CRZ),
+///  - a diagonal single-qubit gate touching only the *control* of a
+///    CX/CCX/MCX (the controlled-X family is control-diagonal),
+///  - an X (or RX/SX family) gate touching only the *target* of a CX/CCX/MCX,
+///  - two X-family single-qubit gates on the same wire.
+/// Everything else is treated as non-commuting. Each rule is property-tested
+/// against the dense unitary in tests/test_commute.cpp.
+bool gates_commute(const qir::Gate& a, const qir::Gate& b);
+
+/// Commutation-aware cancellation: like the peephole optimizer's inverse-pair
+/// rule, but a gate may cancel with a later inverse even when other gates sit
+/// between them, provided every in-between gate commutes with it. Catches the
+/// RZ ... CX(control) ... RZ(-theta) and X ... CX(target) ... X patterns that
+/// routing and basis-lowering create.
+///
+/// Runs to a fixpoint; preserves the unitary exactly.
+qir::Circuit commute_cancel(const qir::Circuit& circuit,
+                            OptimizeStats* stats = nullptr);
+
+}  // namespace tetris::compiler

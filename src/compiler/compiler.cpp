@@ -1,0 +1,61 @@
+#include "compiler/compiler.h"
+
+#include "common/error.h"
+#include "compiler/commute.h"
+#include "compiler/decompose.h"
+#include "compiler/routing.h"
+
+namespace tetris::compiler {
+
+Compiler::Compiler(CompileOptions options) : options_(std::move(options)) {}
+
+CompileResult Compiler::compile(const qir::Circuit& circuit) const {
+  const Target& target = options_.target;
+  TETRIS_REQUIRE(circuit.num_qubits() <= target.num_qubits(),
+                 "compile: circuit is wider than target device");
+
+  CompileResult result;
+  result.stats.input_gates = circuit.gate_count();
+  result.stats.input_depth = circuit.depth();
+
+  // 1. Lower to the native basis.
+  DecomposePass decompose(target.basis);
+  qir::Circuit lowered = decompose.run(circuit);
+
+  // 2. Place.
+  std::vector<int> layout;
+  if (options_.initial_layout) {
+    layout = *options_.initial_layout;
+    validate_layout(layout, circuit.num_qubits(), target.num_qubits());
+  } else {
+    layout = choose_layout(lowered, target.coupling, options_.layout);
+  }
+
+  // 3. Route.
+  RoutingResult routed = route(lowered, target.coupling, layout,
+                               options_.routing);
+
+  // 4. Peephole + commutation cleanup (each enables the other, so alternate
+  //    to a small fixpoint).
+  if (options_.run_optimizer) {
+    result.circuit = optimize(routed.circuit, &result.stats.optimize);
+    if (options_.use_commutation) {
+      OptimizeStats commute_stats;
+      result.circuit = commute_cancel(result.circuit, &commute_stats);
+      result.stats.optimize.cancelled_pairs += commute_stats.cancelled_pairs;
+      result.circuit = optimize(result.circuit);
+    }
+  } else {
+    result.circuit = std::move(routed.circuit);
+  }
+
+  result.initial_layout = std::move(layout);
+  result.final_layout = std::move(routed.final_layout);
+  result.wire_permutation = std::move(routed.wire_permutation);
+  result.stats.swaps_inserted = routed.swaps_inserted;
+  result.stats.output_gates = result.circuit.gate_count();
+  result.stats.output_depth = result.circuit.depth();
+  return result;
+}
+
+}  // namespace tetris::compiler

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "compiler/layout.h"
+#include "compiler/optimize.h"
+#include "compiler/routing.h"
+#include "compiler/target.h"
+#include "qir/circuit.h"
+
+namespace tetris::compiler {
+
+/// Options for one compilation.
+struct CompileOptions {
+  CompileOptions() = default;
+  explicit CompileOptions(Target t) : target(std::move(t)) {}
+  CompileOptions(Target t, LayoutStrategy l, bool opt,
+                 std::optional<std::vector<int>> init)
+      : target(std::move(t)),
+        layout(l),
+        run_optimizer(opt),
+        initial_layout(std::move(init)) {}
+
+  Target target;
+  LayoutStrategy layout = LayoutStrategy::GreedyDegree;
+  bool run_optimizer = true;
+  /// When set, pins the initial placement (logical -> physical). This is how
+  /// the de-obfuscator aligns the second split with the first split's output
+  /// positions — the designer controls the compilation request.
+  std::optional<std::vector<int>> initial_layout;
+  /// SWAP-insertion strategy (greedy BFS hops or SABRE-style lookahead).
+  RoutingOptions routing;
+  /// Run the commutation-aware cancellation pass after the peephole pass.
+  bool use_commutation = true;
+};
+
+/// Size bookkeeping around one compilation.
+struct CompileStats {
+  std::size_t input_gates = 0;
+  std::size_t output_gates = 0;
+  std::size_t swaps_inserted = 0;
+  int input_depth = 0;
+  int output_depth = 0;
+  OptimizeStats optimize;
+};
+
+/// A compiled circuit plus the layout metadata the designer keeps private.
+struct CompileResult {
+  qir::Circuit circuit;            ///< physical register, basis gates only
+  std::vector<int> initial_layout; ///< logical -> physical at circuit start
+  std::vector<int> final_layout;   ///< logical -> physical at circuit end
+  /// Content of physical wire p (even wires this circuit never placed a
+  /// logical qubit on) ends on wire `wire_permutation[p]` — see
+  /// RoutingResult::wire_permutation.
+  std::vector<int> wire_permutation;
+  CompileStats stats;
+};
+
+/// The transpile pipeline: Decompose -> Layout -> Route -> Optimize.
+///
+/// This is the "untrusted compiler" of the threat model: it sees exactly the
+/// circuit passed to compile() and nothing else. Distinct compiler instances
+/// (e.g. with different options) model the distinct third-party compilers
+/// that each receive one split.
+class Compiler {
+ public:
+  explicit Compiler(CompileOptions options);
+
+  /// Lowers `circuit` to the target. Throws CompileError/InvalidArgument on
+  /// width overflow or non-lowerable gates.
+  CompileResult compile(const qir::Circuit& circuit) const;
+
+  const CompileOptions& options() const { return options_; }
+
+ private:
+  CompileOptions options_;
+};
+
+}  // namespace tetris::compiler

@@ -1,0 +1,146 @@
+#include "compiler/coupling.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/error.h"
+
+namespace tetris::compiler {
+
+CouplingMap CouplingMap::full(int n) {
+  std::vector<std::pair<int, int>> edges;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) edges.emplace_back(a, b);
+  }
+  return CouplingMap(n, std::move(edges));
+}
+
+CouplingMap CouplingMap::line(int n) {
+  std::vector<std::pair<int, int>> edges;
+  for (int a = 0; a + 1 < n; ++a) edges.emplace_back(a, a + 1);
+  return CouplingMap(n, std::move(edges));
+}
+
+CouplingMap CouplingMap::ring(int n) {
+  TETRIS_REQUIRE(n >= 3, "ring requires n >= 3");
+  std::vector<std::pair<int, int>> edges;
+  for (int a = 0; a + 1 < n; ++a) edges.emplace_back(a, a + 1);
+  edges.emplace_back(n - 1, 0);
+  return CouplingMap(n, std::move(edges));
+}
+
+CouplingMap CouplingMap::grid(int rows, int cols) {
+  TETRIS_REQUIRE(rows >= 1 && cols >= 1, "grid requires positive dimensions");
+  std::vector<std::pair<int, int>> edges;
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) edges.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return CouplingMap(rows * cols, std::move(edges));
+}
+
+CouplingMap CouplingMap::star(int n) {
+  TETRIS_REQUIRE(n >= 2, "star requires n >= 2");
+  std::vector<std::pair<int, int>> edges;
+  for (int a = 1; a < n; ++a) edges.emplace_back(0, a);
+  return CouplingMap(n, std::move(edges));
+}
+
+CouplingMap CouplingMap::valencia() {
+  return CouplingMap(5, {{0, 1}, {1, 2}, {1, 3}, {3, 4}});
+}
+
+CouplingMap::CouplingMap(int num_qubits, std::vector<std::pair<int, int>> edges)
+    : num_qubits_(num_qubits), edges_(std::move(edges)) {
+  TETRIS_REQUIRE(num_qubits >= 0, "CouplingMap requires num_qubits >= 0");
+  adjacency_.assign(static_cast<std::size_t>(num_qubits), {});
+  for (auto& [a, b] : edges_) {
+    TETRIS_REQUIRE(a >= 0 && a < num_qubits && b >= 0 && b < num_qubits,
+                   "CouplingMap edge endpoint out of range");
+    TETRIS_REQUIRE(a != b, "CouplingMap self-loop");
+    adjacency_[static_cast<std::size_t>(a)].push_back(b);
+    adjacency_[static_cast<std::size_t>(b)].push_back(a);
+  }
+  for (auto& nbrs : adjacency_) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  compute_distances();
+}
+
+void CouplingMap::compute_distances() {
+  dist_.assign(static_cast<std::size_t>(num_qubits_),
+               std::vector<int>(static_cast<std::size_t>(num_qubits_), -1));
+  for (int src = 0; src < num_qubits_; ++src) {
+    auto& d = dist_[static_cast<std::size_t>(src)];
+    d[static_cast<std::size_t>(src)] = 0;
+    std::deque<int> queue{src};
+    while (!queue.empty()) {
+      int u = queue.front();
+      queue.pop_front();
+      for (int v : adjacency_[static_cast<std::size_t>(u)]) {
+        if (d[static_cast<std::size_t>(v)] < 0) {
+          d[static_cast<std::size_t>(v)] = d[static_cast<std::size_t>(u)] + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+}
+
+const std::vector<int>& CouplingMap::neighbors(int q) const {
+  TETRIS_REQUIRE(q >= 0 && q < num_qubits_, "neighbors: qubit out of range");
+  return adjacency_[static_cast<std::size_t>(q)];
+}
+
+bool CouplingMap::connected(int a, int b) const {
+  if (a == b) return true;
+  const auto& nbrs = neighbors(a);
+  return std::binary_search(nbrs.begin(), nbrs.end(), b);
+}
+
+int CouplingMap::distance(int a, int b) const {
+  TETRIS_REQUIRE(a >= 0 && a < num_qubits_ && b >= 0 && b < num_qubits_,
+                 "distance: qubit out of range");
+  int d = dist_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+  TETRIS_REQUIRE(d >= 0, "distance: qubits in disconnected components");
+  return d;
+}
+
+std::vector<int> CouplingMap::shortest_path(int a, int b) const {
+  int d = distance(a, b);
+  std::vector<int> path{a};
+  int cur = a;
+  while (cur != b) {
+    for (int v : neighbors(cur)) {
+      if (dist_[static_cast<std::size_t>(v)][static_cast<std::size_t>(b)] == d - 1) {
+        path.push_back(v);
+        cur = v;
+        --d;
+        break;
+      }
+    }
+  }
+  return path;
+}
+
+bool CouplingMap::is_connected() const {
+  if (num_qubits_ <= 1) return true;
+  for (int q = 1; q < num_qubits_; ++q) {
+    if (dist_[0][static_cast<std::size_t>(q)] < 0) return false;
+  }
+  return true;
+}
+
+std::vector<int> CouplingMap::degrees() const {
+  std::vector<int> out(static_cast<std::size_t>(num_qubits_));
+  for (int q = 0; q < num_qubits_; ++q) {
+    out[static_cast<std::size_t>(q)] = static_cast<int>(adjacency_[static_cast<std::size_t>(q)].size());
+  }
+  return out;
+}
+
+}  // namespace tetris::compiler

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tetris::compiler {
+
+/// Undirected qubit-connectivity graph of a quantum device.
+///
+/// Two-qubit gates may only be applied across an edge; the router inserts
+/// SWAPs to satisfy this. Distances and shortest paths are precomputed with
+/// all-pairs BFS (devices here are tiny; n <= a few hundred is fine).
+class CouplingMap {
+ public:
+  /// Fully-connected map (no routing needed) on n qubits.
+  static CouplingMap full(int n);
+
+  /// Linear chain 0-1-2-...-n-1.
+  static CouplingMap line(int n);
+
+  /// Ring: line plus the closing edge (n-1)-0. Requires n >= 3.
+  static CouplingMap ring(int n);
+
+  /// rows x cols grid, row-major qubit numbering.
+  static CouplingMap grid(int rows, int cols);
+
+  /// Star: qubit 0 connected to all others.
+  static CouplingMap star(int n);
+
+  /// The 5-qubit T-shaped topology of ibmq-valencia (FakeValencia):
+  /// 0-1, 1-2, 1-3, 3-4.
+  static CouplingMap valencia();
+
+  /// Builds from an explicit edge list (indices in [0, n)).
+  CouplingMap(int num_qubits, std::vector<std::pair<int, int>> edges);
+
+  int num_qubits() const { return num_qubits_; }
+  const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+  const std::vector<int>& neighbors(int q) const;
+
+  /// True if a and b share an edge (or a == b).
+  bool connected(int a, int b) const;
+
+  /// Hop distance; InvalidArgument if the qubits are in disconnected
+  /// components (maps used here are always connected).
+  int distance(int a, int b) const;
+
+  /// One shortest path a..b inclusive.
+  std::vector<int> shortest_path(int a, int b) const;
+
+  /// True if every qubit can reach every other.
+  bool is_connected() const;
+
+  /// Degree of each qubit (used by the greedy layout heuristic).
+  std::vector<int> degrees() const;
+
+ private:
+  void compute_distances();
+
+  int num_qubits_ = 0;
+  std::vector<std::pair<int, int>> edges_;
+  std::vector<std::vector<int>> adjacency_;
+  std::vector<std::vector<int>> dist_;  // -1 = unreachable
+};
+
+}  // namespace tetris::compiler

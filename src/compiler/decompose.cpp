@@ -1,0 +1,161 @@
+#include "compiler/decompose.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "compiler/target.h"
+
+namespace tetris::compiler {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+std::vector<qir::Gate> mcz_parity_network(const std::vector<int>& qubits) {
+  using namespace qir;
+  const int m = static_cast<int>(qubits.size());
+  TETRIS_REQUIRE(m >= 1, "mcz_parity_network requires at least one qubit");
+  std::vector<Gate> out;
+  const double base = kPi / static_cast<double>(1u << (m - 1));
+  const unsigned subsets = 1u << m;
+  for (unsigned mask = 1; mask < subsets; ++mask) {
+    // Members of this subset; parity accumulates onto the last member.
+    std::vector<int> members;
+    for (int b = 0; b < m; ++b) {
+      if (mask & (1u << b)) members.push_back(qubits[static_cast<std::size_t>(b)]);
+    }
+    int target = members.back();
+    for (std::size_t i = 0; i + 1 < members.size(); ++i) {
+      out.push_back(make_cx(members[i], target));
+    }
+    double sign = (members.size() % 2 == 1) ? 1.0 : -1.0;
+    out.push_back(make_p(sign * base, target));
+    for (std::size_t i = members.size() - 1; i-- > 0;) {
+      out.push_back(make_cx(members[i], target));
+    }
+  }
+  return out;
+}
+
+DecomposePass::DecomposePass(std::set<qir::GateKind> basis)
+    : basis_(std::move(basis)) {}
+
+DecomposePass::DecomposePass() : basis_(ibm_basis()) {}
+
+std::vector<qir::Gate> DecomposePass::expand(const qir::Gate& g) const {
+  using namespace qir;
+  if (basis_.count(g.kind)) return {g};
+
+  const auto& q = g.qubits;
+  const double theta = g.params.empty() ? 0.0 : g.params[0];
+  switch (g.kind) {
+    case GateKind::I:
+      return {};
+    case GateKind::Barrier:
+      return {};
+    case GateKind::Z:
+      return {make_rz(kPi, q[0])};
+    case GateKind::Y:
+      // X * RZ(pi) = -Y (global phase only).
+      return {make_rz(kPi, q[0]), make_x(q[0])};
+    case GateKind::S:
+      return {make_rz(kPi / 2, q[0])};
+    case GateKind::Sdg:
+      return {make_rz(-kPi / 2, q[0])};
+    case GateKind::T:
+      return {make_rz(kPi / 4, q[0])};
+    case GateKind::Tdg:
+      return {make_rz(-kPi / 4, q[0])};
+    case GateKind::P:
+      return {make_rz(theta, q[0])};
+    case GateKind::H:
+      // RZ(pi/2) SX RZ(pi/2) ~ H up to global phase.
+      return {make_rz(kPi / 2, q[0]), make_sx(q[0]), make_rz(kPi / 2, q[0])};
+    case GateKind::SXdg:
+      // Z SX Z ~ SX^dagger up to global phase.
+      return {make_rz(kPi, q[0]), make_sx(q[0]), make_rz(kPi, q[0])};
+    case GateKind::RX:
+      // H RZ(theta) H = RX(theta).
+      return {make_h(q[0]), make_rz(theta, q[0]), make_h(q[0])};
+    case GateKind::RY:
+      // S RX(theta) Sdg = RY(theta)  =>  list order [Sdg, RX, S].
+      return {make_sdg(q[0]), make_rx(theta, q[0]), make_s(q[0])};
+    case GateKind::CZ:
+      return {make_h(q[1]), make_cx(q[0], q[1]), make_h(q[1])};
+    case GateKind::CY:
+      return {make_sdg(q[1]), make_cx(q[0], q[1]), make_s(q[1])};
+    case GateKind::CH:
+      // qelib1.inc ch expansion.
+      return {make_s(q[1]),  make_h(q[1]),          make_t(q[1]),
+              make_cx(q[0], q[1]), make_tdg(q[1]),  make_h(q[1]),
+              make_sdg(q[1])};
+    case GateKind::CP:
+      // qelib1.inc cu1 expansion.
+      return {make_p(theta / 2, q[0]), make_cx(q[0], q[1]),
+              make_p(-theta / 2, q[1]), make_cx(q[0], q[1]),
+              make_p(theta / 2, q[1])};
+    case GateKind::CRZ:
+      return {make_rz(theta / 2, q[1]), make_cx(q[0], q[1]),
+              make_rz(-theta / 2, q[1]), make_cx(q[0], q[1])};
+    case GateKind::SWAP:
+      return {make_cx(q[0], q[1]), make_cx(q[1], q[0]), make_cx(q[0], q[1])};
+    case GateKind::CSWAP:
+      // qelib1.inc cswap expansion.
+      return {make_cx(q[2], q[1]), make_ccx(q[0], q[1], q[2]),
+              make_cx(q[2], q[1])};
+    case GateKind::CCX: {
+      // qelib1.inc ccx expansion (6 CX, 7 T-family, 2 H).
+      int a = q[0], b = q[1], c = q[2];
+      return {make_h(c),       make_cx(b, c),  make_tdg(c), make_cx(a, c),
+              make_t(c),       make_cx(b, c),  make_tdg(c), make_cx(a, c),
+              make_t(b),       make_t(c),      make_h(c),   make_cx(a, b),
+              make_t(a),       make_tdg(b),    make_cx(a, b)};
+    }
+    case GateKind::MCX: {
+      std::vector<qir::Gate> out;
+      int target = q.back();
+      out.push_back(make_h(target));
+      auto phases = mcz_parity_network(q);
+      out.insert(out.end(), phases.begin(), phases.end());
+      out.push_back(make_h(target));
+      return out;
+    }
+    default:
+      throw CompileError("DecomposePass: no rewrite rule for gate '" +
+                         g.name() + "'");
+  }
+}
+
+qir::Circuit DecomposePass::run(const qir::Circuit& circuit) const {
+  qir::Circuit out(circuit.num_qubits(), circuit.name());
+  // Worklist expansion; each rewrite strictly reduces toward the basis, so a
+  // generous depth bound suffices as a cycle guard.
+  constexpr int kMaxRounds = 16;
+  std::vector<qir::Gate> current(circuit.gates().begin(), circuit.gates().end());
+  for (int round = 0; round < kMaxRounds; ++round) {
+    bool changed = false;
+    std::vector<qir::Gate> next;
+    next.reserve(current.size());
+    for (const auto& g : current) {
+      if (g.kind == qir::GateKind::Barrier) {
+        changed = true;
+        continue;
+      }
+      if (basis_.count(g.kind)) {
+        next.push_back(g);
+        continue;
+      }
+      auto expanded = expand(g);
+      changed = true;
+      next.insert(next.end(), expanded.begin(), expanded.end());
+    }
+    current = std::move(next);
+    if (!changed) break;
+    TETRIS_REQUIRE(round + 1 < kMaxRounds,
+                   "DecomposePass: rewrite did not reach a fixpoint");
+  }
+  for (auto& g : current) out.add(std::move(g));
+  return out;
+}
+
+}  // namespace tetris::compiler

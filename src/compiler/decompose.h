@@ -1,0 +1,47 @@
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "qir/circuit.h"
+
+namespace tetris::compiler {
+
+/// Lowers every gate to a target basis (default: IBM's {X, SX, RZ, CX}).
+///
+/// Rules are applied to a fixpoint: each non-basis kind has a one-step
+/// rewrite into strictly "more primitive" kinds, so the recursion
+/// terminates. Every rule preserves the unitary up to global phase; the
+/// test-suite checks each rule against the dense unitary.
+///
+/// Multi-controlled X (>= 3 controls) uses the ancilla-free parity-phase
+/// construction: C^kX = H(t) . C^kZ . H(t), and C^kZ on m qubits is the
+/// product over all non-empty subsets S of a parity phase
+/// exp(i * (-1)^{|S|+1} * pi/2^{m-1} * parity_S), each realised as a CX
+/// chain + P rotation. Gate count is O(m * 2^m) — acceptable for the small
+/// fan-ins in reversible benchmarks; OptimizePass cancels the chain overlap
+/// between consecutive subsets.
+class DecomposePass {
+ public:
+  explicit DecomposePass(std::set<qir::GateKind> basis);
+
+  /// Default IBM basis.
+  DecomposePass();
+
+  /// Returns a circuit whose every gate kind is in the basis (barriers are
+  /// dropped). Throws CompileError if some kind has no rewrite rule.
+  qir::Circuit run(const qir::Circuit& circuit) const;
+
+  /// One-step expansion of a single gate (exposed for tests).
+  /// Returns {gate} unchanged when the kind is in the basis.
+  std::vector<qir::Gate> expand(const qir::Gate& gate) const;
+
+ private:
+  std::set<qir::GateKind> basis_;
+};
+
+/// Multi-controlled Z on `qubits` (phase -1 on the all-ones subspace),
+/// emitted as CX/P gates. Exposed for tests.
+std::vector<qir::Gate> mcz_parity_network(const std::vector<int>& qubits);
+
+}  // namespace tetris::compiler

@@ -1,0 +1,68 @@
+#include "compiler/layout.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/error.h"
+
+namespace tetris::compiler {
+
+void validate_layout(const std::vector<int>& layout, int num_logical,
+                     int num_physical) {
+  TETRIS_REQUIRE(static_cast<int>(layout.size()) == num_logical,
+                 "layout size must equal logical qubit count");
+  std::set<int> seen;
+  for (int p : layout) {
+    TETRIS_REQUIRE(p >= 0 && p < num_physical, "layout entry out of range");
+    TETRIS_REQUIRE(seen.insert(p).second, "layout is not injective");
+  }
+}
+
+std::vector<int> choose_layout(const qir::Circuit& circuit,
+                               const CouplingMap& coupling,
+                               LayoutStrategy strategy) {
+  const int nl = circuit.num_qubits();
+  const int np = coupling.num_qubits();
+  TETRIS_REQUIRE(nl <= np, "circuit is wider than the device");
+
+  if (strategy == LayoutStrategy::Trivial) {
+    std::vector<int> layout(static_cast<std::size_t>(nl));
+    std::iota(layout.begin(), layout.end(), 0);
+    return layout;
+  }
+
+  // Interaction weight: how many multi-qubit gates touch each logical qubit.
+  std::vector<int> weight(static_cast<std::size_t>(nl), 0);
+  for (const auto& g : circuit.gates()) {
+    if (g.kind == qir::GateKind::Barrier || g.num_qubits() < 2) continue;
+    for (int q : g.qubits) ++weight[static_cast<std::size_t>(q)];
+  }
+
+  std::vector<int> logical_order(static_cast<std::size_t>(nl));
+  std::iota(logical_order.begin(), logical_order.end(), 0);
+  std::stable_sort(logical_order.begin(), logical_order.end(),
+                   [&](int a, int b) {
+                     return weight[static_cast<std::size_t>(a)] >
+                            weight[static_cast<std::size_t>(b)];
+                   });
+
+  std::vector<int> physical_order(static_cast<std::size_t>(np));
+  std::iota(physical_order.begin(), physical_order.end(), 0);
+  auto degrees = coupling.degrees();
+  std::stable_sort(physical_order.begin(), physical_order.end(),
+                   [&](int a, int b) {
+                     return degrees[static_cast<std::size_t>(a)] >
+                            degrees[static_cast<std::size_t>(b)];
+                   });
+
+  std::vector<int> layout(static_cast<std::size_t>(nl), -1);
+  for (int i = 0; i < nl; ++i) {
+    layout[static_cast<std::size_t>(logical_order[static_cast<std::size_t>(i)])] =
+        physical_order[static_cast<std::size_t>(i)];
+  }
+  validate_layout(layout, nl, np);
+  return layout;
+}
+
+}  // namespace tetris::compiler

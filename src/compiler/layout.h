@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "compiler/coupling.h"
+#include "qir/circuit.h"
+
+namespace tetris::compiler {
+
+/// Initial placement strategies (logical qubit -> physical qubit).
+enum class LayoutStrategy {
+  Trivial,       ///< logical i -> physical i
+  GreedyDegree,  ///< busiest logical qubits on best-connected physical qubits
+};
+
+/// Chooses an injective map logical->physical. `GreedyDegree` ranks logical
+/// qubits by their two-qubit interaction count and assigns them to physical
+/// qubits in decreasing connectivity order, which keeps routing cost low on
+/// sparse topologies like the Valencia T.
+///
+/// Requires circuit.num_qubits() <= coupling.num_qubits().
+std::vector<int> choose_layout(const qir::Circuit& circuit,
+                               const CouplingMap& coupling,
+                               LayoutStrategy strategy);
+
+/// Validates that `layout` is an injective logical->physical map of the
+/// right size; throws InvalidArgument otherwise.
+void validate_layout(const std::vector<int>& layout, int num_logical,
+                     int num_physical);
+
+}  // namespace tetris::compiler

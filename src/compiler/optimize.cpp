@@ -1,0 +1,110 @@
+#include "compiler/optimize.h"
+
+#include <cmath>
+#include <vector>
+
+namespace tetris::compiler {
+
+namespace {
+
+constexpr double kTwoPi = 6.28318530717958647692;
+constexpr double kAngleTol = 1e-12;
+
+bool is_rotation(qir::GateKind k) {
+  using qir::GateKind;
+  return k == GateKind::RX || k == GateKind::RY || k == GateKind::RZ ||
+         k == GateKind::P || k == GateKind::CP || k == GateKind::CRZ;
+}
+
+/// Angle folded to (-pi, pi]; identities land at ~0.
+double fold_angle(double a) {
+  double r = std::fmod(a, kTwoPi);
+  if (r > kTwoPi / 2) r -= kTwoPi;
+  if (r <= -kTwoPi / 2) r += kTwoPi;
+  return r;
+}
+
+bool is_identity_gate(const qir::Gate& g) {
+  if (g.kind == qir::GateKind::I) return true;
+  if (is_rotation(g.kind)) {
+    return std::abs(fold_angle(g.params[0])) < kAngleTol;
+  }
+  return false;
+}
+
+bool mergeable_rotations(const qir::Gate& a, const qir::Gate& b) {
+  return a.kind == b.kind && is_rotation(a.kind) && a.qubits == b.qubits;
+}
+
+}  // namespace
+
+qir::Circuit optimize(const qir::Circuit& circuit, OptimizeStats* stats) {
+  OptimizeStats local;
+  std::vector<qir::Gate> gates(circuit.gates().begin(), circuit.gates().end());
+  std::vector<char> alive(gates.size(), 1);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Rewrite 1: identities.
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+      if (!alive[i]) continue;
+      if (gates[i].kind == qir::GateKind::Barrier) continue;
+      if (is_identity_gate(gates[i])) {
+        alive[i] = 0;
+        ++local.dropped_identities;
+        changed = true;
+      }
+    }
+
+    // Rewrites 2 & 3: wire-adjacent merge / cancel.
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+      if (!alive[i] || gates[i].kind == qir::GateKind::Barrier) continue;
+      // Find the earliest later alive gate sharing a qubit with gate i.
+      for (std::size_t j = i + 1; j < gates.size(); ++j) {
+        if (!alive[j]) continue;
+        bool shares = false;
+        for (int q : gates[j].qubits) {
+          for (int p : gates[i].qubits) {
+            if (p == q) {
+              shares = true;
+              break;
+            }
+          }
+          if (shares) break;
+        }
+        if (!shares) continue;
+
+        if (gates[j].qubits == gates[i].qubits) {
+          if (gates[j].approx_equal(gates[i].adjoint(), 1e-9)) {
+            alive[i] = alive[j] = 0;
+            ++local.cancelled_pairs;
+            changed = true;
+          } else if (mergeable_rotations(gates[i], gates[j])) {
+            double sum = fold_angle(gates[i].params[0] + gates[j].params[0]);
+            alive[j] = 0;
+            ++local.merged_rotations;
+            if (std::abs(sum) < kAngleTol) {
+              alive[i] = 0;
+              ++local.dropped_identities;
+            } else {
+              gates[i].params[0] = sum;
+            }
+            changed = true;
+          }
+        }
+        break;  // gate j blocks the wire either way
+      }
+    }
+  }
+
+  qir::Circuit out(circuit.num_qubits(), circuit.name());
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    if (alive[i]) out.add(std::move(gates[i]));
+  }
+  if (stats) *stats = local;
+  return out;
+}
+
+}  // namespace tetris::compiler

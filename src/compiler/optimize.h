@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstddef>
+
+#include "qir/circuit.h"
+
+namespace tetris::compiler {
+
+/// Statistics from one optimization run.
+struct OptimizeStats {
+  std::size_t cancelled_pairs = 0;    ///< adjacent G, G^-1 pairs removed
+  std::size_t merged_rotations = 0;   ///< consecutive RZ/P folded together
+  std::size_t dropped_identities = 0; ///< I gates / ~0-angle rotations removed
+};
+
+/// Peephole optimizer.
+///
+/// Three rewrites, iterated to a fixpoint:
+///  1. drop identities (I gates, rotations with angle ~ 0 mod 2*pi),
+///  2. merge wire-adjacent RZ·RZ / P·P on the same qubit,
+///  3. cancel wire-adjacent inverse pairs (X·X, CX·CX, H·H, RZ(a)·RZ(-a), ...).
+/// "Wire-adjacent" means no other gate touches any shared qubit in between,
+/// so every rewrite is semantics-preserving on the DAG, not just the list.
+qir::Circuit optimize(const qir::Circuit& circuit,
+                      OptimizeStats* stats = nullptr);
+
+}  // namespace tetris::compiler

@@ -1,0 +1,161 @@
+#include "compiler/routing.h"
+
+#include "common/error.h"
+#include "compiler/layout.h"
+
+namespace tetris::compiler {
+
+namespace {
+
+/// Emits SWAP(pa, pb) as 3 CX on adjacent physical qubits.
+void emit_swap(qir::Circuit& out, int pa, int pb) {
+  out.cx(pa, pb).cx(pb, pa).cx(pa, pb);
+}
+
+}  // namespace
+
+RoutingResult route(const qir::Circuit& circuit, const CouplingMap& coupling,
+                    const std::vector<int>& initial_layout,
+                    const RoutingOptions& options) {
+  const int nl = circuit.num_qubits();
+  const int np = coupling.num_qubits();
+  validate_layout(initial_layout, nl, np);
+  TETRIS_REQUIRE(coupling.is_connected() || nl <= 1,
+                 "route: coupling map must be connected");
+
+  RoutingResult result;
+  result.circuit = qir::Circuit(np, circuit.name());
+  std::vector<int> l2p = initial_layout;          // logical -> physical
+  std::vector<int> p2l(static_cast<std::size_t>(np), -1);  // physical -> logical
+  for (int l = 0; l < nl; ++l) p2l[static_cast<std::size_t>(l2p[static_cast<std::size_t>(l)])] = l;
+
+  // wire_pos[p] = current position of the content that started on wire p.
+  std::vector<int> wire_pos(static_cast<std::size_t>(np));
+  std::vector<int> pos_wire(static_cast<std::size_t>(np));  // inverse
+  for (int p = 0; p < np; ++p) {
+    wire_pos[static_cast<std::size_t>(p)] = p;
+    pos_wire[static_cast<std::size_t>(p)] = p;
+  }
+
+  auto swap_physical = [&](int pa, int pb) {
+    emit_swap(result.circuit, pa, pb);
+    ++result.swaps_inserted;
+    int la = p2l[static_cast<std::size_t>(pa)];
+    int lb = p2l[static_cast<std::size_t>(pb)];
+    std::swap(p2l[static_cast<std::size_t>(pa)], p2l[static_cast<std::size_t>(pb)]);
+    if (la >= 0) l2p[static_cast<std::size_t>(la)] = pb;
+    if (lb >= 0) l2p[static_cast<std::size_t>(lb)] = pa;
+    int wa = pos_wire[static_cast<std::size_t>(pa)];
+    int wb = pos_wire[static_cast<std::size_t>(pb)];
+    std::swap(pos_wire[static_cast<std::size_t>(pa)], pos_wire[static_cast<std::size_t>(pb)]);
+    wire_pos[static_cast<std::size_t>(wa)] = pb;
+    wire_pos[static_cast<std::size_t>(wb)] = pa;
+  };
+
+  // Pre-extract the positions of two-qubit gates for the lookahead window.
+  const auto& gates = circuit.gates();
+  std::vector<std::size_t> two_qubit_gates;
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    if (gates[i].kind != qir::GateKind::Barrier && gates[i].num_qubits() == 2) {
+      two_qubit_gates.push_back(i);
+    }
+  }
+  std::size_t next_2q_cursor = 0;
+
+  // Decayed total distance of the upcoming window under a hypothetical swap
+  // of physical wires (pa, pb).
+  auto window_cost = [&](int pa, int pb) {
+    double cost = 0.0;
+    double weight = 1.0;
+    int counted = 0;
+    for (std::size_t w = next_2q_cursor;
+         w < two_qubit_gates.size() && counted < options.lookahead_window;
+         ++w, ++counted) {
+      const qir::Gate& fg = gates[two_qubit_gates[w]];
+      int qa = l2p[static_cast<std::size_t>(fg.qubits[0])];
+      int qb = l2p[static_cast<std::size_t>(fg.qubits[1])];
+      if (qa == pa) qa = pb; else if (qa == pb) qa = pa;
+      if (qb == pa) qb = pb; else if (qb == pb) qb = pa;
+      cost += weight * coupling.distance(qa, qb);
+      weight *= options.lookahead_decay;
+    }
+    return cost;
+  };
+
+  for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+    const qir::Gate& g = gates[gi];
+    if (g.kind == qir::GateKind::Barrier) continue;
+    if (g.num_qubits() == 1) {
+      qir::Gate mapped = g;
+      mapped.qubits[0] = l2p[static_cast<std::size_t>(g.qubits[0])];
+      result.circuit.add(std::move(mapped));
+      continue;
+    }
+    if (g.num_qubits() != 2) {
+      throw CompileError("route: gate '" + g.name() +
+                         "' has arity > 2; run DecomposePass first");
+    }
+    int pa = l2p[static_cast<std::size_t>(g.qubits[0])];
+    int pb = l2p[static_cast<std::size_t>(g.qubits[1])];
+    // Once the greedy fallback fires for this gate we stay greedy until the
+    // gate is routed: mixing the two could oscillate (greedy increases the
+    // window cost, lookahead undoes the hop, and so on).
+    bool greedy_only = false;
+    while (!coupling.connected(pa, pb)) {
+      bool swapped = false;
+      if (options.strategy == RoutingStrategy::Lookahead && !greedy_only) {
+        // Candidates: every edge incident to either operand's position.
+        double base = window_cost(pa, pa);  // identity swap == current cost
+        double best = base;
+        int best_a = -1, best_b = -1;
+        for (int anchor : {pa, pb}) {
+          for (int nbr : coupling.neighbors(anchor)) {
+            double c = window_cost(anchor, nbr);
+            if (c < best - 1e-9) {
+              best = c;
+              best_a = anchor;
+              best_b = nbr;
+            }
+          }
+        }
+        if (best_a >= 0) {
+          swap_physical(best_a, best_b);
+          swapped = true;
+        }
+      }
+      if (!swapped) {
+        // Greedy fallback: one hop along the shortest path (always makes
+        // progress, so the loop terminates).
+        greedy_only = true;
+        auto path = coupling.shortest_path(pa, pb);
+        swap_physical(path[0], path[1]);
+      }
+      pa = l2p[static_cast<std::size_t>(g.qubits[0])];
+      pb = l2p[static_cast<std::size_t>(g.qubits[1])];
+    }
+    qir::Gate mapped = g;
+    mapped.qubits[0] = pa;
+    mapped.qubits[1] = pb;
+    result.circuit.add(std::move(mapped));
+    if (next_2q_cursor < two_qubit_gates.size() &&
+        two_qubit_gates[next_2q_cursor] == gi) {
+      ++next_2q_cursor;
+    }
+  }
+
+  result.final_layout = std::move(l2p);
+  result.wire_permutation = std::move(wire_pos);
+  return result;
+}
+
+bool is_coupling_compliant(const qir::Circuit& circuit,
+                           const CouplingMap& coupling) {
+  for (const auto& g : circuit.gates()) {
+    if (g.kind == qir::GateKind::Barrier || g.num_qubits() < 2) continue;
+    if (g.num_qubits() != 2) return false;
+    if (!coupling.connected(g.qubits[0], g.qubits[1])) return false;
+  }
+  return true;
+}
+
+}  // namespace tetris::compiler

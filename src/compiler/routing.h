@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "compiler/coupling.h"
+#include "qir/circuit.h"
+
+namespace tetris::compiler {
+
+/// Result of SWAP routing: a physical-register circuit plus where each
+/// logical qubit ended up.
+struct RoutingResult {
+  qir::Circuit circuit;          ///< width = coupling.num_qubits()
+  std::vector<int> final_layout; ///< logical -> physical after all swaps
+  /// Where the content of each physical wire ends up after all inserted
+  /// swaps: the state initially on wire p finishes on wire_permutation[p].
+  /// Covers wires that carry no logical qubit of *this* circuit too, which is
+  /// what the de-obfuscator needs when a wire holds the other split's data.
+  std::vector<int> wire_permutation;
+  std::size_t swaps_inserted = 0;
+};
+
+/// SWAP-selection strategies.
+enum class RoutingStrategy {
+  Greedy,     ///< walk the BFS shortest path, one hop at a time
+  Lookahead,  ///< score candidate swaps against the next K two-qubit gates
+};
+
+struct RoutingOptions {
+  RoutingStrategy strategy = RoutingStrategy::Greedy;
+  /// How many upcoming two-qubit gates the Lookahead strategy scores.
+  int lookahead_window = 8;
+  /// Geometric decay applied to the i-th upcoming gate's distance change.
+  double lookahead_decay = 0.7;
+};
+
+/// Makes every two-qubit gate coupling-compliant by inserting SWAPs (emitted
+/// directly as 3 CX, so the output stays in the {X, SX, RZ, CX} basis).
+///
+/// Greedy: for each two-qubit gate, walk the BFS shortest path between the
+/// current physical positions and swap along it until the operands are
+/// adjacent. Lookahead (SABRE-flavoured): among all swaps adjacent to either
+/// operand, pick the one with the best decayed distance improvement over the
+/// next `lookahead_window` two-qubit gates, falling back to a greedy hop when
+/// no candidate helps (progress is therefore always guaranteed).
+///
+/// Single-qubit gates are simply relabelled. The input must already be
+/// decomposed (gates of arity <= 2); throws CompileError otherwise.
+RoutingResult route(const qir::Circuit& circuit, const CouplingMap& coupling,
+                    const std::vector<int>& initial_layout,
+                    const RoutingOptions& options = {});
+
+/// True if every multi-qubit gate of a physical circuit acts across an edge.
+bool is_coupling_compliant(const qir::Circuit& circuit,
+                           const CouplingMap& coupling);
+
+}  // namespace tetris::compiler

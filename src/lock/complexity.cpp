@@ -1,0 +1,46 @@
+#include "lock/complexity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/combinatorics.h"
+#include "common/error.h"
+
+namespace tetris::lock {
+
+double log_attack_complexity_cascade(int n, double k_n) {
+  TETRIS_REQUIRE(n >= 1, "cascade complexity requires n >= 1");
+  TETRIS_REQUIRE(k_n >= 1.0, "cascade complexity requires k_n >= 1");
+  return std::log(k_n) + log_factorial(n);
+}
+
+double log_attack_complexity_tetrislock(int n, int nmax,
+                                        const std::vector<double>& k) {
+  TETRIS_REQUIRE(n >= 1, "tetrislock complexity requires n >= 1");
+  TETRIS_REQUIRE(nmax >= 1, "tetrislock complexity requires nmax >= 1");
+  TETRIS_REQUIRE(!k.empty(), "tetrislock complexity requires k values");
+
+  double total = -std::numeric_limits<double>::infinity();
+  for (int i = 1; i <= nmax; ++i) {
+    double ki = k[std::min<std::size_t>(static_cast<std::size_t>(i - 1),
+                                        k.size() - 1)];
+    TETRIS_REQUIRE(ki >= 0.0, "tetrislock complexity: negative k_i");
+    if (ki == 0.0) continue;
+    // Inner sum over the number of connected qubits j.
+    double inner = -std::numeric_limits<double>::infinity();
+    int jmax = std::min(n, i);
+    for (int j = 0; j <= jmax; ++j) {
+      double term = log_binomial(n, j) + log_binomial(i, j) + log_factorial(j);
+      inner = log_add(inner, term);
+    }
+    total = log_add(total, std::log(ki) + inner);
+  }
+  return total;
+}
+
+double log_attack_complexity_tetrislock(int n, int nmax, double k) {
+  return log_attack_complexity_tetrislock(n, nmax, std::vector<double>{k});
+}
+
+}  // namespace tetris::lock

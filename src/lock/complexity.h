@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+namespace tetris::lock {
+
+/// Attack-complexity formulas of Sec. IV-C.
+///
+/// All results are natural logarithms (the linear values overflow quickly);
+/// use tetris::log_to_log10 for human-readable magnitudes.
+
+/// Prior-work (Saki et al., ICCAD'21) collusion complexity: k_n * n!, where
+/// n is the qubit count of the split in hand and k_n the number of candidate
+/// n-qubit segments the colluding compiler holds.
+double log_attack_complexity_cascade(int n, double k_n);
+
+/// TetrisLock complexity, Eq. 1:
+///   sum_{i=1..nmax} k_i * sum_{j=0..min(n,i)} C(n,j) * C(i,j) * j!
+/// where n is the qubit count of the split in hand, nmax the device qubit
+/// budget, i the candidate qubit count of the other split, j the number of
+/// connected qubits, and k_i the number of candidate i-qubit segments.
+/// `k` may have fewer than nmax entries; missing entries default to the last
+/// provided value (uniform k is the common case).
+double log_attack_complexity_tetrislock(int n, int nmax,
+                                        const std::vector<double>& k);
+
+/// Convenience: uniform k_i = k for every i.
+double log_attack_complexity_tetrislock(int n, int nmax, double k);
+
+}  // namespace tetris::lock

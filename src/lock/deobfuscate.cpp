@@ -1,0 +1,105 @@
+#include "lock/deobfuscate.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+
+namespace tetris::lock {
+
+RecombinedCircuit Deobfuscator::run(
+    const SplitPair& pair, int num_original_qubits,
+    const compiler::CompileOptions& first_options,
+    compiler::CompileOptions second_options) const {
+  const compiler::Target& target = first_options.target;
+  TETRIS_REQUIRE(second_options.target.num_qubits() == target.num_qubits(),
+                 "deobfuscate: both compilers must target the same device");
+
+  // 1. First split: free compilation.
+  compiler::Compiler first_compiler(first_options);
+  CompiledSplit first{first_compiler.compile(pair.first.circuit),
+                      pair.first.local_to_orig};
+
+  // Where each original qubit sits after the first compiled split.
+  const int np = target.num_qubits();
+  std::vector<int> orig_phys_after_first(static_cast<std::size_t>(num_original_qubits), -1);
+  std::set<int> occupied;
+  for (std::size_t l = 0; l < first.local_to_orig.size(); ++l) {
+    int phys = first.result.final_layout[l];
+    orig_phys_after_first[static_cast<std::size_t>(first.local_to_orig[l])] = phys;
+    occupied.insert(phys);
+  }
+
+  // 2. Pin the second split's initial layout.
+  const auto& second_map = pair.second.local_to_orig;
+  std::vector<int> pinned(second_map.size(), -1);
+  std::vector<char> taken(static_cast<std::size_t>(np), 0);
+  for (int p : occupied) taken[static_cast<std::size_t>(p)] = 1;
+  // Shared qubits: continue on the wire split1 left them on.
+  for (std::size_t l = 0; l < second_map.size(); ++l) {
+    int o = second_map[l];
+    int phys = orig_phys_after_first[static_cast<std::size_t>(o)];
+    if (phys >= 0) pinned[l] = phys;
+  }
+  // Fresh qubits: any wire that is still |0> (never placed by split1).
+  int cursor = 0;
+  for (std::size_t l = 0; l < second_map.size(); ++l) {
+    if (pinned[l] >= 0) continue;
+    while (cursor < np && taken[static_cast<std::size_t>(cursor)]) ++cursor;
+    TETRIS_REQUIRE(cursor < np, "deobfuscate: device too small for both splits");
+    pinned[l] = cursor;
+    taken[static_cast<std::size_t>(cursor)] = 1;
+  }
+
+  second_options.initial_layout = pinned;
+  compiler::Compiler second_compiler(second_options);
+  CompiledSplit second{second_compiler.compile(pair.second.circuit),
+                       pair.second.local_to_orig};
+
+  // 3. Concatenate on the shared physical register.
+  RecombinedCircuit out;
+  out.circuit = qir::Circuit(np, "recombined_compiled");
+  out.circuit.append(first.result.circuit);
+  out.circuit.append(second.result.circuit);
+
+  // 4. Final wire of each original qubit.
+  out.orig_to_phys.assign(static_cast<std::size_t>(num_original_qubits), -1);
+  for (int o = 0; o < num_original_qubits; ++o) {
+    int local2 = pair.second.orig_to_local(o);
+    if (local2 >= 0) {
+      out.orig_to_phys[static_cast<std::size_t>(o)] =
+          second.result.final_layout[static_cast<std::size_t>(local2)];
+      continue;
+    }
+    int phys1 = orig_phys_after_first[static_cast<std::size_t>(o)];
+    if (phys1 >= 0) {
+      // Untouched by split2, but split2's routing may still have moved the
+      // wire's content around.
+      out.orig_to_phys[static_cast<std::size_t>(o)] =
+          second.result.wire_permutation[static_cast<std::size_t>(phys1)];
+      continue;
+    }
+    // Untouched by either split: the qubit stays |0>; park it on a wire no
+    // original qubit claims so measurement bookkeeping stays injective.
+    out.orig_to_phys[static_cast<std::size_t>(o)] = -1;
+  }
+  // Assign parked qubits to leftover wires.
+  std::set<int> used_phys;
+  for (int p : out.orig_to_phys) {
+    if (p >= 0) used_phys.insert(p);
+  }
+  int spare = 0;
+  for (auto& p : out.orig_to_phys) {
+    if (p >= 0) continue;
+    while (spare < np && used_phys.count(spare)) ++spare;
+    TETRIS_REQUIRE(spare < np, "deobfuscate: no spare wire for idle qubit");
+    p = spare;
+    used_phys.insert(spare);
+  }
+
+  out.first = std::move(first);
+  out.second = std::move(second);
+  return out;
+}
+
+}  // namespace tetris::lock

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <vector>
+
+#include "compiler/compiler.h"
+#include "lock/splitter.h"
+
+namespace tetris::lock {
+
+/// One compiled split plus the designer-side qubit map.
+struct CompiledSplit {
+  compiler::CompileResult result;
+  std::vector<int> local_to_orig;  ///< split-local qubit -> original qubit
+};
+
+/// The recombined, hardware-ready circuit.
+struct RecombinedCircuit {
+  qir::Circuit circuit;            ///< physical register of the target
+  /// Physical wire holding each original qubit when the circuit ends —
+  /// what the designer measures.
+  std::vector<int> orig_to_phys;
+  CompiledSplit first;
+  CompiledSplit second;
+};
+
+/// TetrisLock step 3: split compilation + de-obfuscation.
+///
+/// Each split is handed to its own untrusted-compiler instance. The designer
+/// (who holds the split metadata) pins the second compilation's initial
+/// layout so that every shared original qubit starts exactly on the physical
+/// wire where the first compiled split left it; unshared qubits are pinned to
+/// wires that are still |0> after the first split. Concatenating the two
+/// compiled circuits then restores the original functionality with no extra
+/// permutation stage.
+class Deobfuscator {
+ public:
+  /// `first_options` / `second_options` model two distinct third-party
+  /// compilers; their `initial_layout` fields are overwritten for the second
+  /// split (that is the designer's knob).
+  RecombinedCircuit run(const SplitPair& pair, int num_original_qubits,
+                        const compiler::CompileOptions& first_options,
+                        compiler::CompileOptions second_options) const;
+};
+
+}  // namespace tetris::lock

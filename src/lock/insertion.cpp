@@ -1,0 +1,207 @@
+#include "lock/insertion.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace tetris::lock {
+
+bool prefix_fits(const std::vector<qir::Gate>& prefix,
+                 const std::vector<int>& first_use,
+                 std::vector<int>* layers_out) {
+  std::vector<int> frontier(first_use.size(), 0);
+  std::vector<int> layers;
+  layers.reserve(prefix.size());
+  for (const auto& g : prefix) {
+    int layer = 0;
+    for (int q : g.qubits) {
+      layer = std::max(layer, frontier[static_cast<std::size_t>(q)]);
+    }
+    for (int q : g.qubits) {
+      // Must finish strictly before the original circuit first touches q.
+      if (layer >= first_use[static_cast<std::size_t>(q)]) return false;
+    }
+    for (int q : g.qubits) frontier[static_cast<std::size_t>(q)] = layer + 1;
+    layers.push_back(layer);
+  }
+  if (layers_out) *layers_out = std::move(layers);
+  return true;
+}
+
+namespace {
+
+/// Builds the prefix sequence R^-1 . R from R's gate list.
+std::vector<qir::Gate> make_prefix(const std::vector<qir::Gate>& random_gates) {
+  std::vector<qir::Gate> prefix;
+  prefix.reserve(2 * random_gates.size());
+  for (auto it = random_gates.rbegin(); it != random_gates.rend(); ++it) {
+    prefix.push_back(it->adjoint());
+  }
+  prefix.insert(prefix.end(), random_gates.begin(), random_gates.end());
+  return prefix;
+}
+
+/// Qubits that still have at least `needed` spare leading layers given the
+/// number of prefix slots already consumed on them.
+std::vector<int> available_qubits(const std::vector<int>& first_use,
+                                  const std::vector<int>& consumed,
+                                  int needed) {
+  std::vector<int> out;
+  for (std::size_t q = 0; q < first_use.size(); ++q) {
+    if (first_use[q] - consumed[q] >= needed) out.push_back(static_cast<int>(q));
+  }
+  return out;
+}
+
+}  // namespace
+
+InsertionPlan plan_insertion(const qir::Circuit& circuit,
+                             const InsertionConfig& config, Rng& rng) {
+  TETRIS_REQUIRE(config.max_random_gates >= 0,
+                 "plan_insertion: negative gate limit");
+  qir::LayerSchedule sched(circuit);
+  std::vector<int> first_use(static_cast<std::size_t>(circuit.num_qubits()));
+  for (int q = 0; q < circuit.num_qubits(); ++q) {
+    first_use[static_cast<std::size_t>(q)] = sched.first_use(q);
+  }
+
+  std::vector<qir::Gate> random_gates;
+  // Slots already consumed per qubit by the accepted prefix (2 per R gate on
+  // that qubit: the gate and its inverse).
+  std::vector<int> consumed(first_use.size(), 0);
+  // Classical action of R on |0...0> — used to reject candidates that would
+  // make R the identity on the all-zero input (a CX flipping the X'd wire
+  // back), which would mask nothing.
+  std::vector<char> r_bits(first_use.size(), 0);
+  const bool track_bits = config.alphabet != InsertionAlphabet::Hadamard;
+
+  while (static_cast<int>(random_gates.size()) < config.max_random_gates) {
+    bool accepted = false;
+    for (int attempt = 0; attempt < config.attempts_per_gate; ++attempt) {
+      auto avail = available_qubits(first_use, consumed, 2);
+      if (avail.empty()) break;
+
+      bool want_cx = false;
+      switch (config.alphabet) {
+        case InsertionAlphabet::XOnly:
+        case InsertionAlphabet::Hadamard:
+          want_cx = false;
+          break;
+        case InsertionAlphabet::CXOnly:
+          want_cx = true;
+          break;
+        case InsertionAlphabet::Mixed:
+          want_cx = rng.bernoulli(config.cx_probability);
+          if (config.ensure_x_gate && random_gates.empty()) want_cx = false;
+          break;
+      }
+
+      qir::Gate candidate;
+      if (want_cx && avail.size() >= 2) {
+        std::size_t i = rng.index(avail.size());
+        std::size_t j = rng.index(avail.size() - 1);
+        if (j >= i) ++j;
+        candidate = qir::make_cx(avail[i], avail[j]);
+      } else if (config.alphabet == InsertionAlphabet::CXOnly) {
+        break;  // CX-only but fewer than two available qubits
+      } else if (config.alphabet == InsertionAlphabet::Hadamard) {
+        candidate = qir::make_h(avail[rng.index(avail.size())]);
+      } else {
+        candidate = qir::make_x(avail[rng.index(avail.size())]);
+      }
+
+      // Keep R non-trivial on the all-zero input: applying the candidate
+      // must not return R|0...0> to |0...0>.
+      std::vector<char> new_bits = r_bits;
+      if (track_bits) {
+        if (candidate.kind == qir::GateKind::X) {
+          new_bits[static_cast<std::size_t>(candidate.qubits[0])] ^= 1;
+        } else if (candidate.kind == qir::GateKind::CX &&
+                   new_bits[static_cast<std::size_t>(candidate.qubits[0])]) {
+          new_bits[static_cast<std::size_t>(candidate.qubits[1])] ^= 1;
+        }
+        bool any_set = false;
+        for (char b : new_bits) any_set = any_set || b;
+        if (!random_gates.empty() && !any_set) continue;  // would mask nothing
+      }
+
+      auto trial = random_gates;
+      trial.push_back(candidate);
+      auto prefix = make_prefix(trial);
+      if (prefix_fits(prefix, first_use, nullptr)) {
+        random_gates = std::move(trial);
+        r_bits = std::move(new_bits);
+        for (int q : candidate.qubits) {
+          consumed[static_cast<std::size_t>(q)] += 2;
+        }
+        accepted = true;
+        break;
+      }
+    }
+    if (!accepted) break;  // no proposal fits any more
+  }
+
+  InsertionPlan plan;
+  plan.random = qir::Circuit(circuit.num_qubits(), "R");
+  for (const auto& g : random_gates) plan.random.add(g);
+  plan.prefix = make_prefix(random_gates);
+  bool fits = prefix_fits(plan.prefix, first_use, &plan.prefix_layers);
+  TETRIS_REQUIRE(fits, "plan_insertion: accepted prefix no longer fits");
+
+  // Optional mid-circuit gap pairs for the remaining budget.
+  if (config.allow_gap_insertion &&
+      config.alphabet != InsertionAlphabet::CXOnly) {
+    int budget = config.max_random_gates -
+                 static_cast<int>(random_gates.size());
+    if (budget > 0) {
+      // Interior (and trailing) idle windows of length >= 2, one per wire,
+      // on wires not already used by the leading prefix.
+      std::vector<char> wire_used(first_use.size(), 0);
+      for (const auto& g : random_gates) {
+        for (int q : g.qubits) wire_used[static_cast<std::size_t>(q)] = 1;
+      }
+      struct Window {
+        int qubit;
+        int after_count;
+      };
+      std::vector<Window> windows;
+      for (int q = 0; q < circuit.num_qubits(); ++q) {
+        if (wire_used[static_cast<std::size_t>(q)]) continue;
+        // Busy layers of wire q in increasing order.
+        std::vector<int> busy;
+        for (std::size_t i = 0; i < circuit.size(); ++i) {
+          const auto& g = circuit.gate(i);
+          if (g.kind == qir::GateKind::Barrier) continue;
+          for (int gq : g.qubits) {
+            if (gq == q) busy.push_back(sched.layer_of(i));
+          }
+        }
+        for (std::size_t k = 0; k + 1 < busy.size(); ++k) {
+          if (busy[k + 1] - busy[k] - 1 >= 2) {
+            windows.push_back({q, static_cast<int>(k) + 1});
+            break;  // one window per wire is enough
+          }
+        }
+        if (!busy.empty() && sched.num_layers() - 1 - busy.back() >= 2) {
+          windows.push_back({q, static_cast<int>(busy.size())});
+        }
+      }
+      rng.shuffle(windows);
+      std::vector<char> gap_wire_used(first_use.size(), 0);
+      for (const auto& w : windows) {
+        if (budget <= 0) break;
+        if (gap_wire_used[static_cast<std::size_t>(w.qubit)]) continue;
+        gap_wire_used[static_cast<std::size_t>(w.qubit)] = 1;
+        qir::Gate g = config.alphabet == InsertionAlphabet::Hadamard
+                          ? qir::make_h(w.qubit)
+                          : qir::make_x(w.qubit);
+        plan.gap_pairs.push_back({g, w.qubit, w.after_count});
+        plan.random.add(g);
+        --budget;
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace tetris::lock

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "qir/circuit.h"
+#include "qir/layers.h"
+
+namespace tetris::lock {
+
+/// Insertion alphabets. The paper uses X/CX for the arithmetic-style RevLib
+/// benchmarks and H for interference-style circuits (Grover etc.).
+enum class InsertionAlphabet { XOnly, CXOnly, Mixed, Hadamard };
+
+/// Configuration of Algorithm 1 (random gate insertion into empty positions).
+struct InsertionConfig {
+  /// Maximum size of the random circuit R. Each R gate also has its inverse
+  /// inserted, so total inserted gates <= 2 * max_random_gates. The paper
+  /// reports 1-4 inserted gates, i.e. this knob at 1..2.
+  int max_random_gates = 2;
+  /// Probability of proposing a CX instead of an X in the Mixed alphabet
+  /// (Algorithm 1 uses 0.5).
+  double cx_probability = 0.5;
+  InsertionAlphabet alphabet = InsertionAlphabet::Mixed;
+  /// Proposal attempts per R gate before giving up on growing R.
+  int attempts_per_gate = 16;
+  /// Force the first R gate to be an X (Mixed/XOnly alphabets only). A CX
+  /// whose controls sit on |0> wires is functionally invisible on the all-
+  /// zero input, so a CX-only R would mask nothing; guaranteeing one bit-flip
+  /// reproduces the paper's "more flips in the output" corruption levels.
+  bool ensure_x_gate = true;
+  /// Also use *interior* idle windows, not just the leading region: each
+  /// inserted gate is paired with its inverse inside one idle window of a
+  /// wire (an in-place identity), and the split boundary later separates the
+  /// two members. This is what makes Algorithm 1 applicable to
+  /// interference-style circuits (Grover etc.) whose wires are all busy from
+  /// layer 0. Gap pairs are single-qubit only, one wire each.
+  bool allow_gap_insertion = false;
+};
+
+/// One mid-circuit insertion pair: `gate` and its inverse placed adjacently
+/// after the `after_count`-th original gate on `qubit` (0 = before the first
+/// gate), inside an idle window of length >= 2 so depth is unchanged.
+struct GapPair {
+  qir::Gate gate;
+  int qubit = 0;
+  int after_count = 0;
+};
+
+/// The outcome of Algorithm 1 on a circuit C: the random circuit R and a
+/// placement of the sequence R^-1 . R into the *leading idle region* of C's
+/// ASAP schedule, guaranteed not to increase depth.
+struct InsertionPlan {
+  qir::Circuit random;           ///< R, in temporal order
+  /// The full inserted prefix, R^-1 followed by R (2*|R| gates).
+  std::vector<qir::Gate> prefix;
+  /// ASAP layer assigned to each prefix gate (within the leading region).
+  std::vector<int> prefix_layers;
+  /// Mid-circuit pairs (only when allow_gap_insertion is set).
+  std::vector<GapPair> gap_pairs;
+
+  /// Total gates this plan inserts (2 per R gate and 2 per gap pair).
+  int inserted_gates() const {
+    return static_cast<int>(prefix.size() + 2 * gap_pairs.size());
+  }
+};
+
+/// Runs Algorithm 1: proposes random X/CX (or H) gates and keeps those whose
+/// pair (gate + inverse) still fits the leading idle slots of `circuit`.
+///
+/// A prefix fits when ASAP-scheduling R^-1 . R from layer 0 places every gate
+/// strictly before the first original use of each of its qubits; this is the
+/// structural condition for (a) prepend-validity (no original gate precedes
+/// the inserted gates on any shared wire) and (b) zero depth overhead.
+InsertionPlan plan_insertion(const qir::Circuit& circuit,
+                             const InsertionConfig& config, Rng& rng);
+
+/// True if ASAP-scheduling `prefix` starting from empty frontiers places all
+/// gates before `first_use` of each touched qubit; fills `layers_out` when
+/// non-null. Exposed for tests.
+bool prefix_fits(const std::vector<qir::Gate>& prefix,
+                 const std::vector<int>& first_use,
+                 std::vector<int>* layers_out);
+
+}  // namespace tetris::lock

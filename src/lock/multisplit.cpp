@@ -1,0 +1,243 @@
+#include "lock/multisplit.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+#include "qir/dag.h"
+#include "qir/layers.h"
+
+namespace tetris::lock {
+
+namespace {
+
+/// Compresses the gates at `indices` of the obfuscated circuit into a Split.
+Split compress(const ObfuscatedCircuit& obf, std::vector<std::size_t> indices,
+               const std::string& name) {
+  std::set<int> used;
+  for (std::size_t i : indices) {
+    const auto& g = obf.circuit.gate(i);
+    used.insert(g.qubits.begin(), g.qubits.end());
+  }
+  Split split;
+  split.local_to_orig.assign(used.begin(), used.end());
+  std::vector<int> orig_to_local(
+      static_cast<std::size_t>(obf.circuit.num_qubits()), -1);
+  for (std::size_t l = 0; l < split.local_to_orig.size(); ++l) {
+    orig_to_local[static_cast<std::size_t>(split.local_to_orig[l])] =
+        static_cast<int>(l);
+  }
+  split.circuit = qir::Circuit(static_cast<int>(used.size()), name);
+  for (std::size_t i : indices) {
+    qir::Gate g = obf.circuit.gate(i);
+    for (int& q : g.qubits) q = orig_to_local[static_cast<std::size_t>(q)];
+    split.circuit.add(std::move(g));
+  }
+  split.gate_indices = std::move(indices);
+  return split;
+}
+
+}  // namespace
+
+MultiSplit multi_split(const ObfuscatedCircuit& obf, int k, Rng& rng,
+                       const SplitConfig& config) {
+  TETRIS_REQUIRE(k >= 2, "multi_split requires k >= 2");
+
+  InterlockSplitter splitter(config);
+  SplitPair pair = splitter.split(obf, rng);
+
+  MultiSplit out;
+  out.segments.push_back(pair.first);
+  if (k == 2) {
+    out.segments.push_back(pair.second);
+    validate_multi_split(obf, out);
+    return out;
+  }
+
+  // Cut the second split's gate sequence into k-1 contiguous chunks at
+  // random layer boundaries of the obfuscated schedule. A contiguous
+  // partition of a subsequence preserves per-wire order, so recombination
+  // stays exact.
+  qir::LayerSchedule sched(obf.circuit);
+  const auto& second = pair.second.gate_indices;
+  TETRIS_REQUIRE(static_cast<int>(second.size()) >= k - 1,
+                 "multi_split: second split too small for requested k");
+
+  // Candidate boundaries: positions in `second` where the layer increases.
+  std::vector<std::size_t> boundaries;
+  for (std::size_t pos = 1; pos < second.size(); ++pos) {
+    if (sched.layer_of(second[pos]) != sched.layer_of(second[pos - 1])) {
+      boundaries.push_back(pos);
+    }
+  }
+  TETRIS_REQUIRE(static_cast<int>(boundaries.size()) >= k - 2,
+                 "multi_split: not enough layer boundaries for requested k");
+
+  rng.shuffle(boundaries);
+  std::vector<std::size_t> cuts(boundaries.begin(),
+                                boundaries.begin() + (k - 2));
+  std::sort(cuts.begin(), cuts.end());
+  cuts.push_back(second.size());
+
+  std::size_t start = 0;
+  int seg_no = 2;
+  std::string base = obf.original.name();
+  for (std::size_t cut : cuts) {
+    std::vector<std::size_t> chunk(second.begin() + static_cast<long>(start),
+                                   second.begin() + static_cast<long>(cut));
+    out.segments.push_back(compress(
+        obf, std::move(chunk),
+        (base.empty() ? "split" : base + "_split") + std::to_string(seg_no)));
+    start = cut;
+    ++seg_no;
+  }
+  validate_multi_split(obf, out);
+  return out;
+}
+
+qir::Circuit multi_recombine_structural(const MultiSplit& split,
+                                        int num_qubits) {
+  qir::Circuit out(num_qubits, "multi_recombined");
+  for (const auto& seg : split.segments) {
+    out.append_mapped(seg.circuit, seg.local_to_orig);
+  }
+  return out;
+}
+
+void validate_multi_split(const ObfuscatedCircuit& obf,
+                          const MultiSplit& split) {
+  const std::size_t n_gates = obf.circuit.size();
+  if (split.segments.size() < 2) {
+    throw LockError("multi_split: fewer than two segments");
+  }
+
+  // Partition check.
+  std::vector<char> seen(n_gates, 0);
+  for (const auto& seg : split.segments) {
+    for (std::size_t i : seg.gate_indices) {
+      if (i >= n_gates || seen[i]) {
+        throw LockError("multi_split: segments do not partition the gates");
+      }
+      seen[i] = 1;
+    }
+  }
+  for (char s : seen) {
+    if (!s) throw LockError("multi_split: gate missing from all segments");
+  }
+
+  // Every prefix union must be downward closed, so the concatenation
+  // preserves per-wire order at every boundary.
+  qir::CircuitDag dag(obf.circuit);
+  std::vector<char> prefix(n_gates, 0);
+  for (std::size_t s = 0; s + 1 < split.segments.size(); ++s) {
+    for (std::size_t i : split.segments[s].gate_indices) prefix[i] = 1;
+    if (s == 0) {
+      // Segment 1 must satisfy the full interlock invariants; reuse the
+      // 2-way validator with the remainder as a virtual second split.
+      SplitPair pair;
+      pair.first = split.segments[0];
+      std::vector<std::size_t> rest;
+      for (std::size_t j = 1; j < split.segments.size(); ++j) {
+        rest.insert(rest.end(), split.segments[j].gate_indices.begin(),
+                    split.segments[j].gate_indices.end());
+      }
+      std::sort(rest.begin(), rest.end());
+      // The validator only inspects the two index sets.
+      pair.second.gate_indices = std::move(rest);
+      InterlockSplitter::validate(obf, pair);
+      continue;
+    }
+    if (!dag.is_order_ideal(prefix)) {
+      throw LockError("multi_split: prefix union " + std::to_string(s + 1) +
+                      " is not an order ideal");
+    }
+  }
+}
+
+RecombinedCircuit multi_deobfuscate(const MultiSplit& split,
+                                    int num_original_qubits,
+                                    const compiler::CompileOptions& options) {
+  const compiler::Target& target = options.target;
+  const int np = target.num_qubits();
+
+  RecombinedCircuit out;
+  out.circuit = qir::Circuit(np, "multi_recombined_compiled");
+
+  // Position of each original qubit on the device, -1 = not yet placed.
+  std::vector<int> orig_pos(static_cast<std::size_t>(num_original_qubits), -1);
+  std::vector<char> wire_taken(static_cast<std::size_t>(np), 0);
+
+  bool first_stage = true;
+  for (const auto& seg : split.segments) {
+    compiler::CompileOptions stage_options = options;
+    if (first_stage) {
+      stage_options.initial_layout.reset();
+    } else {
+      std::vector<int> pinned(seg.local_to_orig.size(), -1);
+      for (std::size_t l = 0; l < seg.local_to_orig.size(); ++l) {
+        int o = seg.local_to_orig[l];
+        if (orig_pos[static_cast<std::size_t>(o)] >= 0) {
+          pinned[l] = orig_pos[static_cast<std::size_t>(o)];
+        }
+      }
+      int cursor = 0;
+      for (auto& p : pinned) {
+        if (p >= 0) continue;
+        while (cursor < np && wire_taken[static_cast<std::size_t>(cursor)]) {
+          ++cursor;
+        }
+        TETRIS_REQUIRE(cursor < np, "multi_deobfuscate: device too small");
+        p = cursor;
+        wire_taken[static_cast<std::size_t>(cursor)] = 1;
+      }
+      stage_options.initial_layout = pinned;
+    }
+
+    compiler::Compiler stage_compiler(stage_options);
+    auto result = stage_compiler.compile(seg.circuit);
+    out.circuit.append(result.circuit);
+
+    // Track movement: first the routing permutation moves every previously
+    // placed wire, then this stage's own qubits land on final_layout.
+    for (auto& pos : orig_pos) {
+      if (pos >= 0) {
+        pos = result.wire_permutation[static_cast<std::size_t>(pos)];
+      }
+    }
+    for (std::size_t l = 0; l < seg.local_to_orig.size(); ++l) {
+      int o = seg.local_to_orig[l];
+      orig_pos[static_cast<std::size_t>(o)] = result.final_layout[l];
+    }
+    for (int o = 0; o < num_original_qubits; ++o) {
+      if (orig_pos[static_cast<std::size_t>(o)] >= 0) {
+        wire_taken[static_cast<std::size_t>(orig_pos[static_cast<std::size_t>(o)])] = 1;
+      }
+    }
+    // Recompute taken wires from scratch (permutation may have freed some).
+    std::fill(wire_taken.begin(), wire_taken.end(), 0);
+    for (int o = 0; o < num_original_qubits; ++o) {
+      int pos = orig_pos[static_cast<std::size_t>(o)];
+      if (pos >= 0) wire_taken[static_cast<std::size_t>(pos)] = 1;
+    }
+    if (first_stage) {
+      out.first = CompiledSplit{std::move(result), seg.local_to_orig};
+      first_stage = false;
+    } else {
+      out.second = CompiledSplit{std::move(result), seg.local_to_orig};
+    }
+  }
+
+  // Park untouched qubits on spare wires for measurement bookkeeping.
+  out.orig_to_phys = std::move(orig_pos);
+  int spare = 0;
+  for (auto& p : out.orig_to_phys) {
+    if (p >= 0) continue;
+    while (spare < np && wire_taken[static_cast<std::size_t>(spare)]) ++spare;
+    TETRIS_REQUIRE(spare < np, "multi_deobfuscate: no spare wire left");
+    p = spare;
+    wire_taken[static_cast<std::size_t>(spare)] = 1;
+  }
+  return out;
+}
+
+}  // namespace tetris::lock

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "compiler/compiler.h"
+#include "lock/deobfuscate.h"
+#include "lock/splitter.h"
+
+namespace tetris::lock {
+
+/// K-way split compilation — the paper's "two *or more* sub-circuits"
+/// generalisation (Sec. I). Segment 1 is the interlocked first split
+/// (R^-1 | Cl); the remaining k-1 segments are jagged layer chunks of the
+/// second split's sequence, each compressed to its own qubit support so
+/// segment widths vary. Each segment goes to a different untrusted compiler;
+/// with k compilers, any colluding subset still misses at least one segment.
+struct MultiSplit {
+  std::vector<Split> segments;  ///< in temporal order
+};
+
+/// Splits into exactly `k >= 2` segments. k == 2 degenerates to
+/// InterlockSplitter::split. Throws InvalidArgument when the circuit has too
+/// few layers to cut k-1 times.
+MultiSplit multi_split(const ObfuscatedCircuit& obf, int k, Rng& rng,
+                       const SplitConfig& config = {});
+
+/// Expands all segments to the full register and concatenates; functionally
+/// the original circuit (validated in tests against the dense unitary).
+qir::Circuit multi_recombine_structural(const MultiSplit& split,
+                                        int num_qubits);
+
+/// Validates: segments partition the gates, each consecutive prefix union is
+/// an order ideal, and the 2-way invariants hold for segment 1. Throws
+/// LockError on violation.
+void validate_multi_split(const ObfuscatedCircuit& obf,
+                          const MultiSplit& split);
+
+/// Staged split compilation: compiles segment 1 freely, then pins each later
+/// segment's initial layout to wherever the previous stage left its qubits
+/// (fresh qubits go to still-|0> wires). Returns the concatenated
+/// hardware-ready circuit plus the measurement map, exactly like
+/// Deobfuscator::run does for two segments.
+RecombinedCircuit multi_deobfuscate(const MultiSplit& split,
+                                    int num_original_qubits,
+                                    const compiler::CompileOptions& options);
+
+}  // namespace tetris::lock

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "lock/insertion.h"
+#include "qir/circuit.h"
+
+namespace tetris::lock {
+
+/// Provenance of each gate in an obfuscated circuit.
+enum class GateOrigin {
+  RandomInverse,  ///< member of the R^-1 block
+  Random,         ///< member of the R block
+  Original,       ///< gate of the designer's circuit C
+};
+
+/// The obfuscated circuit R^-1 . R . C together with the designer-side
+/// metadata (which gate came from where, and R itself). The compilers never
+/// see this struct — they receive split circuits only.
+struct ObfuscatedCircuit {
+  qir::Circuit circuit;            ///< full R^-1 R C; depth == C's depth
+  qir::Circuit original;           ///< C
+  qir::Circuit random;             ///< R in temporal order
+  std::vector<GateOrigin> origin;  ///< per gate of `circuit`
+  /// True when mid-circuit gap pairs were used (allow_gap_insertion). The
+  /// first member of each pair is tagged RandomInverse, the second Random,
+  /// so the splitter separates them; unlike the leading prefix, the
+  /// interlocked original gates then *may* share wires with R (correctness
+  /// rests on the order-ideal invariant alone).
+  bool has_gap_pairs = false;
+
+  /// Number of gates inserted on top of C (= 2 * |R|).
+  int inserted_gates() const { return 2 * static_cast<int>(random.size()); }
+
+  /// The functionally-corrupted circuit R . C — what an adversary that
+  /// isolates the second split's content effectively holds, and what the
+  /// paper's "obfuscated" TVD rows measure.
+  qir::Circuit masked() const;
+
+  /// Gate indices (into `circuit`) for each origin class.
+  std::vector<std::size_t> indices_of(GateOrigin o) const;
+};
+
+/// TetrisLock step 1: random-circuit masking with zero depth overhead.
+class Obfuscator {
+ public:
+  explicit Obfuscator(InsertionConfig config = {});
+
+  /// Produces R^-1 R C with the prefix placed in leading idle slots.
+  /// Structural postconditions (enforced, and property-tested):
+  ///  - circuit.depth() == original.depth() (for non-empty C),
+  ///  - circuit is functionally equivalent to C,
+  ///  - every inserted gate precedes every original gate on shared wires.
+  ObfuscatedCircuit obfuscate(const qir::Circuit& circuit, Rng& rng) const;
+
+  const InsertionConfig& config() const { return config_; }
+
+ private:
+  InsertionConfig config_;
+};
+
+}  // namespace tetris::lock

@@ -1,0 +1,106 @@
+#include "lock/pipeline.h"
+
+#include "common/error.h"
+#include "metrics/metrics.h"
+#include "sim/sampler.h"
+
+namespace tetris::lock {
+
+namespace {
+
+/// Maps the measured original qubits through a logical->physical layout.
+std::vector<int> map_measured(const std::vector<int>& measured,
+                              const std::vector<int>& orig_to_phys) {
+  std::vector<int> out;
+  out.reserve(measured.size());
+  for (int o : measured) {
+    TETRIS_REQUIRE(o >= 0 && o < static_cast<int>(orig_to_phys.size()),
+                   "map_measured: qubit out of range");
+    out.push_back(orig_to_phys[static_cast<std::size_t>(o)]);
+  }
+  return out;
+}
+
+}  // namespace
+
+FlowResult run_flow(const qir::Circuit& circuit,
+                    const std::vector<int>& measured,
+                    const compiler::Target& target, const FlowConfig& config,
+                    Rng& rng) {
+  FlowResult result;
+
+  // --- Designer side: obfuscate and split. ---
+  Obfuscator obfuscator(config.insertion);
+  result.obf = obfuscator.obfuscate(circuit, rng);
+
+  InterlockSplitter splitter(config.split);
+  result.splits = splitter.split(result.obf, rng);
+
+  // --- Untrusted compilers. Two independent instances; the second one's
+  //     initial layout is pinned by the designer during de-obfuscation. ---
+  compiler::CompileOptions first_options{target,
+                                         compiler::LayoutStrategy::GreedyDegree,
+                                         /*run_optimizer=*/true,
+                                         std::nullopt};
+  compiler::CompileOptions second_options{target,
+                                          compiler::LayoutStrategy::Trivial,
+                                          /*run_optimizer=*/true,
+                                          std::nullopt};
+  Deobfuscator deob;
+  result.recombined =
+      deob.run(result.splits, circuit.num_qubits(), first_options,
+               second_options);
+
+  // --- Reference compilation of the unprotected circuit. ---
+  compiler::Compiler baseline_compiler(first_options);
+  result.baseline = baseline_compiler.compile(circuit);
+
+  // --- Size metrics. ---
+  result.depth_original = circuit.depth();
+  result.depth_obfuscated = result.obf.circuit.depth();
+  result.gates_original = circuit.gate_count();
+  result.gates_obfuscated = result.obf.circuit.gate_count();
+
+  // --- Simulation metrics. ---
+  const auto reference = sim::ideal_distribution(circuit, measured);
+  const std::string correct = circuit.is_classical()
+                                  ? sim::classical_outcome(circuit, measured)
+                                  : std::string();
+
+  sim::SampleOptions opts;
+  opts.shots = config.shots;
+
+  // Obfuscated view: the masked circuit R.C an adversary would run, compiled
+  // on the same backend (paper Sec. V-C).
+  {
+    compiler::Compiler masked_compiler(first_options);
+    auto compiled_masked = masked_compiler.compile(result.obf.masked());
+    opts.measured = map_measured(measured, compiled_masked.final_layout);
+    auto counts = sim::sample(compiled_masked.circuit, target.noise, rng, opts);
+    result.tvd_obfuscated = metrics::tvd(counts, reference);
+  }
+
+  // Restored view: the recombined split-compiled circuit.
+  {
+    opts.measured = map_measured(measured, result.recombined.orig_to_phys);
+    auto counts =
+        sim::sample(result.recombined.circuit, target.noise, rng, opts);
+    result.tvd_restored = metrics::tvd(counts, reference);
+    if (!correct.empty()) {
+      result.accuracy_restored = metrics::accuracy(counts, correct);
+    }
+  }
+
+  // Baseline accuracy of the unprotected compiled circuit.
+  {
+    opts.measured = map_measured(measured, result.baseline.final_layout);
+    auto counts = sim::sample(result.baseline.circuit, target.noise, rng, opts);
+    if (!correct.empty()) {
+      result.accuracy_original = metrics::accuracy(counts, correct);
+    }
+  }
+
+  return result;
+}
+
+}  // namespace tetris::lock

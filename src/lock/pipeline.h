@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "compiler/compiler.h"
+#include "lock/deobfuscate.h"
+#include "lock/obfuscator.h"
+#include "lock/splitter.h"
+#include "qir/circuit.h"
+
+namespace tetris::lock {
+
+/// Knobs of one end-to-end TetrisLock run.
+struct FlowConfig {
+  InsertionConfig insertion;
+  SplitConfig split;
+  std::size_t shots = 1000;  ///< paper: 1000 shots per simulation
+};
+
+/// Everything one TetrisLock iteration produces: artifacts and the metrics
+/// Table I / Figure 4 report.
+struct FlowResult {
+  ObfuscatedCircuit obf;
+  SplitPair splits;
+  RecombinedCircuit recombined;
+  compiler::CompileResult baseline;  ///< C compiled directly (no locking)
+
+  // Size metrics (Table I columns).
+  int depth_original = 0;
+  int depth_obfuscated = 0;
+  std::size_t gates_original = 0;
+  std::size_t gates_obfuscated = 0;
+
+  // Fidelity metrics.
+  double tvd_obfuscated = 0.0;  ///< masked R.C vs ideal output (Fig. 4 left)
+  double tvd_restored = 0.0;    ///< recombined vs ideal output (Fig. 4 right)
+  double accuracy_original = 0.0;  ///< compiled C, noisy backend
+  double accuracy_restored = 0.0;  ///< recombined splits, noisy backend
+};
+
+/// Runs the full flow on one circuit:
+///   obfuscate -> interlock-split -> split-compile (2 untrusted compilers)
+///   -> recombine -> simulate with the target's noise model.
+/// `measured` lists the circuit's output qubits (register order).
+FlowResult run_flow(const qir::Circuit& circuit,
+                    const std::vector<int>& measured,
+                    const compiler::Target& target, const FlowConfig& config,
+                    Rng& rng);
+
+}  // namespace tetris::lock

@@ -1,0 +1,220 @@
+#include "lock/splitter.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+#include "qir/dag.h"
+#include "qir/layers.h"
+
+namespace tetris::lock {
+
+int Split::orig_to_local(int orig_qubit) const {
+  for (std::size_t l = 0; l < local_to_orig.size(); ++l) {
+    if (local_to_orig[l] == orig_qubit) return static_cast<int>(l);
+  }
+  return -1;
+}
+
+InterlockSplitter::InterlockSplitter(SplitConfig config) : config_(config) {}
+
+namespace {
+
+/// Compresses the subcircuit formed by `indices` to its used qubits.
+Split make_split(const ObfuscatedCircuit& obf,
+                 std::vector<std::size_t> indices, const std::string& name) {
+  std::set<int> used;
+  for (std::size_t i : indices) {
+    const auto& g = obf.circuit.gate(i);
+    used.insert(g.qubits.begin(), g.qubits.end());
+  }
+  Split split;
+  split.local_to_orig.assign(used.begin(), used.end());
+  std::vector<int> orig_to_local(static_cast<std::size_t>(obf.circuit.num_qubits()), -1);
+  for (std::size_t l = 0; l < split.local_to_orig.size(); ++l) {
+    orig_to_local[static_cast<std::size_t>(split.local_to_orig[l])] = static_cast<int>(l);
+  }
+  split.circuit = qir::Circuit(static_cast<int>(used.size()), name);
+  for (std::size_t i : indices) {
+    qir::Gate g = obf.circuit.gate(i);
+    for (int& q : g.qubits) q = orig_to_local[static_cast<std::size_t>(q)];
+    split.circuit.add(std::move(g));
+  }
+  split.gate_indices = std::move(indices);
+  return split;
+}
+
+}  // namespace
+
+SplitPair InterlockSplitter::split(const ObfuscatedCircuit& obf,
+                                   Rng& rng) const {
+  const qir::Circuit& circuit = obf.circuit;
+  const std::size_t n_gates = circuit.size();
+  TETRIS_REQUIRE(obf.origin.size() == n_gates,
+                 "split: origin metadata size mismatch");
+
+  qir::CircuitDag dag(circuit);
+  qir::LayerSchedule sched(circuit);
+
+  // R's qubit support: Cl must stay clear of these wires (invariant I4).
+  std::set<int> r_support;
+  for (const auto& g : obf.random.gates()) {
+    r_support.insert(g.qubits.begin(), g.qubits.end());
+  }
+
+  // Per-qubit jagged cut layer for non-R qubits.
+  const int depth = sched.num_layers();
+  std::vector<int> cut_layer(static_cast<std::size_t>(circuit.num_qubits()), 0);
+  int max_cut = std::max(
+      1, static_cast<int>(config_.max_cut_depth_fraction * depth));
+  for (int q = 0; q < circuit.num_qubits(); ++q) {
+    if (r_support.count(q)) continue;  // boundary sits before layer 0 here
+    if (rng.bernoulli(config_.interlock_fraction)) {
+      cut_layer[static_cast<std::size_t>(q)] = 1 + rng.uniform_int(0, max_cut - 1);
+    }
+  }
+
+  // Seed construction.
+  //  1. Every R^-1 gate plus its predecessor closure (mid-circuit gap pairs
+  //     have original gates before them on their wire; those must come along
+  //     or the ideal sweep would expel the forced gate).
+  //  2. Original gates wholly below the per-qubit cut. Originals sitting
+  //     after an R gate on some wire are seeded too but fall out in step 4,
+  //     which is also what keeps Cl clear of R's wires in leading mode.
+  //  3. No R gate may ride in via the closure: clear them.
+  //  4. Shrink to the largest order ideal inside the seed (invariant I2).
+  std::vector<char> seed(n_gates, 0);
+  for (std::size_t i = 0; i < n_gates; ++i) {
+    if (obf.origin[i] == GateOrigin::RandomInverse) seed[i] = 1;
+  }
+  if (obf.has_gap_pairs) {
+    // A gap pair's first member may transitively depend (through multi-qubit
+    // original gates) on another pair's *second* member; such a pair cannot
+    // be separated by any order ideal. Demote it: keep it out of the forced
+    // set so the whole pair stays intact in the second split (functionally
+    // sound — the members cancel there — just no masking credit for it).
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = 0; i < n_gates; ++i) {
+        if (!seed[i] || obf.origin[i] != GateOrigin::RandomInverse) continue;
+        std::vector<char> own(n_gates, 0);
+        own[i] = 1;
+        own = dag.downward_closure(own);
+        for (std::size_t j = 0; j < n_gates; ++j) {
+          bool blocked = own[j] && ((obf.origin[j] == GateOrigin::Random) ||
+                                    (obf.origin[j] == GateOrigin::RandomInverse &&
+                                     !seed[j] && j != i));
+          if (blocked) {
+            seed[i] = 0;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  seed = dag.downward_closure(seed);
+  for (std::size_t i = 0; i < n_gates; ++i) {
+    if (obf.origin[i] != GateOrigin::Original) continue;
+    const auto& g = circuit.gate(i);
+    bool below = true;
+    for (int q : g.qubits) {
+      if ((!obf.has_gap_pairs && r_support.count(q)) ||
+          sched.layer_of(i) >= cut_layer[static_cast<std::size_t>(q)]) {
+        below = false;
+        break;
+      }
+    }
+    if (below) seed[i] = 1;
+  }
+  for (std::size_t i = 0; i < n_gates; ++i) {
+    if (obf.origin[i] == GateOrigin::Random) seed[i] = 0;
+  }
+  std::vector<char> first_mask = dag.largest_ideal_within(seed);
+
+  std::vector<std::size_t> first_idx, second_idx;
+  for (std::size_t i = 0; i < n_gates; ++i) {
+    (first_mask[i] ? first_idx : second_idx).push_back(i);
+  }
+
+  SplitPair pair;
+  std::string base = obf.original.name();
+  pair.first = make_split(obf, std::move(first_idx),
+                          base.empty() ? "split1" : base + "_split1");
+  pair.second = make_split(obf, std::move(second_idx),
+                           base.empty() ? "split2" : base + "_split2");
+  validate(obf, pair);
+  return pair;
+}
+
+qir::Circuit InterlockSplitter::recombine_structural(const SplitPair& pair,
+                                                     int num_qubits) {
+  qir::Circuit out(num_qubits, "recombined");
+  out.append_mapped(pair.first.circuit, pair.first.local_to_orig);
+  out.append_mapped(pair.second.circuit, pair.second.local_to_orig);
+  return out;
+}
+
+void InterlockSplitter::validate(const ObfuscatedCircuit& obf,
+                                 const SplitPair& pair) {
+  const std::size_t n_gates = obf.circuit.size();
+
+  // I1: partition.
+  std::vector<char> where(n_gates, 0);
+  for (std::size_t i : pair.first.gate_indices) {
+    if (i >= n_gates || where[i]) throw LockError("split: bad partition (first)");
+    where[i] = 1;
+  }
+  for (std::size_t i : pair.second.gate_indices) {
+    if (i >= n_gates || where[i]) throw LockError("split: bad partition (second)");
+    where[i] = 2;
+  }
+  for (char w : where) {
+    if (w == 0) throw LockError("split: gate missing from both splits");
+  }
+
+  // I2: first split is an order ideal.
+  qir::CircuitDag dag(obf.circuit);
+  std::vector<char> first_mask(n_gates, 0);
+  for (std::size_t i : pair.first.gate_indices) first_mask[i] = 1;
+  if (!dag.is_order_ideal(first_mask)) {
+    throw LockError("split: first split is not an order ideal");
+  }
+
+  // I3: no R gate in the first split; every R^-1 gate in the first split,
+  // except that a demoted gap pair may sit intact (both members) in the
+  // second split.
+  for (std::size_t i = 0; i < n_gates; ++i) {
+    if (obf.origin[i] == GateOrigin::Random && first_mask[i]) {
+      throw LockError("split: an R gate leaked into the first split");
+    }
+    if (obf.origin[i] == GateOrigin::RandomInverse && !first_mask[i]) {
+      bool demoted_pair_ok =
+          obf.has_gap_pairs && i + 1 < n_gates &&
+          obf.origin[i + 1] == GateOrigin::Random && !first_mask[i + 1];
+      if (!demoted_pair_ok) {
+        throw LockError("split: an R^-1 gate escaped the first split");
+      }
+    }
+  }
+
+  // I4: Cl support disjoint from R support (leading mode only — gap pairs
+  // intentionally interlock originals on R wires; correctness there rests on
+  // I2 alone).
+  if (obf.has_gap_pairs) return;
+  std::set<int> r_support;
+  for (const auto& g : obf.random.gates()) {
+    r_support.insert(g.qubits.begin(), g.qubits.end());
+  }
+  for (std::size_t i : pair.first.gate_indices) {
+    if (obf.origin[i] != GateOrigin::Original) continue;
+    for (int q : obf.circuit.gate(i).qubits) {
+      if (r_support.count(q)) {
+        throw LockError("split: Cl touches an R wire (breaks commutation)");
+      }
+    }
+  }
+}
+
+}  // namespace tetris::lock

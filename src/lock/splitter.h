@@ -1,0 +1,68 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "lock/obfuscator.h"
+#include "qir/circuit.h"
+
+namespace tetris::lock {
+
+/// One split: a compressed circuit (only the qubits it actually touches) and
+/// the designer-private map back to the obfuscated register.
+struct Split {
+  qir::Circuit circuit;             ///< register width = #used qubits
+  std::vector<int> local_to_orig;   ///< local qubit -> obfuscated-circuit qubit
+  std::vector<std::size_t> gate_indices;  ///< into ObfuscatedCircuit::circuit
+
+  int orig_to_local(int orig_qubit) const;  ///< -1 when not present
+};
+
+/// The interlocking split pair: first = R^-1 | Cl, second = R | Cr.
+struct SplitPair {
+  Split first;
+  Split second;
+};
+
+/// Configuration of the jagged (Tetris) boundary.
+struct SplitConfig {
+  /// Probability that a non-R qubit receives a nonzero cut depth (i.e. that
+  /// some of its original gates interlock into the first split).
+  double interlock_fraction = 0.75;
+  /// Upper bound on the per-qubit cut layer as a fraction of circuit depth.
+  double max_cut_depth_fraction = 0.6;
+};
+
+/// TetrisLock step 2: cuts the obfuscated circuit along a per-qubit jagged
+/// boundary into two interdependent splits.
+///
+/// Correctness is structural (validated on every call, throws LockError):
+///  I1. the two splits partition the gates;
+///  I2. the first split's gate set is an order ideal of the circuit DAG
+///      (so concatenating first . second preserves per-wire gate order);
+///  I3. every R^-1 gate is in the first split, every R gate in the second;
+///  I4. the first split's *original* gates (Cl) act only on qubits disjoint
+///      from R's support, which makes Cl commute with R^-1 and R, so
+///      first . second = R^-1 Cl R Cr  ~  Cl Cr = C.
+/// Under I1-I4 the recombined pair is functionally the original circuit.
+class InterlockSplitter {
+ public:
+  explicit InterlockSplitter(SplitConfig config = {});
+
+  SplitPair split(const ObfuscatedCircuit& obf, Rng& rng) const;
+
+  /// Re-expands both splits to the full register and concatenates them —
+  /// the structural recombination used before compilation-aware recombining.
+  static qir::Circuit recombine_structural(const SplitPair& pair,
+                                           int num_qubits);
+
+  /// Checks invariants I1-I4 (also run internally by split()).
+  static void validate(const ObfuscatedCircuit& obf, const SplitPair& pair);
+
+  const SplitConfig& config() const { return config_; }
+
+ private:
+  SplitConfig config_;
+};
+
+}  // namespace tetris::lock

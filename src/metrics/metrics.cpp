@@ -1,0 +1,67 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+
+namespace tetris::metrics {
+
+double tvd(const std::map<std::string, double>& a,
+           const std::map<std::string, double>& b) {
+  std::set<std::string> keys;
+  for (const auto& [k, v] : a) keys.insert(k);
+  for (const auto& [k, v] : b) keys.insert(k);
+  double total = 0.0;
+  for (const auto& k : keys) {
+    auto ia = a.find(k);
+    auto ib = b.find(k);
+    double pa = ia == a.end() ? 0.0 : ia->second;
+    double pb = ib == b.end() ? 0.0 : ib->second;
+    total += std::abs(pa - pb);
+  }
+  return total / 2.0;
+}
+
+double tvd(const sim::Counts& observed,
+           const std::map<std::string, double>& reference) {
+  TETRIS_REQUIRE(observed.shots > 0, "tvd: empty counts");
+  return tvd(observed.distribution(), reference);
+}
+
+double tvd(const sim::Counts& a, const sim::Counts& b) {
+  TETRIS_REQUIRE(a.shots > 0 && b.shots > 0, "tvd: empty counts");
+  return tvd(a.distribution(), b.distribution());
+}
+
+double accuracy(const sim::Counts& observed, const std::string& correct) {
+  TETRIS_REQUIRE(observed.shots > 0, "accuracy: empty counts");
+  return static_cast<double>(observed.count(correct)) /
+         static_cast<double>(observed.shots);
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::stddev() const {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
+
+double RunningStats::min() const { return min_; }
+double RunningStats::max() const { return max_; }
+
+}  // namespace tetris::metrics

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/sampler.h"
+
+namespace tetris::metrics {
+
+/// Total Variation Distance between a shot histogram and a reference
+/// distribution — Eq. 2 of the paper:
+///   TVD = sum_i |y_i,orig - y_i,alter| / (2 N).
+/// Both inputs are defined over bitstrings; missing keys count as zero.
+double tvd(const sim::Counts& observed,
+           const std::map<std::string, double>& reference);
+
+/// TVD between two shot histograms (each normalized by its own shots).
+double tvd(const sim::Counts& a, const sim::Counts& b);
+
+/// TVD between two normalized distributions.
+double tvd(const std::map<std::string, double>& a,
+           const std::map<std::string, double>& b);
+
+/// Accuracy: fraction of shots that produced `correct` — the paper's
+/// "ratio of correct outcomes to the total number of shots".
+double accuracy(const sim::Counts& observed, const std::string& correct);
+
+/// Streaming mean / stddev / min / max over iteration results.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const;
+  double stddev() const;  ///< sample stddev (n-1); 0 for n < 2
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace tetris::metrics

@@ -1,0 +1,94 @@
+#include "qir/dag.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace tetris::qir {
+
+CircuitDag::CircuitDag(const Circuit& circuit) {
+  const auto& gates = circuit.gates();
+  preds_.assign(gates.size(), {});
+  succs_.assign(gates.size(), {});
+
+  // last_on_wire[q] = index of the most recent gate touching qubit q.
+  std::vector<long> last_on_wire(static_cast<std::size_t>(circuit.num_qubits()), -1);
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const Gate& g = gates[i];
+    for (int q : g.qubits) {
+      long prev = last_on_wire[static_cast<std::size_t>(q)];
+      if (prev >= 0) {
+        preds_[i].push_back(static_cast<std::size_t>(prev));
+        succs_[static_cast<std::size_t>(prev)].push_back(i);
+      }
+      last_on_wire[static_cast<std::size_t>(q)] = static_cast<long>(i);
+    }
+  }
+  for (auto& v : preds_) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+  for (auto& v : succs_) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+}
+
+const std::vector<std::size_t>& CircuitDag::predecessors(std::size_t i) const {
+  TETRIS_REQUIRE(i < preds_.size(), "predecessors: index out of range");
+  return preds_[i];
+}
+
+const std::vector<std::size_t>& CircuitDag::successors(std::size_t i) const {
+  TETRIS_REQUIRE(i < succs_.size(), "successors: index out of range");
+  return succs_[i];
+}
+
+bool CircuitDag::is_order_ideal(const std::vector<char>& members) const {
+  TETRIS_REQUIRE(members.size() == preds_.size(),
+                 "is_order_ideal: wrong vector size");
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (!members[i]) continue;
+    for (std::size_t p : preds_[i]) {
+      if (!members[p]) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<char> CircuitDag::downward_closure(const std::vector<char>& seed) const {
+  TETRIS_REQUIRE(seed.size() == preds_.size(), "downward_closure: wrong size");
+  std::vector<char> out = seed;
+  // Gates are stored in topological order, so one reverse sweep suffices.
+  for (std::size_t i = out.size(); i-- > 0;) {
+    if (!out[i]) continue;
+    for (std::size_t p : preds_[i]) out[p] = 1;
+  }
+  return out;
+}
+
+std::vector<char> CircuitDag::largest_ideal_within(const std::vector<char>& seed) const {
+  TETRIS_REQUIRE(seed.size() == preds_.size(), "largest_ideal_within: wrong size");
+  std::vector<char> out = seed;
+  // One forward sweep suffices: predecessors have smaller indices, so by the
+  // time we visit gate i, all its predecessors already have final values.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (!out[i]) continue;
+    for (std::size_t p : preds_[i]) {
+      if (!out[p]) {
+        out[i] = 0;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> CircuitDag::topological_order() const {
+  std::vector<std::size_t> order(preds_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  return order;
+}
+
+}  // namespace tetris::qir

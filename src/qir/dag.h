@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "qir/circuit.h"
+
+namespace tetris::qir {
+
+/// Dependency DAG of a circuit.
+///
+/// Gate j is a direct successor of gate i when they share a qubit and no gate
+/// between them touches that qubit — the usual "qubit wire" dependency used
+/// by transpilers. The splitter uses this to verify/construct *order ideals*
+/// (downward-closed gate sets), which is the structural condition that makes
+/// an interlocking split recombine to the original function.
+class CircuitDag {
+ public:
+  explicit CircuitDag(const Circuit& circuit);
+
+  std::size_t num_gates() const { return preds_.size(); }
+
+  /// Direct predecessors of gate i (sorted ascending).
+  const std::vector<std::size_t>& predecessors(std::size_t i) const;
+
+  /// Direct successors of gate i (sorted ascending).
+  const std::vector<std::size_t>& successors(std::size_t i) const;
+
+  /// True if `members` (as a characteristic vector over gate indices) is
+  /// downward closed: every predecessor of a member is a member.
+  bool is_order_ideal(const std::vector<char>& members) const;
+
+  /// Smallest order ideal containing `seed` (transitive predecessor closure).
+  std::vector<char> downward_closure(const std::vector<char>& seed) const;
+
+  /// Largest order ideal contained in `seed`: repeatedly drops members that
+  /// have a non-member predecessor. Always terminates; may return all-false.
+  std::vector<char> largest_ideal_within(const std::vector<char>& seed) const;
+
+  /// Gate indices in topological order (original order is already one).
+  std::vector<std::size_t> topological_order() const;
+
+ private:
+  std::vector<std::vector<std::size_t>> preds_;
+  std::vector<std::vector<std::size_t>> succs_;
+};
+
+}  // namespace tetris::qir

@@ -1,0 +1,105 @@
+#include "qir/layers.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace tetris::qir {
+
+LayerSchedule::LayerSchedule(const Circuit& circuit)
+    : num_qubits_(circuit.num_qubits()) {
+  const auto& gates = circuit.gates();
+  gate_layer_.assign(gates.size(), 0);
+
+  std::vector<int> frontier(static_cast<std::size_t>(num_qubits_), 0);
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const Gate& g = gates[i];
+    if (g.kind == GateKind::Barrier) {
+      int mx = 0;
+      for (int q : g.qubits) mx = std::max(mx, frontier[static_cast<std::size_t>(q)]);
+      for (int q : g.qubits) frontier[static_cast<std::size_t>(q)] = mx;
+      gate_layer_[i] = mx;  // informational only
+      continue;
+    }
+    int layer = 0;
+    for (int q : g.qubits) layer = std::max(layer, frontier[static_cast<std::size_t>(q)]);
+    gate_layer_[i] = layer;
+    for (int q : g.qubits) frontier[static_cast<std::size_t>(q)] = layer + 1;
+    num_layers_ = std::max(num_layers_, layer + 1);
+  }
+
+  by_layer_.assign(static_cast<std::size_t>(num_layers_), {});
+  busy_.assign(static_cast<std::size_t>(num_layers_),
+               std::vector<char>(static_cast<std::size_t>(num_qubits_), 0));
+  first_use_.assign(static_cast<std::size_t>(num_qubits_), num_layers_);
+  last_use_.assign(static_cast<std::size_t>(num_qubits_), -1);
+
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const Gate& g = gates[i];
+    if (g.kind == GateKind::Barrier) continue;
+    int layer = gate_layer_[i];
+    by_layer_[static_cast<std::size_t>(layer)].push_back(i);
+    for (int q : g.qubits) {
+      busy_[static_cast<std::size_t>(layer)][static_cast<std::size_t>(q)] = 1;
+      auto uq = static_cast<std::size_t>(q);
+      first_use_[uq] = std::min(first_use_[uq], layer);
+      last_use_[uq] = std::max(last_use_[uq], layer);
+    }
+  }
+}
+
+int LayerSchedule::layer_of(std::size_t gate_index) const {
+  TETRIS_REQUIRE(gate_index < gate_layer_.size(), "layer_of: index out of range");
+  return gate_layer_[gate_index];
+}
+
+const std::vector<std::size_t>& LayerSchedule::gates_in_layer(int layer) const {
+  TETRIS_REQUIRE(layer >= 0 && layer < num_layers_, "gates_in_layer: bad layer");
+  return by_layer_[static_cast<std::size_t>(layer)];
+}
+
+bool LayerSchedule::busy(int layer, int q) const {
+  TETRIS_REQUIRE(layer >= 0 && layer < num_layers_, "busy: bad layer");
+  TETRIS_REQUIRE(q >= 0 && q < num_qubits_, "busy: bad qubit");
+  return busy_[static_cast<std::size_t>(layer)][static_cast<std::size_t>(q)] != 0;
+}
+
+std::vector<Slot> LayerSchedule::empty_slots() const {
+  std::vector<Slot> out;
+  for (int l = 0; l < num_layers_; ++l) {
+    for (int q = 0; q < num_qubits_; ++q) {
+      if (!busy(l, q)) out.push_back({l, q});
+    }
+  }
+  return out;
+}
+
+std::vector<int> LayerSchedule::empty_qubits_in_layer(int layer) const {
+  std::vector<int> out;
+  for (int q = 0; q < num_qubits_; ++q) {
+    if (!busy(layer, q)) out.push_back(q);
+  }
+  return out;
+}
+
+int LayerSchedule::first_use(int q) const {
+  TETRIS_REQUIRE(q >= 0 && q < num_qubits_, "first_use: bad qubit");
+  return first_use_[static_cast<std::size_t>(q)];
+}
+
+int LayerSchedule::last_use(int q) const {
+  TETRIS_REQUIRE(q >= 0 && q < num_qubits_, "last_use: bad qubit");
+  return last_use_[static_cast<std::size_t>(q)];
+}
+
+std::size_t LayerSchedule::total_slack() const {
+  std::size_t count = 0;
+  for (int l = 0; l < num_layers_; ++l) {
+    for (int q = 0; q < num_qubits_; ++q) {
+      if (!busy(l, q)) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace tetris::qir

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <vector>
+
+#include "qir/circuit.h"
+
+namespace tetris::qir {
+
+/// A (layer, qubit) coordinate in the ASAP schedule of a circuit.
+struct Slot {
+  int layer = 0;
+  int qubit = 0;
+  bool operator==(const Slot& other) const {
+    return layer == other.layer && qubit == other.qubit;
+  }
+  bool operator<(const Slot& other) const {
+    return layer != other.layer ? layer < other.layer : qubit < other.qubit;
+  }
+};
+
+/// The ASAP (as-soon-as-possible) layer schedule of a circuit.
+///
+/// This is the structure Algorithm 1 of the paper operates on: the circuit is
+/// converted to its DAG layering, and the obfuscator looks for *empty
+/// positions* — (layer, qubit) slots where the qubit is idle — to host random
+/// gates without growing the depth.
+class LayerSchedule {
+ public:
+  /// Computes the schedule. Barriers act as alignment fences (they occupy no
+  /// slot but force subsequent gates on their qubits to later layers).
+  explicit LayerSchedule(const Circuit& circuit);
+
+  int num_layers() const { return num_layers_; }
+  int num_qubits() const { return num_qubits_; }
+
+  /// Layer assigned to gate `i` (barriers get the layer they align to).
+  int layer_of(std::size_t gate_index) const;
+
+  /// Gate indices scheduled in `layer`, in original circuit order.
+  const std::vector<std::size_t>& gates_in_layer(int layer) const;
+
+  /// True if qubit `q` is busy (touched by a gate) in `layer`.
+  bool busy(int layer, int q) const;
+
+  /// All empty slots, sorted by (layer, qubit) — Step 1 of Algorithm 1.
+  std::vector<Slot> empty_slots() const;
+
+  /// Empty slots in one layer, ascending by qubit.
+  std::vector<int> empty_qubits_in_layer(int layer) const;
+
+  /// First layer in which qubit q is busy, or num_layers() if never used.
+  int first_use(int q) const;
+
+  /// Last layer in which qubit q is busy, or -1 if never used.
+  int last_use(int q) const;
+
+  /// Leading idle capacity of qubit q: number of layers before first_use(q).
+  /// These are the only slots where a gate can be *prepended* to the qubit's
+  /// timeline without reordering original gates.
+  int leading_capacity(int q) const { return first_use(q); }
+
+  /// Total number of empty slots (the "slack" of the circuit).
+  std::size_t total_slack() const;
+
+ private:
+  int num_layers_ = 0;
+  int num_qubits_ = 0;
+  std::vector<int> gate_layer_;                    // per gate index
+  std::vector<std::vector<std::size_t>> by_layer_; // layer -> gate indices
+  std::vector<std::vector<char>> busy_;            // [layer][qubit]
+  std::vector<int> first_use_;
+  std::vector<int> last_use_;
+};
+
+}  // namespace tetris::qir

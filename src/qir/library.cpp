@@ -1,0 +1,191 @@
+#include "qir/library.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace tetris::qir::library {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+/// Phase flip on |1...1> of `qubits` (multi-controlled Z) expressed with the
+/// gate alphabet of the IR: H-conjugated (multi-)controlled X.
+void append_mcz(Circuit& c, const std::vector<int>& qubits) {
+  TETRIS_REQUIRE(!qubits.empty(), "append_mcz: empty qubit set");
+  if (qubits.size() == 1) {
+    c.z(qubits[0]);
+    return;
+  }
+  if (qubits.size() == 2) {
+    c.cz(qubits[0], qubits[1]);
+    return;
+  }
+  int target = qubits.back();
+  std::vector<int> controls(qubits.begin(), qubits.end() - 1);
+  c.h(target);
+  if (controls.size() == 2) {
+    c.ccx(controls[0], controls[1], target);
+  } else {
+    c.mcx(controls, target);
+  }
+  c.h(target);
+}
+
+}  // namespace
+
+Circuit ghz(int n) {
+  TETRIS_REQUIRE(n >= 1, "ghz requires n >= 1");
+  Circuit c(n, "ghz" + std::to_string(n));
+  c.h(0);
+  for (int q = 0; q + 1 < n; ++q) c.cx(q, q + 1);
+  return c;
+}
+
+Circuit qft(int n) {
+  TETRIS_REQUIRE(n >= 1, "qft requires n >= 1");
+  Circuit c(n, "qft" + std::to_string(n));
+  for (int q = n - 1; q >= 0; --q) {
+    c.h(q);
+    for (int k = q - 1; k >= 0; --k) {
+      c.cp(kPi / static_cast<double>(1 << (q - k)), k, q);
+    }
+  }
+  for (int q = 0; q < n / 2; ++q) c.swap(q, n - 1 - q);
+  return c;
+}
+
+int grover_optimal_iterations(int n) {
+  double amplitude = 1.0 / std::sqrt(static_cast<double>(std::size_t{1} << n));
+  double theta = std::asin(amplitude);
+  int iters = static_cast<int>(std::floor(kPi / (4.0 * theta)));
+  return std::max(1, iters);
+}
+
+Circuit grover(int n, std::size_t marked, int iterations) {
+  TETRIS_REQUIRE(n >= 2, "grover requires n >= 2");
+  TETRIS_REQUIRE(marked < (std::size_t{1} << n), "grover: marked out of range");
+  TETRIS_REQUIRE(iterations >= 1, "grover requires iterations >= 1");
+  Circuit c(n, "grover" + std::to_string(n));
+
+  std::vector<int> all(static_cast<std::size_t>(n));
+  for (int q = 0; q < n; ++q) all[static_cast<std::size_t>(q)] = q;
+
+  for (int q = 0; q < n; ++q) c.h(q);
+  for (int it = 0; it < iterations; ++it) {
+    // Oracle: phase flip on |marked>.
+    for (int q = 0; q < n; ++q) {
+      if (!((marked >> q) & 1)) c.x(q);
+    }
+    append_mcz(c, all);
+    for (int q = 0; q < n; ++q) {
+      if (!((marked >> q) & 1)) c.x(q);
+    }
+    // Diffuser: reflection about the uniform superposition.
+    for (int q = 0; q < n; ++q) c.h(q);
+    for (int q = 0; q < n; ++q) c.x(q);
+    append_mcz(c, all);
+    for (int q = 0; q < n; ++q) c.x(q);
+    for (int q = 0; q < n; ++q) c.h(q);
+  }
+  return c;
+}
+
+Circuit bernstein_vazirani(const std::vector<int>& secret_bits) {
+  const int n = static_cast<int>(secret_bits.size());
+  TETRIS_REQUIRE(n >= 1, "bernstein_vazirani requires a non-empty secret");
+  Circuit c(n + 1, "bv" + std::to_string(n));
+  int ancilla = n;
+  c.x(ancilla);
+  for (int q = 0; q <= n; ++q) c.h(q);
+  for (int q = 0; q < n; ++q) {
+    TETRIS_REQUIRE(secret_bits[static_cast<std::size_t>(q)] == 0 ||
+                       secret_bits[static_cast<std::size_t>(q)] == 1,
+                   "bernstein_vazirani: secret bits must be 0/1");
+    if (secret_bits[static_cast<std::size_t>(q)]) c.cx(q, ancilla);
+  }
+  for (int q = 0; q < n; ++q) c.h(q);
+  return c;
+}
+
+int ripple_carry_adder_width(int bits) { return 2 * bits + 2; }
+
+Circuit ripple_carry_adder(int bits) {
+  TETRIS_REQUIRE(bits >= 1, "ripple_carry_adder requires bits >= 1");
+  const int n = ripple_carry_adder_width(bits);
+  Circuit c(n, "adder" + std::to_string(bits));
+  auto a = [](int i) { return 1 + i; };
+  auto b = [bits](int i) { return 1 + bits + i; };
+  const int cin = 0;
+  const int cout = n - 1;
+
+  // Cuccaro MAJ / UMA ladder.
+  auto maj = [&](int x, int y, int z) {
+    c.cx(z, y).cx(z, x).ccx(x, y, z);
+  };
+  auto uma = [&](int x, int y, int z) {
+    c.ccx(x, y, z).cx(z, x).cx(x, y);
+  };
+
+  maj(cin, b(0), a(0));
+  for (int i = 1; i < bits; ++i) maj(a(i - 1), b(i), a(i));
+  c.cx(a(bits - 1), cout);
+  for (int i = bits - 1; i >= 1; --i) uma(a(i - 1), b(i), a(i));
+  uma(cin, b(0), a(0));
+  return c;
+}
+
+Circuit random_reversible(int n, int gates, Rng& rng) {
+  TETRIS_REQUIRE(n >= 1, "random_reversible requires n >= 1");
+  TETRIS_REQUIRE(gates >= 0, "random_reversible: negative gate count");
+  Circuit c(n, "random_reversible");
+  for (int g = 0; g < gates; ++g) {
+    double r = rng.uniform();
+    if (n >= 3 && r < 0.3) {
+      int a = rng.uniform_int(0, n - 1);
+      int b = rng.uniform_int(0, n - 1);
+      while (b == a) b = rng.uniform_int(0, n - 1);
+      int t = rng.uniform_int(0, n - 1);
+      while (t == a || t == b) t = rng.uniform_int(0, n - 1);
+      c.ccx(a, b, t);
+    } else if (n >= 2 && r < 0.7) {
+      int a = rng.uniform_int(0, n - 1);
+      int b = rng.uniform_int(0, n - 1);
+      while (b == a) b = rng.uniform_int(0, n - 1);
+      c.cx(a, b);
+    } else {
+      c.x(rng.uniform_int(0, n - 1));
+    }
+  }
+  return c;
+}
+
+Circuit random_universal(int n, int gates, Rng& rng) {
+  TETRIS_REQUIRE(n >= 1, "random_universal requires n >= 1");
+  TETRIS_REQUIRE(gates >= 0, "random_universal: negative gate count");
+  Circuit c(n, "random_universal");
+  for (int g = 0; g < gates; ++g) {
+    int pick = rng.uniform_int(0, 5);
+    int q = rng.uniform_int(0, n - 1);
+    switch (pick) {
+      case 0: c.h(q); break;
+      case 1: c.s(q); break;
+      case 2: c.t(q); break;
+      case 3: c.rz(rng.uniform() * 2.0 * kPi - kPi, q); break;
+      case 4: c.x(q); break;
+      default: {
+        if (n < 2) {
+          c.h(q);
+          break;
+        }
+        int t = rng.uniform_int(0, n - 1);
+        while (t == q) t = rng.uniform_int(0, n - 1);
+        c.cx(q, t);
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace tetris::qir::library

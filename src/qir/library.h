@@ -1,0 +1,47 @@
+#pragma once
+
+#include "common/rng.h"
+#include "qir/circuit.h"
+
+namespace tetris::qir::library {
+
+/// Standard circuit constructors used by the examples, the Hadamard-alphabet
+/// obfuscation path (the paper prescribes H insertion for interference-style
+/// circuits like Grover), and the fuzz test-suites.
+
+/// GHZ state preparation: H on qubit 0, CX ladder.
+Circuit ghz(int n);
+
+/// Quantum Fourier transform on n qubits (with the final qubit-reversal
+/// swaps), built from H and controlled-phase gates.
+Circuit qft(int n);
+
+/// Grover search over n qubits for the computational basis state `marked`,
+/// running `iterations` oracle+diffuser rounds. `marked < 2^n`.
+Circuit grover(int n, std::size_t marked, int iterations);
+
+/// The number of Grover iterations that maximises the success probability
+/// for an n-qubit search (floor(pi/4 * sqrt(2^n))).
+int grover_optimal_iterations(int n);
+
+/// Bernstein-Vazirani for the given secret bitstring (one circuit qubit per
+/// secret bit plus one ancilla, which is the last qubit). Measuring the
+/// first n qubits yields the secret with probability 1.
+Circuit bernstein_vazirani(const std::vector<int>& secret_bits);
+
+/// Cuccaro-style ripple-carry adder: computes b <- a + b (mod 2^bits) with a
+/// carry-out. Register layout: qubit 0 = incoming carry (|0>),
+/// qubits 1..bits = a, qubits bits+1..2*bits = b, last qubit = carry out.
+Circuit ripple_carry_adder(int bits);
+
+/// Helper: register width of ripple_carry_adder(bits).
+int ripple_carry_adder_width(int bits);
+
+/// Uniformly random reversible circuit from the {X, CX, CCX} alphabet.
+Circuit random_reversible(int n, int gates, Rng& rng);
+
+/// Random circuit over {H, S, T, RZ, X, CX} — used to fuzz the compiler on
+/// non-classical inputs.
+Circuit random_universal(int n, int gates, Rng& rng);
+
+}  // namespace tetris::qir::library

@@ -1,0 +1,192 @@
+#include "qir/qasm.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace tetris::qir {
+
+namespace {
+
+std::string qasm_gate_name(const Gate& g) {
+  switch (g.kind) {
+    case GateKind::MCX: {
+      int controls = g.num_qubits() - 1;
+      if (controls == 3) return "c3x";
+      if (controls == 4) return "c4x";
+      throw InvalidArgument(
+          "to_qasm: mcx with " + std::to_string(controls) +
+          " controls has no qelib name; run DecomposePass first");
+    }
+    case GateKind::I:
+      return "id";
+    default:
+      return g.name();
+  }
+}
+
+std::string format_angle(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_qasm(const Circuit& circuit) {
+  std::ostringstream os;
+  os << "OPENQASM 2.0;\n";
+  os << "include \"qelib1.inc\";\n";
+  if (!circuit.name().empty()) os << "// " << circuit.name() << "\n";
+  os << "qreg q[" << circuit.num_qubits() << "];\n";
+  for (const Gate& g : circuit.gates()) {
+    if (g.kind == GateKind::Barrier) {
+      os << "barrier q;\n";
+      continue;
+    }
+    os << qasm_gate_name(g);
+    if (!g.params.empty()) {
+      os << "(";
+      for (std::size_t i = 0; i < g.params.size(); ++i) {
+        if (i) os << ",";
+        os << format_angle(g.params[i]);
+      }
+      os << ")";
+    }
+    os << " ";
+    for (std::size_t i = 0; i < g.qubits.size(); ++i) {
+      if (i) os << ",";
+      os << "q[" << g.qubits[i] << "]";
+    }
+    os << ";\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+int parse_qubit_operand(const std::string& tok, int line_no) {
+  auto lb = tok.find('[');
+  auto rb = tok.find(']');
+  if (lb == std::string::npos || rb == std::string::npos || rb < lb) {
+    throw ParseError("qasm line " + std::to_string(line_no) +
+                     ": bad qubit operand '" + tok + "'");
+  }
+  try {
+    return std::stoi(tok.substr(lb + 1, rb - lb - 1));
+  } catch (const std::exception&) {
+    throw ParseError("qasm line " + std::to_string(line_no) +
+                     ": bad qubit index in '" + tok + "'");
+  }
+}
+
+GateKind kind_from_qasm_name(const std::string& name, int line_no) {
+  if (name == "c3x" || name == "c4x") return GateKind::MCX;
+  try {
+    return gate_kind_from_name(name);
+  } catch (const ParseError&) {
+    throw ParseError("qasm line " + std::to_string(line_no) +
+                     ": unsupported gate '" + name + "'");
+  }
+}
+
+}  // namespace
+
+Circuit from_qasm(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  int num_qubits = -1;
+  std::string pending_name;
+  Circuit circuit;
+  bool have_circuit = false;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments, keep a leading name comment if present.
+    auto slashes = line.find("//");
+    if (slashes != std::string::npos) {
+      std::string comment = trim(line.substr(slashes + 2));
+      if (!comment.empty() && num_qubits < 0) pending_name = comment;
+      line = line.substr(0, slashes);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    if (starts_with(line, "OPENQASM") || starts_with(line, "include")) continue;
+    if (starts_with(line, "creg")) continue;  // classical registers ignored
+
+    if (!line.empty() && line.back() == ';') line.pop_back();
+    line = trim(line);
+    if (line.empty()) continue;
+
+    if (starts_with(line, "qreg")) {
+      TETRIS_REQUIRE(num_qubits < 0, "from_qasm: only one qreg supported");
+      auto lb = line.find('[');
+      auto rb = line.find(']');
+      if (lb == std::string::npos || rb == std::string::npos) {
+        throw ParseError("qasm line " + std::to_string(line_no) + ": bad qreg");
+      }
+      num_qubits = std::stoi(line.substr(lb + 1, rb - lb - 1));
+      circuit = Circuit(num_qubits, pending_name);
+      have_circuit = true;
+      continue;
+    }
+
+    if (!have_circuit) {
+      throw ParseError("qasm line " + std::to_string(line_no) +
+                       ": gate before qreg declaration");
+    }
+
+    if (starts_with(line, "measure")) continue;  // terminal measures ignored
+
+    // gate name, optional (params), operands separated by commas.
+    std::string head = line;
+    std::vector<double> params;
+    auto lp = line.find('(');
+    std::string rest;
+    if (lp != std::string::npos) {
+      auto rp = line.find(')', lp);
+      if (rp == std::string::npos) {
+        throw ParseError("qasm line " + std::to_string(line_no) +
+                         ": unterminated parameter list");
+      }
+      head = trim(line.substr(0, lp));
+      for (const auto& p : split_char(line.substr(lp + 1, rp - lp - 1), ',')) {
+        try {
+          params.push_back(std::stod(trim(p)));
+        } catch (const std::exception&) {
+          throw ParseError("qasm line " + std::to_string(line_no) +
+                           ": bad angle '" + p + "'");
+        }
+      }
+      rest = trim(line.substr(rp + 1));
+    } else {
+      auto ws = line.find_first_of(" \t");
+      if (ws == std::string::npos) {
+        throw ParseError("qasm line " + std::to_string(line_no) +
+                         ": gate with no operands");
+      }
+      head = trim(line.substr(0, ws));
+      rest = trim(line.substr(ws));
+    }
+
+    if (head == "barrier") {
+      circuit.barrier();
+      continue;
+    }
+
+    GateKind kind = kind_from_qasm_name(to_lower(head), line_no);
+    std::vector<int> qubits;
+    for (const auto& tok : split_char(rest, ',')) {
+      qubits.push_back(parse_qubit_operand(trim(tok), line_no));
+    }
+    circuit.add(Gate(kind, std::move(qubits), std::move(params)));
+  }
+
+  TETRIS_REQUIRE(have_circuit, "from_qasm: missing qreg declaration");
+  return circuit;
+}
+
+}  // namespace tetris::qir

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "qir/circuit.h"
+
+namespace tetris::qir {
+
+/// Minimal OpenQASM 2.0 interchange.
+///
+/// The writer emits a self-contained program (`OPENQASM 2.0; include
+/// "qelib1.inc";` header, one `qreg`). Multi-controlled X gates with 3 or 4
+/// controls are written as `c3x`/`c4x` (qelib1.inc names); larger fan-in must
+/// be decomposed first (compiler::DecomposePass does this).
+///
+/// The reader accepts the subset the writer produces, which is also enough to
+/// ingest circuits exported from Qiskit for the RevLib benchmark class.
+/// Unsupported constructs raise ParseError with a line number.
+
+/// Serializes `circuit` to an OpenQASM 2.0 string.
+std::string to_qasm(const Circuit& circuit);
+
+/// Parses an OpenQASM 2.0 string (subset; see header comment).
+Circuit from_qasm(const std::string& text);
+
+}  // namespace tetris::qir

@@ -1,0 +1,111 @@
+#include "qir/render.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "qir/layers.h"
+
+namespace tetris::qir {
+
+namespace {
+
+// Per-layer cell width: gate mnemonics up to 4 chars plus separators.
+constexpr int kCellWidth = 5;
+
+struct Canvas {
+  int rows;
+  int cols;
+  std::vector<std::string> lines;
+
+  Canvas(int num_qubits, int num_layers)
+      : rows(num_qubits), cols(num_layers * kCellWidth + 6) {
+    lines.assign(static_cast<std::size_t>(rows), std::string(static_cast<std::size_t>(cols), ' '));
+    for (int q = 0; q < rows; ++q) {
+      std::string label = "q" + std::to_string(q) + ":";
+      for (std::size_t i = 0; i < label.size() && i < 5; ++i) {
+        lines[static_cast<std::size_t>(q)][i] = label[i];
+      }
+      for (int c = 6; c < cols; ++c) lines[static_cast<std::size_t>(q)][static_cast<std::size_t>(c)] = '-';
+    }
+  }
+
+  void put(int q, int layer, const std::string& text) {
+    int base = 6 + layer * kCellWidth;
+    for (std::size_t i = 0; i < text.size() && base + static_cast<int>(i) < cols; ++i) {
+      lines[static_cast<std::size_t>(q)][static_cast<std::size_t>(base) + i] = text[i];
+    }
+  }
+
+  /// True if the cell still shows only wire (no gate glyph) — used so that
+  /// multi-qubit connectors never overwrite a gate that shares the column.
+  bool is_blank(int q, int layer) const {
+    int base = 6 + layer * kCellWidth;
+    for (int i = 0; i < 3 && base + i < cols; ++i) {
+      char c = lines[static_cast<std::size_t>(q)][static_cast<std::size_t>(base + i)];
+      if (c != '-') return false;
+    }
+    return true;
+  }
+};
+
+std::string cell_for(const Gate& g, int qubit_position_in_gate) {
+  const bool is_target_slot =
+      qubit_position_in_gate == g.num_qubits() - 1;
+  switch (g.kind) {
+    case GateKind::CX:
+    case GateKind::CCX:
+    case GateKind::MCX:
+      return is_target_slot ? "(+)" : " # ";
+    case GateKind::CZ:
+    case GateKind::CY:
+    case GateKind::CH:
+    case GateKind::CP:
+    case GateKind::CRZ:
+      return is_target_slot ? "[" + g.name().substr(1) + "]" : " # ";
+    case GateKind::SWAP:
+      return " x ";
+    case GateKind::CSWAP:
+      return qubit_position_in_gate == 0 ? " # " : " x ";
+    default:
+      return "[" + g.name() + "]";
+  }
+}
+
+}  // namespace
+
+std::string render(const Circuit& circuit, bool /*ascii_only*/) {
+  Circuit clean = circuit.without_barriers();
+  LayerSchedule sched(clean);
+  if (clean.num_qubits() == 0) return "";
+  Canvas canvas(clean.num_qubits(), std::max(1, sched.num_layers()));
+
+  const auto& gates = clean.gates();
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const Gate& g = gates[i];
+    int layer = sched.layer_of(i);
+    // Vertical connector column for multi-qubit gates.
+    if (g.num_qubits() >= 2) {
+      int lo = *std::min_element(g.qubits.begin(), g.qubits.end());
+      int hi = *std::max_element(g.qubits.begin(), g.qubits.end());
+      for (int q = lo + 1; q < hi; ++q) {
+        bool touched = std::find(g.qubits.begin(), g.qubits.end(), q) != g.qubits.end();
+        if (!touched && canvas.is_blank(q, layer)) canvas.put(q, layer, " | ");
+      }
+    }
+    for (int pos = 0; pos < g.num_qubits(); ++pos) {
+      canvas.put(g.qubits[static_cast<std::size_t>(pos)], layer, cell_for(g, pos));
+    }
+  }
+
+  std::string out;
+  if (!circuit.name().empty()) out += "// " + circuit.name() + "\n";
+  for (const auto& line : canvas.lines) {
+    // Trim trailing spaces for tidy logs.
+    std::size_t end = line.find_last_not_of(' ');
+    out += line.substr(0, end == std::string::npos ? 0 : end + 1);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace tetris::qir

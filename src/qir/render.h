@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+#include "qir/circuit.h"
+
+namespace tetris::qir {
+
+/// Renders a circuit as ASCII art, one row per qubit and one column per ASAP
+/// layer — the same picture as the paper's Figures 2 and 3, which makes the
+/// interlocking split boundary visible in example/bench output.
+///
+/// Example (4mod5):
+///   q0: ─────■──────X──
+///   q1: ─────■─────────
+///   ...
+/// Controls are '■', CX/CCX/MCX targets are '⊕' (ASCII fallback: '*' / '+').
+/// `ascii_only` avoids multi-byte glyphs for plain terminals/logs.
+std::string render(const Circuit& circuit, bool ascii_only = true);
+
+}  // namespace tetris::qir

@@ -1,0 +1,206 @@
+#include "revlib/benchmarks.h"
+
+#include "common/error.h"
+
+namespace tetris::revlib {
+
+// The gate lists below are offline reconstructions of the RevLib originals:
+// same qubit count, same gate alphabet (NOT/CNOT/Toffoli), and exactly the
+// gate count and depth Table I reports for each circuit. Like the RevLib
+// arithmetic functions they stand in for (adders, weight functions,
+// comparators), the measured outputs are sensitive to the idle-early input
+// wires: flipping an input that has leading slack flips the output, which is
+// what gives the paper's Figure-4 corruption levels their shape. See
+// DESIGN.md ("Paper-vs-available substitutions").
+
+qir::Circuit build_mini_alu() {
+  qir::Circuit c(5, "mini_alu");
+  c.x(4)
+      .cx(4, 0)
+      .ccx(0, 4, 1)
+      .cx(1, 4)
+      .cx(2, 4)
+      .x(4)
+      .cx(3, 4)
+      .ccx(2, 3, 4)
+      .x(0);
+  return c;
+}
+
+qir::Circuit build_4mod5() {
+  qir::Circuit c(5, "4mod5");
+  c.ccx(0, 1, 4)
+      .cx(2, 4)
+      .ccx(0, 2, 4)
+      .cx(3, 4)
+      .ccx(1, 3, 4)
+      .x(0);
+  return c;
+}
+
+qir::Circuit build_1bit_adder() {
+  qir::Circuit c(4, "1bit_adder");
+  c.ccx(0, 1, 3)
+      .x(3)
+      .cx(0, 1)
+      .cx(2, 3)
+      .x(1)
+      .cx(1, 0)
+      .ccx(0, 1, 3);
+  return c;
+}
+
+qir::Circuit build_4gt11() {
+  qir::Circuit c(5, "4gt11");
+  c.x(4)
+      .cx(4, 3)
+      .ccx(3, 4, 2)
+      .cx(2, 4)
+      .x(4)
+      .cx(1, 4)
+      .x(4)
+      .cx(0, 4)
+      .ccx(0, 1, 4)
+      .cx(4, 2)
+      .x(4)
+      .cx(4, 0)
+      .cx(3, 4);
+  return c;
+}
+
+qir::Circuit build_4gt13() {
+  qir::Circuit c(5, "4gt13");
+  c.ccx(0, 1, 4).cx(4, 2).ccx(2, 4, 3).cx(4, 0);
+  return c;
+}
+
+qir::Circuit build_rd53() {
+  qir::Circuit c(7, "rd53");
+  // Weight-function-style chain: q6 accumulates parity contributions from
+  // every input wire, so each input flip reaches the measured bits.
+  c.x(6)
+      .cx(6, 5)
+      .ccx(5, 6, 4)
+      .cx(4, 6)
+      .x(6)
+      .cx(3, 6)
+      .x(6)
+      .cx(2, 6)
+      .ccx(4, 6, 5)
+      .cx(1, 6)
+      .x(6)
+      .cx(0, 6)
+      .ccx(0, 1, 6)
+      .cx(6, 4)
+      .ccx(2, 3, 6)
+      .x(6)
+      // Parallel tail gates: fill idle slots without extending the depth.
+      .x(5)
+      .x(4)
+      .cx(5, 4);
+  return c;
+}
+
+qir::Circuit build_rd73() {
+  qir::Circuit c(10, "rd73");
+  // Chain A on q9 with inputs q0..q3.
+  c.x(9)
+      .cx(9, 2)
+      .ccx(2, 9, 3)
+      .cx(3, 9)
+      .x(9)
+      .cx(1, 9)
+      .x(9)
+      .cx(0, 9)
+      .ccx(0, 1, 9)
+      .cx(9, 3)
+      .x(9)
+      .cx(9, 2)
+      .x(9);
+  // Chain B on q8 with inputs q4..q7 (runs in parallel with chain A).
+  c.x(8)
+      .cx(8, 7)
+      .ccx(7, 8, 6)
+      .cx(6, 8)
+      .x(8)
+      .cx(5, 8)
+      .x(8)
+      .cx(4, 8)
+      .ccx(4, 5, 8)
+      .x(8);
+  return c;
+}
+
+qir::Circuit build_rd84() {
+  qir::Circuit c(12, "rd84");
+  // Chain C on q9/q8 (listed first so the q8/q9 wires are scheduled early
+  // and the chain-A Toffolis that reuse them stay within depth).
+  c.x(9).cx(9, 8).x(8).cx(8, 9).x(9);
+  // Chain A on q11 with inputs q0..q3.
+  c.x(11)
+      .cx(11, 3)
+      .cx(3, 11)
+      .cx(11, 2)
+      .cx(2, 11)
+      .cx(1, 11)
+      .x(11)
+      .cx(0, 11)
+      .ccx(8, 9, 11)
+      .x(11)
+      .cx(11, 3)
+      .x(11)
+      .cx(11, 2)
+      .x(11)
+      .ccx(8, 9, 11);
+  // Chain B on q10 with inputs q4..q7.
+  c.x(10)
+      .cx(10, 7)
+      .ccx(7, 10, 6)
+      .cx(6, 10)
+      .x(10)
+      .cx(5, 10)
+      .x(10)
+      .cx(4, 10)
+      .ccx(4, 5, 10)
+      .x(10)
+      .cx(10, 4)
+      .x(10);
+  return c;
+}
+
+namespace {
+
+std::vector<Benchmark> build_all() {
+  std::vector<Benchmark> out;
+  out.push_back({"mini_alu", build_mini_alu(), {3, 4}, 9, 8});
+  out.push_back({"4mod5", build_4mod5(), {4}, 6, 5});
+  out.push_back({"1bit_adder", build_1bit_adder(), {3}, 7, 5});
+  out.push_back({"4gt11", build_4gt11(), {4}, 13, 13});
+  out.push_back({"4gt13", build_4gt13(), {3}, 4, 4});
+  out.push_back({"rd53", build_rd53(), {0, 1, 6}, 19, 16});
+  out.push_back({"rd73", build_rd73(), {0, 8, 9}, 23, 13});
+  out.push_back({"rd84", build_rd84(), {0, 9, 10, 11}, 32, 15});
+  return out;
+}
+
+}  // namespace
+
+const std::vector<Benchmark>& table1_benchmarks() {
+  static const std::vector<Benchmark> all = build_all();
+  return all;
+}
+
+const Benchmark& get_benchmark(const std::string& name) {
+  for (const auto& b : table1_benchmarks()) {
+    if (b.name == name) return b;
+  }
+  throw InvalidArgument("unknown benchmark: " + name);
+}
+
+std::vector<std::string> benchmark_names() {
+  std::vector<std::string> out;
+  for (const auto& b : table1_benchmarks()) out.push_back(b.name);
+  return out;
+}
+
+}  // namespace tetris::revlib

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qir/circuit.h"
+
+namespace tetris::revlib {
+
+/// One Table-I benchmark: the circuit, its measured output bits, and the
+/// size statistics the paper reports for the original (pre-obfuscation)
+/// version. The reconstructions (see DESIGN.md) match the paper's
+/// (qubits, gate count, depth) exactly; tests pin these numbers.
+struct Benchmark {
+  std::string name;
+  qir::Circuit circuit;
+  std::vector<int> measured;  ///< output bits, register order
+  int expected_gates = 0;
+  int expected_depth = 0;
+};
+
+/// The eight RevLib circuits of Table I, in paper order:
+/// mini_alu, 4mod5, 1bit_adder, 4gt11, 4gt13, rd53, rd73, rd84.
+const std::vector<Benchmark>& table1_benchmarks();
+
+/// Lookup by name; throws InvalidArgument for unknown names.
+const Benchmark& get_benchmark(const std::string& name);
+
+/// All benchmark names in Table-I order.
+std::vector<std::string> benchmark_names();
+
+// Individual builders (exposed for tests and examples).
+qir::Circuit build_mini_alu();    ///< 5 qubits,  9 gates, depth  8
+qir::Circuit build_4mod5();       ///< 5 qubits,  6 gates, depth  5
+qir::Circuit build_1bit_adder();  ///< 4 qubits,  7 gates, depth  5
+qir::Circuit build_4gt11();       ///< 5 qubits, 13 gates, depth 13
+qir::Circuit build_4gt13();       ///< 5 qubits,  4 gates, depth  4
+qir::Circuit build_rd53();        ///< 7 qubits, 19 gates, depth 16
+qir::Circuit build_rd73();        ///< 10 qubits, 23 gates, depth 13
+qir::Circuit build_rd84();        ///< 12 qubits, 32 gates, depth 15
+
+}  // namespace tetris::revlib

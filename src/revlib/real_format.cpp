@@ -1,0 +1,187 @@
+#include "revlib/real_format.h"
+
+#include <map>
+#include <sstream>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace tetris::revlib {
+
+namespace {
+
+[[noreturn]] void fail(int line_no, const std::string& msg) {
+  throw ParseError(".real line " + std::to_string(line_no) + ": " + msg);
+}
+
+}  // namespace
+
+qir::Circuit from_real(const std::string& text) {
+  std::istringstream is(text);
+  std::string raw;
+  int line_no = 0;
+
+  int num_vars = -1;
+  std::map<std::string, int> var_index;
+  std::string circuit_name;
+  bool in_body = false;
+  bool done = false;
+  qir::Circuit circuit;
+
+  while (std::getline(is, raw)) {
+    ++line_no;
+    std::string line = trim(raw);
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (circuit_name.empty()) circuit_name = trim(line.substr(1));
+      continue;
+    }
+    if (done) fail(line_no, "content after .end");
+
+    if (line[0] == '.') {
+      auto tokens = split_ws(line);
+      const std::string& key = tokens[0];
+      if (key == ".version" || key == ".inputs" || key == ".outputs" ||
+          key == ".constants" || key == ".garbage" || key == ".inputbus" ||
+          key == ".outputbus") {
+        continue;  // metadata we do not need for simulation
+      }
+      if (key == ".numvars") {
+        if (tokens.size() != 2) fail(line_no, ".numvars expects one integer");
+        try {
+          num_vars = std::stoi(tokens[1]);
+        } catch (const std::exception&) {
+          fail(line_no, "bad .numvars value");
+        }
+        if (num_vars <= 0) fail(line_no, ".numvars must be positive");
+        continue;
+      }
+      if (key == ".variables") {
+        if (num_vars < 0) fail(line_no, ".variables before .numvars");
+        if (static_cast<int>(tokens.size()) - 1 != num_vars) {
+          fail(line_no, ".variables count does not match .numvars");
+        }
+        for (int i = 0; i < num_vars; ++i) {
+          auto [it, inserted] = var_index.emplace(tokens[static_cast<std::size_t>(i) + 1], i);
+          (void)it;
+          if (!inserted) fail(line_no, "duplicate variable name");
+        }
+        continue;
+      }
+      if (key == ".begin") {
+        if (num_vars < 0) fail(line_no, ".begin before .numvars");
+        if (var_index.empty()) {
+          // Variables default to x0..x{n-1} when .variables is omitted.
+          for (int i = 0; i < num_vars; ++i) {
+            var_index["x" + std::to_string(i)] = i;
+          }
+        }
+        circuit = qir::Circuit(num_vars, circuit_name);
+        in_body = true;
+        continue;
+      }
+      if (key == ".end") {
+        if (!in_body) fail(line_no, ".end before .begin");
+        done = true;
+        continue;
+      }
+      fail(line_no, "unknown directive " + key);
+    }
+
+    if (!in_body) fail(line_no, "gate line before .begin");
+
+    auto tokens = split_ws(line);
+    const std::string& mnemonic = tokens[0];
+    std::vector<int> qubits;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      auto it = var_index.find(tokens[i]);
+      if (it == var_index.end()) fail(line_no, "unknown variable " + tokens[i]);
+      qubits.push_back(it->second);
+    }
+
+    if (mnemonic.size() >= 2 && (mnemonic[0] == 't' || mnemonic[0] == 'T')) {
+      int k = 0;
+      try {
+        k = std::stoi(mnemonic.substr(1));
+      } catch (const std::exception&) {
+        fail(line_no, "bad gate mnemonic " + mnemonic);
+      }
+      if (static_cast<int>(qubits.size()) != k) {
+        fail(line_no, "gate " + mnemonic + " expects " + std::to_string(k) + " lines");
+      }
+      if (k == 1) {
+        circuit.x(qubits[0]);
+      } else if (k == 2) {
+        circuit.cx(qubits[0], qubits[1]);
+      } else if (k == 3) {
+        circuit.ccx(qubits[0], qubits[1], qubits[2]);
+      } else {
+        int target = qubits.back();
+        qubits.pop_back();
+        circuit.mcx(std::move(qubits), target);
+      }
+      continue;
+    }
+    if (mnemonic.size() >= 2 && (mnemonic[0] == 'f' || mnemonic[0] == 'F')) {
+      int k = 0;
+      try {
+        k = std::stoi(mnemonic.substr(1));
+      } catch (const std::exception&) {
+        fail(line_no, "bad gate mnemonic " + mnemonic);
+      }
+      if (static_cast<int>(qubits.size()) != k) {
+        fail(line_no, "gate " + mnemonic + " expects " + std::to_string(k) + " lines");
+      }
+      if (k == 2) {
+        circuit.swap(qubits[0], qubits[1]);
+      } else if (k == 3) {
+        circuit.cswap(qubits[0], qubits[1], qubits[2]);
+      } else {
+        fail(line_no, "Fredkin gates with >1 control are not supported");
+      }
+      continue;
+    }
+    fail(line_no, "unsupported gate family '" + mnemonic + "'");
+  }
+
+  if (!done) throw ParseError(".real input missing .end");
+  return circuit;
+}
+
+std::string to_real(const qir::Circuit& circuit) {
+  TETRIS_REQUIRE(circuit.is_classical(),
+                 "to_real requires a classical (Toffoli-family) circuit");
+  std::ostringstream os;
+  if (!circuit.name().empty()) os << "# " << circuit.name() << "\n";
+  os << ".version 2.0\n";
+  os << ".numvars " << circuit.num_qubits() << "\n";
+  os << ".variables";
+  for (int i = 0; i < circuit.num_qubits(); ++i) os << " x" << i;
+  os << "\n.begin\n";
+  for (const auto& g : circuit.gates()) {
+    using qir::GateKind;
+    switch (g.kind) {
+      case GateKind::Barrier:
+      case GateKind::I:
+        continue;
+      case GateKind::X:
+      case GateKind::CX:
+      case GateKind::CCX:
+      case GateKind::MCX:
+        os << "t" << g.num_qubits();
+        break;
+      case GateKind::SWAP:
+      case GateKind::CSWAP:
+        os << "f" << g.num_qubits();
+        break;
+      default:
+        throw InvalidArgument("to_real: unsupported gate " + g.name());
+    }
+    for (int q : g.qubits) os << " x" << q;
+    os << "\n";
+  }
+  os << ".end\n";
+  return os.str();
+}
+
+}  // namespace tetris::revlib

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+
+#include "qir/circuit.h"
+
+namespace tetris::revlib {
+
+/// RevLib `.real` reversible-circuit format (Wille et al., ISMVL'08).
+///
+/// Supported subset — the whole Toffoli/Fredkin family the RevLib
+/// benchmark suite uses:
+///   .version / .numvars / .variables / .inputs / .outputs / .constants /
+///   .garbage / .begin / .end headers;
+///   gate lines `t1 a` (NOT), `t2 a b` (CNOT), `t3 a b c` (Toffoli),
+///   `tk c1..ck-1 t` (multi-controlled NOT), `f2 a b` (SWAP),
+///   `f3 c a b` (Fredkin).
+/// Lines starting with '#' are comments. Unknown gate families (v, p, ...)
+/// raise ParseError with the line number.
+
+/// Parses `.real` text into a Circuit (qubit i = i-th declared variable).
+qir::Circuit from_real(const std::string& text);
+
+/// Serializes a classical (Toffoli-family) circuit back to `.real`.
+/// Throws InvalidArgument for circuits with non-classical gates.
+std::string to_real(const qir::Circuit& circuit);
+
+}  // namespace tetris::revlib

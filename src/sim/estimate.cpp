@@ -1,0 +1,30 @@
+#include "sim/estimate.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace tetris::sim {
+
+AccuracyEstimate estimate_accuracy(const qir::Circuit& circuit,
+                                   const NoiseModel& noise, int measured_bits,
+                                   double error_miss_rate) {
+  TETRIS_REQUIRE(measured_bits >= 0, "estimate_accuracy: negative bit count");
+  TETRIS_REQUIRE(error_miss_rate >= 0.0 && error_miss_rate <= 1.0,
+                 "estimate_accuracy: miss rate must be in [0,1]");
+
+  AccuracyEstimate out;
+  for (const auto& g : circuit.gates()) {
+    if (g.kind == qir::GateKind::Barrier) continue;
+    double p = g.num_qubits() >= 2 ? noise.p2 : noise.p1;
+    out.p_no_gate_error *= (1.0 - p);
+    out.expected_gate_errors += p;
+  }
+  out.p_clean_readout = std::pow(1.0 - noise.readout, measured_bits);
+
+  double p_clean = out.p_no_gate_error * out.p_clean_readout;
+  out.estimate = p_clean + (1.0 - p_clean) * (1.0 - error_miss_rate);
+  return out;
+}
+
+}  // namespace tetris::sim

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "qir/circuit.h"
+#include "sim/noise.h"
+
+namespace tetris::sim {
+
+/// Closed-form accuracy estimate for a compiled circuit under the stochastic
+/// Pauli noise model — no sampling required.
+///
+/// Model: a shot is "clean" when no gate error fires and no measured bit
+/// flips at readout. Clean shots always produce the correct outcome; errored
+/// shots are charged a miss probability `error_miss_rate` (1.0 = every error
+/// corrupts the outcome; the default 0.75 reflects that a random Pauli
+/// sometimes acts off the measurement cone or as a harmless Z).
+///
+///   accuracy ~ P(clean) + (1 - P(clean)) * (1 - error_miss_rate) * ...
+///
+/// The estimate is intentionally simple — its job is to let a designer size
+/// shots/devices without running the simulator, and its agreement with the
+/// sampled accuracy (within a few percent on the Table-I workloads) is
+/// pinned by tests.
+struct AccuracyEstimate {
+  double p_no_gate_error = 1.0;  ///< prod over gates of (1 - p_gate)
+  double p_clean_readout = 1.0;  ///< (1 - readout)^measured_bits
+  double estimate = 1.0;         ///< final accuracy estimate
+  double expected_gate_errors = 0.0;  ///< mean number of error events
+};
+
+AccuracyEstimate estimate_accuracy(const qir::Circuit& circuit,
+                                   const NoiseModel& noise,
+                                   int measured_bits,
+                                   double error_miss_rate = 0.75);
+
+}  // namespace tetris::sim

@@ -1,0 +1,30 @@
+#include "sim/noise.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace tetris::sim {
+
+NoiseModel NoiseModel::scaled(double factor) const {
+  TETRIS_REQUIRE(factor >= 0.0, "NoiseModel::scaled requires factor >= 0");
+  auto clamp01 = [](double v) { return std::min(1.0, std::max(0.0, v)); };
+  NoiseModel out = *this;
+  out.p1 = clamp01(p1 * factor);
+  out.p2 = clamp01(p2 * factor);
+  out.readout = clamp01(readout * factor);
+  out.name = name + "_x" + std::to_string(factor);
+  return out;
+}
+
+NoiseModel NoiseModel::ideal() { return NoiseModel{0.0, 0.0, 0.0, "ideal"}; }
+
+NoiseModel NoiseModel::fake_valencia() {
+  return NoiseModel{1e-4, 4e-4, 8e-3, "fake_valencia"};
+}
+
+NoiseModel NoiseModel::noisy_stress() {
+  return NoiseModel{5e-4, 2e-3, 4e-2, "noisy_stress"};
+}
+
+}  // namespace tetris::sim

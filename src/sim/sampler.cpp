@@ -1,0 +1,217 @@
+#include "sim/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "sim/statevector.h"
+
+namespace tetris::sim {
+
+namespace {
+
+const char kPaulis[] = {'I', 'X', 'Y', 'Z'};
+
+/// Applies a uniformly random non-identity Pauli string to `qubits`.
+void inject_depolarizing(StateVector& sv, const std::vector<int>& qubits,
+                         Rng& rng) {
+  std::size_t num_strings = 1;
+  for (std::size_t i = 0; i < qubits.size(); ++i) num_strings *= 4;
+  // Draw from [1, 4^k - 1]: skip the all-identity string.
+  std::size_t code = 1 + rng.index(num_strings - 1);
+  for (int q : qubits) {
+    sv.apply_pauli(kPaulis[code & 3], q);
+    code >>= 2;
+  }
+}
+
+/// Returns the per-gate error probability under `noise` (0 for barriers).
+double gate_error_prob(const qir::Gate& g, const NoiseModel& noise) {
+  if (g.kind == qir::GateKind::Barrier) return 0.0;
+  return g.num_qubits() >= 2 ? noise.p2 : noise.p1;
+}
+
+/// Extracts the measured-bit outcome string for a raw basis index.
+std::string project_outcome(std::size_t index, const std::vector<int>& measured) {
+  std::string out(measured.size(), '0');
+  // Qiskit convention: measured.back() (highest position) is leftmost.
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    bool bit = (index >> measured[i]) & 1;
+    out[measured.size() - 1 - i] = bit ? '1' : '0';
+  }
+  return out;
+}
+
+std::vector<int> resolve_measured(const qir::Circuit& circuit,
+                                  const std::vector<int>& measured) {
+  if (!measured.empty()) {
+    for (int q : measured) {
+      TETRIS_REQUIRE(q >= 0 && q < circuit.num_qubits(),
+                     "measured qubit out of range");
+    }
+    return measured;
+  }
+  std::vector<int> all(static_cast<std::size_t>(circuit.num_qubits()));
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+  return all;
+}
+
+/// Applies per-bit readout flips to a raw basis index.
+std::size_t apply_readout(std::size_t index, const std::vector<int>& measured,
+                          double readout, Rng& rng) {
+  if (readout <= 0.0) return index;
+  for (int q : measured) {
+    if (rng.bernoulli(readout)) index ^= (std::size_t{1} << q);
+  }
+  return index;
+}
+
+}  // namespace
+
+std::size_t Counts::count(const std::string& bs) const {
+  auto it = histogram.find(bs);
+  return it == histogram.end() ? 0 : it->second;
+}
+
+std::map<std::string, double> Counts::distribution() const {
+  std::map<std::string, double> out;
+  if (shots == 0) return out;
+  for (const auto& [k, v] : histogram) {
+    out[k] = static_cast<double>(v) / static_cast<double>(shots);
+  }
+  return out;
+}
+
+std::string Counts::mode() const {
+  TETRIS_REQUIRE(!histogram.empty(), "Counts::mode on empty histogram");
+  auto best = histogram.begin();
+  for (auto it = histogram.begin(); it != histogram.end(); ++it) {
+    if (it->second > best->second) best = it;
+  }
+  return best->first;
+}
+
+std::string bitstring(std::size_t index, int num_bits) {
+  std::string out(static_cast<std::size_t>(num_bits), '0');
+  for (int b = 0; b < num_bits; ++b) {
+    if ((index >> b) & 1) out[static_cast<std::size_t>(num_bits - 1 - b)] = '1';
+  }
+  return out;
+}
+
+Counts sample(const qir::Circuit& circuit, const NoiseModel& noise, Rng& rng,
+              const SampleOptions& options) {
+  std::vector<int> measured = resolve_measured(circuit, options.measured);
+  Counts counts;
+  counts.shots = options.shots;
+
+  // One ideal run serves every error-free shot.
+  StateVector ideal(circuit.num_qubits());
+  ideal.apply_circuit(circuit);
+
+  const auto& gates = circuit.gates();
+  std::vector<double> error_probs(gates.size());
+  bool any_gate_noise = false;
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    error_probs[i] = gate_error_prob(gates[i], noise);
+    any_gate_noise = any_gate_noise || error_probs[i] > 0.0;
+  }
+
+  StateVector traj(circuit.num_qubits());
+  std::vector<std::size_t> error_sites;
+  for (std::size_t shot = 0; shot < options.shots; ++shot) {
+    std::size_t raw;
+    error_sites.clear();
+    if (any_gate_noise) {
+      for (std::size_t i = 0; i < gates.size(); ++i) {
+        if (error_probs[i] > 0.0 && rng.bernoulli(error_probs[i])) {
+          error_sites.push_back(i);
+        }
+      }
+    }
+    if (error_sites.empty()) {
+      raw = ideal.sample(rng);
+    } else {
+      traj.reset();
+      std::size_t next_err = 0;
+      for (std::size_t i = 0; i < gates.size(); ++i) {
+        traj.apply_gate(gates[i]);
+        if (next_err < error_sites.size() && error_sites[next_err] == i) {
+          inject_depolarizing(traj, gates[i].qubits, rng);
+          ++next_err;
+        }
+      }
+      raw = traj.sample(rng);
+    }
+    raw = apply_readout(raw, measured, noise.readout, rng);
+    ++counts.histogram[project_outcome(raw, measured)];
+  }
+  return counts;
+}
+
+std::map<std::string, double> ideal_distribution(const qir::Circuit& circuit,
+                                                 const std::vector<int>& measured) {
+  std::vector<int> m = resolve_measured(circuit, measured);
+  StateVector sv(circuit.num_qubits());
+  sv.apply_circuit(circuit);
+  std::map<std::string, double> out;
+  auto probs = sv.probabilities();
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    if (probs[i] <= 0.0) continue;
+    out[project_outcome(i, m)] += probs[i];
+  }
+  return out;
+}
+
+std::string classical_outcome(const qir::Circuit& circuit,
+                              const std::vector<int>& measured) {
+  TETRIS_REQUIRE(circuit.is_classical(),
+                 "classical_outcome requires a reversible (classical) circuit");
+  std::vector<int> m = resolve_measured(circuit, measured);
+  // Propagate the all-zero bit assignment through the permutation gates.
+  std::vector<char> bits(static_cast<std::size_t>(circuit.num_qubits()), 0);
+  for (const auto& g : circuit.gates()) {
+    using qir::GateKind;
+    switch (g.kind) {
+      case GateKind::I:
+      case GateKind::Barrier:
+        break;
+      case GateKind::X:
+        bits[static_cast<std::size_t>(g.qubits[0])] ^= 1;
+        break;
+      case GateKind::SWAP:
+        std::swap(bits[static_cast<std::size_t>(g.qubits[0])],
+                  bits[static_cast<std::size_t>(g.qubits[1])]);
+        break;
+      case GateKind::CSWAP:
+        if (bits[static_cast<std::size_t>(g.qubits[0])]) {
+          std::swap(bits[static_cast<std::size_t>(g.qubits[1])],
+                    bits[static_cast<std::size_t>(g.qubits[2])]);
+        }
+        break;
+      case GateKind::CX:
+      case GateKind::CCX:
+      case GateKind::MCX: {
+        bool all = true;
+        for (std::size_t i = 0; i + 1 < g.qubits.size(); ++i) {
+          all = all && bits[static_cast<std::size_t>(g.qubits[i])];
+        }
+        if (all) bits[static_cast<std::size_t>(g.qubits.back())] ^= 1;
+        break;
+      }
+      default:
+        throw InvalidArgument("classical_outcome: non-classical gate " + g.name());
+    }
+  }
+  std::size_t index = 0;
+  for (std::size_t q = 0; q < bits.size(); ++q) {
+    if (bits[q]) index |= std::size_t{1} << q;
+  }
+  std::string out(m.size(), '0');
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if ((index >> m[i]) & 1) out[m.size() - 1 - i] = '1';
+  }
+  return out;
+}
+
+}  // namespace tetris::sim

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "qir/circuit.h"
+#include "sim/noise.h"
+
+namespace tetris::sim {
+
+/// Shot histogram, keyed by bitstring in Qiskit convention: the character at
+/// position 0 is the *highest-indexed* measured qubit, the last character is
+/// qubit 0 (or the first entry of the measured list). "01" with measured
+/// qubits {0,1} means qubit1=0, qubit0=1.
+struct Counts {
+  std::map<std::string, std::size_t> histogram;
+  std::size_t shots = 0;
+
+  /// Count for a specific bitstring (0 if absent).
+  std::size_t count(const std::string& bitstring) const;
+
+  /// Normalized distribution (sums to 1 when shots > 0).
+  std::map<std::string, double> distribution() const;
+
+  /// Most frequent outcome; throws InvalidArgument when empty.
+  std::string mode() const;
+};
+
+/// Renders basis index `index` as a bitstring over `num_bits` bits,
+/// most-significant (highest qubit) first.
+std::string bitstring(std::size_t index, int num_bits);
+
+/// Options for the trajectory sampler.
+struct SampleOptions {
+  std::size_t shots = 1000;
+  /// Qubits to measure, in register order; empty means all qubits.
+  std::vector<int> measured;
+};
+
+/// Samples measurement outcomes of `circuit` under `noise`.
+///
+/// Ideal (noise-free) parts are served from a single state-vector run; shots
+/// on which at least one gate error fires are re-simulated as individual
+/// Pauli trajectories. Readout errors are applied per shot.
+Counts sample(const qir::Circuit& circuit, const NoiseModel& noise, Rng& rng,
+              const SampleOptions& options = {});
+
+/// Exact noise-free outcome distribution over the measured qubits
+/// (marginalized if `measured` is a strict subset).
+std::map<std::string, double> ideal_distribution(
+    const qir::Circuit& circuit, const std::vector<int>& measured = {});
+
+/// The single deterministic outcome of a classical (reversible) circuit on
+/// |0...0>, restricted to `measured` (all qubits when empty). Throws
+/// InvalidArgument if the circuit is not classical.
+std::string classical_outcome(const qir::Circuit& circuit,
+                              const std::vector<int>& measured = {});
+
+}  // namespace tetris::sim

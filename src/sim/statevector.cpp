@@ -1,0 +1,257 @@
+#include "sim/statevector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace tetris::sim {
+
+namespace {
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+const cplx kI(0.0, 1.0);
+}  // namespace
+
+void single_qubit_matrix(qir::GateKind kind, const std::vector<double>& params,
+                         cplx out[2][2]) {
+  using qir::GateKind;
+  auto set = [&](cplx a, cplx b, cplx c, cplx d) {
+    out[0][0] = a; out[0][1] = b; out[1][0] = c; out[1][1] = d;
+  };
+  switch (kind) {
+    case GateKind::I:    set(1, 0, 0, 1); return;
+    case GateKind::X:    set(0, 1, 1, 0); return;
+    case GateKind::Y:    set(0, -kI, kI, 0); return;
+    case GateKind::Z:    set(1, 0, 0, -1); return;
+    case GateKind::H:    set(kInvSqrt2, kInvSqrt2, kInvSqrt2, -kInvSqrt2); return;
+    case GateKind::S:    set(1, 0, 0, kI); return;
+    case GateKind::Sdg:  set(1, 0, 0, -kI); return;
+    case GateKind::T:    set(1, 0, 0, std::exp(kI * (M_PI / 4.0))); return;
+    case GateKind::Tdg:  set(1, 0, 0, std::exp(-kI * (M_PI / 4.0))); return;
+    case GateKind::SX:
+      set(0.5 * cplx(1, 1), 0.5 * cplx(1, -1), 0.5 * cplx(1, -1), 0.5 * cplx(1, 1));
+      return;
+    case GateKind::SXdg:
+      set(0.5 * cplx(1, -1), 0.5 * cplx(1, 1), 0.5 * cplx(1, 1), 0.5 * cplx(1, -1));
+      return;
+    case GateKind::RX: {
+      double t = params.at(0) / 2.0;
+      set(std::cos(t), -kI * std::sin(t), -kI * std::sin(t), std::cos(t));
+      return;
+    }
+    case GateKind::RY: {
+      double t = params.at(0) / 2.0;
+      set(std::cos(t), -std::sin(t), std::sin(t), std::cos(t));
+      return;
+    }
+    case GateKind::RZ: {
+      double t = params.at(0) / 2.0;
+      set(std::exp(-kI * t), 0, 0, std::exp(kI * t));
+      return;
+    }
+    case GateKind::P:
+      set(1, 0, 0, std::exp(kI * params.at(0)));
+      return;
+    default:
+      throw InvalidArgument("single_qubit_matrix: kind '" +
+                            qir::gate_kind_name(kind) + "' is not single-qubit");
+  }
+}
+
+StateVector::StateVector(int num_qubits) : num_qubits_(num_qubits) {
+  TETRIS_REQUIRE(num_qubits >= 0 && num_qubits <= 28,
+                 "StateVector supports 0..28 qubits");
+  amps_.assign(std::size_t{1} << num_qubits, cplx(0.0, 0.0));
+  amps_[0] = 1.0;
+}
+
+void StateVector::reset() {
+  std::fill(amps_.begin(), amps_.end(), cplx(0.0, 0.0));
+  amps_[0] = 1.0;
+}
+
+void StateVector::set_basis_state(std::size_t index) {
+  TETRIS_REQUIRE(index < amps_.size(), "set_basis_state: index out of range");
+  std::fill(amps_.begin(), amps_.end(), cplx(0.0, 0.0));
+  amps_[index] = 1.0;
+}
+
+void StateVector::apply_single_qubit(const cplx m[2][2], int q) {
+  const std::size_t stride = std::size_t{1} << q;
+  const std::size_t n = amps_.size();
+  for (std::size_t base = 0; base < n; base += 2 * stride) {
+    for (std::size_t offset = 0; offset < stride; ++offset) {
+      std::size_t i0 = base + offset;
+      std::size_t i1 = i0 + stride;
+      cplx a0 = amps_[i0];
+      cplx a1 = amps_[i1];
+      amps_[i0] = m[0][0] * a0 + m[0][1] * a1;
+      amps_[i1] = m[1][0] * a0 + m[1][1] * a1;
+    }
+  }
+}
+
+void StateVector::apply_controlled_single(const cplx m[2][2],
+                                          std::size_t control_mask, int q) {
+  const std::size_t stride = std::size_t{1} << q;
+  const std::size_t n = amps_.size();
+  for (std::size_t base = 0; base < n; base += 2 * stride) {
+    for (std::size_t offset = 0; offset < stride; ++offset) {
+      std::size_t i0 = base + offset;
+      if ((i0 & control_mask) != control_mask) continue;
+      std::size_t i1 = i0 + stride;
+      cplx a0 = amps_[i0];
+      cplx a1 = amps_[i1];
+      amps_[i0] = m[0][0] * a0 + m[0][1] * a1;
+      amps_[i1] = m[1][0] * a0 + m[1][1] * a1;
+    }
+  }
+}
+
+void StateVector::apply_swap(int a, int b) {
+  const std::size_t bit_a = std::size_t{1} << a;
+  const std::size_t bit_b = std::size_t{1} << b;
+  const std::size_t n = amps_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    bool ba = (i & bit_a) != 0;
+    bool bb = (i & bit_b) != 0;
+    if (ba && !bb) {
+      std::size_t j = (i & ~bit_a) | bit_b;
+      std::swap(amps_[i], amps_[j]);
+    }
+  }
+}
+
+void StateVector::apply_controlled_swap(std::size_t control_mask, int a, int b) {
+  const std::size_t bit_a = std::size_t{1} << a;
+  const std::size_t bit_b = std::size_t{1} << b;
+  const std::size_t n = amps_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((i & control_mask) != control_mask) continue;
+    bool ba = (i & bit_a) != 0;
+    bool bb = (i & bit_b) != 0;
+    if (ba && !bb) {
+      std::size_t j = (i & ~bit_a) | bit_b;
+      std::swap(amps_[i], amps_[j]);
+    }
+  }
+}
+
+void StateVector::apply_gate(const qir::Gate& gate) {
+  using qir::GateKind;
+  for (int q : gate.qubits) {
+    TETRIS_REQUIRE(q >= 0 && q < num_qubits_, "apply_gate: qubit out of range");
+  }
+  switch (gate.kind) {
+    case GateKind::Barrier:
+      return;
+    case GateKind::SWAP:
+      apply_swap(gate.qubits[0], gate.qubits[1]);
+      return;
+    case GateKind::CSWAP:
+      apply_controlled_swap(std::size_t{1} << gate.qubits[0], gate.qubits[1],
+                            gate.qubits[2]);
+      return;
+    case GateKind::CX:
+    case GateKind::CY:
+    case GateKind::CZ:
+    case GateKind::CH:
+    case GateKind::CP:
+    case GateKind::CRZ:
+    case GateKind::CCX:
+    case GateKind::MCX: {
+      // Controls are all qubits but the last; build the base single-qubit
+      // matrix the controlled kind applies on its target.
+      GateKind base;
+      switch (gate.kind) {
+        case GateKind::CX:
+        case GateKind::CCX:
+        case GateKind::MCX: base = GateKind::X; break;
+        case GateKind::CY:  base = GateKind::Y; break;
+        case GateKind::CZ:  base = GateKind::Z; break;
+        case GateKind::CH:  base = GateKind::H; break;
+        case GateKind::CP:  base = GateKind::P; break;
+        default:            base = GateKind::RZ; break;  // CRZ
+      }
+      cplx m[2][2];
+      single_qubit_matrix(base, gate.params, m);
+      std::size_t mask = 0;
+      for (std::size_t i = 0; i + 1 < gate.qubits.size(); ++i) {
+        mask |= std::size_t{1} << gate.qubits[i];
+      }
+      apply_controlled_single(m, mask, gate.qubits.back());
+      return;
+    }
+    default: {
+      cplx m[2][2];
+      single_qubit_matrix(gate.kind, gate.params, m);
+      apply_single_qubit(m, gate.qubits[0]);
+      return;
+    }
+  }
+}
+
+void StateVector::apply_circuit(const qir::Circuit& circuit) {
+  TETRIS_REQUIRE(circuit.num_qubits() <= num_qubits_,
+                 "apply_circuit: circuit wider than register");
+  for (const auto& g : circuit.gates()) apply_gate(g);
+}
+
+void StateVector::apply_pauli(char pauli, int q) {
+  switch (pauli) {
+    case 'I': return;
+    case 'X': apply_gate(qir::make_x(q)); return;
+    case 'Y': apply_gate(qir::make_y(q)); return;
+    case 'Z': apply_gate(qir::make_z(q)); return;
+    default:
+      throw InvalidArgument(std::string("apply_pauli: bad Pauli '") + pauli + "'");
+  }
+}
+
+std::vector<double> StateVector::probabilities() const {
+  std::vector<double> p(amps_.size());
+  for (std::size_t i = 0; i < amps_.size(); ++i) p[i] = std::norm(amps_[i]);
+  return p;
+}
+
+std::size_t StateVector::sample(Rng& rng) const {
+  double r = rng.uniform();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    acc += std::norm(amps_[i]);
+    if (r < acc) return i;
+  }
+  return amps_.size() - 1;  // numerical tail
+}
+
+cplx StateVector::inner(const StateVector& other) const {
+  TETRIS_REQUIRE(num_qubits_ == other.num_qubits_, "inner: width mismatch");
+  cplx acc(0.0, 0.0);
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    acc += std::conj(amps_[i]) * other.amps_[i];
+  }
+  return acc;
+}
+
+double StateVector::fidelity(const StateVector& other) const {
+  return std::norm(inner(other));
+}
+
+double StateVector::max_abs_diff(const StateVector& other) const {
+  TETRIS_REQUIRE(num_qubits_ == other.num_qubits_, "max_abs_diff: width mismatch");
+  double mx = 0.0;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    mx = std::max(mx, std::abs(amps_[i] - other.amps_[i]));
+  }
+  return mx;
+}
+
+void StateVector::normalize() {
+  double norm2 = 0.0;
+  for (const cplx& a : amps_) norm2 += std::norm(a);
+  TETRIS_REQUIRE(norm2 > 0.0, "normalize: zero state");
+  double inv = 1.0 / std::sqrt(norm2);
+  for (cplx& a : amps_) a *= inv;
+}
+
+}  // namespace tetris::sim

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "common/rng.h"
+#include "qir/circuit.h"
+
+namespace tetris::sim {
+
+using cplx = std::complex<double>;
+
+/// Dense state-vector simulator.
+///
+/// Holds 2^n complex amplitudes in little-endian qubit order: basis index
+/// `i` has qubit q in state bit `(i >> q) & 1`. All gate kinds of the IR are
+/// supported natively; controlled kinds are applied as a (control-mask,
+/// 2x2 target matrix) pair, and the permutation kinds (X family, SWAP) use
+/// specialised kernels.
+///
+/// The register size is bounded only by memory; the RevLib experiments top
+/// out at 12 qubits (4096 amplitudes), far below any practical limit.
+class StateVector {
+ public:
+  /// Initializes |0...0> on `num_qubits` wires (0 <= num_qubits <= 28).
+  explicit StateVector(int num_qubits);
+
+  int num_qubits() const { return num_qubits_; }
+  std::size_t dim() const { return amps_.size(); }
+  const std::vector<cplx>& amplitudes() const { return amps_; }
+
+  /// Resets to |0...0>.
+  void reset();
+
+  /// Sets the register to the computational basis state |index>.
+  void set_basis_state(std::size_t index);
+
+  /// Applies one gate (Barrier is a no-op).
+  void apply_gate(const qir::Gate& gate);
+
+  /// Applies every gate of the circuit in order. The circuit width must not
+  /// exceed the register width.
+  void apply_circuit(const qir::Circuit& circuit);
+
+  /// Applies a single Pauli ('I', 'X', 'Y' or 'Z') to qubit q — the noise
+  /// channel injection primitive for trajectory simulation.
+  void apply_pauli(char pauli, int q);
+
+  /// Measurement probabilities |amp|^2 for every basis state.
+  std::vector<double> probabilities() const;
+
+  /// Draws one measurement outcome (basis index) without collapsing.
+  std::size_t sample(Rng& rng) const;
+
+  /// <this|other>; registers must have equal width.
+  cplx inner(const StateVector& other) const;
+
+  /// |<this|other>|^2.
+  double fidelity(const StateVector& other) const;
+
+  /// Max |amp_i - other.amp_i| — used by tests for exactness checks.
+  double max_abs_diff(const StateVector& other) const;
+
+  /// Renormalizes (guards against drift in long trajectories).
+  void normalize();
+
+ private:
+  void apply_single_qubit(const cplx m[2][2], int q);
+  void apply_controlled_single(const cplx m[2][2], std::size_t control_mask, int q);
+  void apply_swap(int a, int b);
+  void apply_controlled_swap(std::size_t control_mask, int a, int b);
+
+  int num_qubits_;
+  std::vector<cplx> amps_;
+};
+
+/// 2x2 matrix for a single-qubit kind (throws for multi-qubit kinds).
+void single_qubit_matrix(qir::GateKind kind, const std::vector<double>& params,
+                         cplx out[2][2]);
+
+}  // namespace tetris::sim

@@ -1,0 +1,89 @@
+#include "sim/unitary.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "sim/statevector.h"
+
+namespace tetris::sim {
+
+std::complex<double>& Unitary::at(std::size_t row, std::size_t col) {
+  return data.at(col * dim() + row);
+}
+
+const std::complex<double>& Unitary::at(std::size_t row, std::size_t col) const {
+  return data.at(col * dim() + row);
+}
+
+Unitary build_unitary(const qir::Circuit& circuit) {
+  TETRIS_REQUIRE(circuit.num_qubits() <= 12,
+                 "build_unitary: register too wide for dense unitary");
+  Unitary u;
+  u.num_qubits = circuit.num_qubits();
+  std::size_t dim = u.dim();
+  u.data.assign(dim * dim, {0.0, 0.0});
+
+  StateVector sv(circuit.num_qubits());
+  for (std::size_t col = 0; col < dim; ++col) {
+    sv.set_basis_state(col);
+    sv.apply_circuit(circuit);
+    const auto& amps = sv.amplitudes();
+    for (std::size_t row = 0; row < dim; ++row) {
+      u.data[col * dim + row] = amps[row];
+    }
+  }
+  return u;
+}
+
+bool equal_up_to_phase(const Unitary& a, const Unitary& b, double atol) {
+  if (a.num_qubits != b.num_qubits) return false;
+  std::size_t n = a.data.size();
+  // Find the largest-magnitude entry of b to anchor the phase estimate.
+  std::size_t anchor = 0;
+  double best = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double m = std::abs(b.data[i]);
+    if (m > best) {
+      best = m;
+      anchor = i;
+    }
+  }
+  if (best < atol) {
+    // b ~ 0; only equal if a ~ 0 too (degenerate, not a unitary).
+    for (std::size_t i = 0; i < n; ++i) {
+      if (std::abs(a.data[i]) > atol) return false;
+    }
+    return true;
+  }
+  std::complex<double> phase = a.data[anchor] / b.data[anchor];
+  double mag = std::abs(phase);
+  if (std::abs(mag - 1.0) > 1e-6) return false;
+  phase /= mag;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::abs(a.data[i] - phase * b.data[i]) > atol) return false;
+  }
+  return true;
+}
+
+bool circuits_equivalent(const qir::Circuit& a, const qir::Circuit& b,
+                         double atol) {
+  if (a.num_qubits() != b.num_qubits()) return false;
+  return equal_up_to_phase(build_unitary(a), build_unitary(b), atol);
+}
+
+bool is_unitary(const Unitary& u, double atol) {
+  std::size_t dim = u.dim();
+  for (std::size_t c1 = 0; c1 < dim; ++c1) {
+    for (std::size_t c2 = c1; c2 < dim; ++c2) {
+      std::complex<double> dot(0.0, 0.0);
+      for (std::size_t r = 0; r < dim; ++r) {
+        dot += std::conj(u.at(r, c1)) * u.at(r, c2);
+      }
+      double expected = (c1 == c2) ? 1.0 : 0.0;
+      if (std::abs(dot - expected) > atol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace tetris::sim

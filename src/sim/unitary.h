@@ -1,0 +1,37 @@
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "qir/circuit.h"
+
+namespace tetris::sim {
+
+/// Dense unitary of a circuit, stored column-major: column j is the image of
+/// basis state |j>. Intended for verification on small registers (<= 10
+/// qubits keeps it under 16 MiB); throws beyond 12 qubits.
+struct Unitary {
+  int num_qubits = 0;
+  std::vector<std::complex<double>> data;  // dim*dim, column-major
+
+  std::size_t dim() const { return std::size_t{1} << num_qubits; }
+  std::complex<double>& at(std::size_t row, std::size_t col);
+  const std::complex<double>& at(std::size_t row, std::size_t col) const;
+};
+
+/// Computes the unitary by applying the circuit to every basis state.
+Unitary build_unitary(const qir::Circuit& circuit);
+
+/// True if |a - e^{i phi} b| < atol element-wise for the best global phase —
+/// the equivalence the compiler must preserve (global phase is unobservable).
+bool equal_up_to_phase(const Unitary& a, const Unitary& b, double atol = 1e-9);
+
+/// True if the circuits have equal width and equivalent unitaries up to
+/// global phase. Convenience wrapper over build_unitary.
+bool circuits_equivalent(const qir::Circuit& a, const qir::Circuit& b,
+                         double atol = 1e-9);
+
+/// Checks U U^dagger = I within atol (sanity check for decomposition rules).
+bool is_unitary(const Unitary& u, double atol = 1e-9);
+
+}  // namespace tetris::sim

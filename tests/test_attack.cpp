@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "attack/boundary.h"
+#include "attack/collusion.h"
+#include "baselines/das_insertion.h"
+#include "baselines/saki_split.h"
+#include "common/combinatorics.h"
+#include "lock/obfuscator.h"
+#include "lock/splitter.h"
+#include "revlib/benchmarks.h"
+
+namespace tetris::attack {
+namespace {
+
+TEST(CascadeCollusion, TrivialAlignmentFoundFast) {
+  // Unpermuted cascade splits: the identity mapping works and is found
+  // within the first few candidates — the vulnerability the paper describes.
+  auto c = revlib::build_1bit_adder();
+  auto split = baselines::cascade_split(c, 0.5);
+  auto result =
+      cascade_collusion_attack(split.first, split.second, c, 1'000'000);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.mappings_tried, 1u);  // identity is the first permutation
+  EXPECT_EQ(result.search_space, factorial_exact(4));
+}
+
+TEST(CascadeCollusion, SwapNetworkDefeatsExactMatchButSpaceIsTiny) {
+  auto c = revlib::build_1bit_adder();
+  Rng rng(5);
+  auto split = baselines::cascade_split_with_swap_network(c, rng, 0.5);
+  // With the swap network in place, no qubit bijection reproduces the exact
+  // original unitary (the residual output permutation remains), so the naive
+  // exact-match oracle sweeps the whole space — but that space is just n!,
+  // which is the quantitative weakness TetrisLock's unequal splits remove.
+  auto result =
+      cascade_collusion_attack(split.first, split.second, c, 1'000'000);
+  EXPECT_EQ(result.search_space, 24u);
+  EXPECT_LE(result.mappings_tried, 24u);
+}
+
+TEST(TetrisCollusion, SearchSpaceMatchesEq1Term) {
+  // For split widths (n1, n2) the enumerated space must equal
+  // sum_j C(n1,j) C(n2,j) j! (Eq. 1 inner sum with k = 1).
+  Rng rng(3);
+  lock::Obfuscator obf;
+  auto o = obf.obfuscate(revlib::build_4mod5(), rng);
+  lock::InterlockSplitter splitter;
+  auto pair = splitter.split(o, rng);
+
+  auto result = collusion_attack(pair.first.circuit, pair.second.circuit,
+                                 o.original, pair.first.local_to_orig,
+                                 /*max_tries=*/0);  // just enumerate the space
+  std::uint64_t expected = 0;
+  int n1 = pair.first.circuit.num_qubits();
+  int n2 = pair.second.circuit.num_qubits();
+  for (int j = 0; j <= std::min(n1, n2); ++j) {
+    expected +=
+        binomial_exact(n1, j) * binomial_exact(n2, j) * factorial_exact(j);
+  }
+  EXPECT_EQ(result.search_space, expected);
+  EXPECT_FALSE(result.success);  // zero tries allowed
+}
+
+TEST(TetrisCollusion, OracleAttackEventuallySucceedsOnTinyCase) {
+  // With the attacker-favorable oracle the true stitching is in the space,
+  // so an exhaustive sweep must find *some* functionally-correct match.
+  Rng rng(11);
+  lock::Obfuscator obf;
+  auto o = obf.obfuscate(revlib::build_4gt13(), rng);
+  lock::InterlockSplitter splitter;
+  auto pair = splitter.split(o, rng);
+
+  auto result = collusion_attack(pair.first.circuit, pair.second.circuit,
+                                 o.original, pair.first.local_to_orig,
+                                 5'000'000);
+  EXPECT_TRUE(result.success);
+  EXPECT_GE(result.mappings_tried, 1u);
+}
+
+TEST(TetrisCollusion, CostExceedsCascadeCost) {
+  // Same circuit, both defenses, same oracle: TetrisLock forces more tries.
+  auto c = revlib::build_4gt13();
+
+  auto cascade = baselines::cascade_split(c, 0.5);
+  auto cascade_result =
+      cascade_collusion_attack(cascade.first, cascade.second, c, 5'000'000);
+  ASSERT_TRUE(cascade_result.success);
+
+  Rng rng(11);
+  lock::Obfuscator obf;
+  auto o = obf.obfuscate(c, rng);
+  lock::InterlockSplitter splitter;
+  auto pair = splitter.split(o, rng);
+  auto tetris_result = collusion_attack(
+      pair.first.circuit, pair.second.circuit, c, pair.first.local_to_orig,
+      5'000'000);
+  ASSERT_TRUE(tetris_result.success);
+
+  EXPECT_GT(tetris_result.search_space, cascade_result.search_space);
+  EXPECT_GT(tetris_result.mappings_tried, cascade_result.mappings_tried);
+}
+
+TEST(TetrisCollusion, ValidatesInput) {
+  qir::Circuit a(2), b(2), orig(2);
+  EXPECT_THROW(collusion_attack(a, b, orig, {0}, 10), InvalidArgument);
+}
+
+TEST(Boundary, PrefixInsertionIsDetected) {
+  auto c = revlib::build_4gt13();
+  Rng rng(3);
+  auto obf = baselines::prefix_obfuscate(c, 3, rng);
+  auto scan =
+      scan_prefix_boundary(obf.obfuscated, obf.random.gate_count());
+  EXPECT_TRUE(scan.true_prefix_flagged)
+      << "prefix-insertion boundary should be structurally visible";
+}
+
+TEST(Boundary, TetrisLockLeavesNoDepthFootprint) {
+  // Scan the masked circuit R.C the adversary holds: slot-filled insertion
+  // must never produce a depth-consistent prefix candidate.
+  Rng rng(7);
+  lock::Obfuscator obf;
+  auto o = obf.obfuscate(revlib::build_rd53(), rng);
+  ASSERT_GE(o.random.size(), 1u);
+  qir::Circuit masked = o.masked();
+  auto scan = scan_prefix_boundary(masked, o.random.size());
+  EXPECT_FALSE(scan.true_prefix_flagged)
+      << "slot-filled insertion must not leave a depth footprint at the "
+         "true boundary";
+}
+
+TEST(Boundary, ValidatesPrefixLength) {
+  qir::Circuit c(2);
+  c.x(0);
+  EXPECT_THROW(scan_prefix_boundary(c, 5), InvalidArgument);
+}
+
+TEST(Boundary, ScanAcrossSeedsDasAlwaysLeaks) {
+  auto c = revlib::build_4mod5();
+  int detected = 0;
+  const int trials = 8;
+  for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+    Rng rng(seed);
+    auto obf = baselines::prefix_obfuscate(c, 3, rng);
+    auto scan = scan_prefix_boundary(obf.obfuscated, obf.random.gate_count());
+    if (scan.true_prefix_flagged) ++detected;
+  }
+  EXPECT_EQ(detected, trials);
+}
+
+}  // namespace
+}  // namespace tetris::attack

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "baselines/das_insertion.h"
+#include "baselines/saki_split.h"
+#include "common/error.h"
+#include "revlib/benchmarks.h"
+#include "sim/unitary.h"
+
+namespace tetris::baselines {
+namespace {
+
+TEST(CascadeSplit, PartsCoverAllGates) {
+  auto c = revlib::build_rd53();
+  auto split = cascade_split(c, 0.5);
+  EXPECT_EQ(split.first.gate_count() + split.second.gate_count(),
+            c.gate_count());
+}
+
+TEST(CascadeSplit, BothPartsFullWidth) {
+  auto c = revlib::build_4gt11();
+  auto split = cascade_split(c, 0.5);
+  EXPECT_EQ(split.first.num_qubits(), c.num_qubits());
+  EXPECT_EQ(split.second.num_qubits(), c.num_qubits());
+}
+
+TEST(CascadeSplit, RecombineRestoresFunction) {
+  auto c = revlib::build_4mod5();
+  auto split = cascade_split(c, 0.4);
+  EXPECT_TRUE(sim::circuits_equivalent(cascade_recombine(split), c));
+}
+
+TEST(CascadeSplit, CutFractionValidated) {
+  auto c = revlib::build_4mod5();
+  EXPECT_THROW(cascade_split(c, 0.0), InvalidArgument);
+  EXPECT_THROW(cascade_split(c, 1.0), InvalidArgument);
+}
+
+TEST(CascadeSplit, StraightCutRespectsLayers) {
+  auto c = revlib::build_4gt11();  // depth 13, fully sequential
+  auto split = cascade_split(c, 0.5);
+  // depth(first) + depth(second) == depth(original) for a straight cut of a
+  // chain circuit.
+  EXPECT_EQ(split.first.depth() + split.second.depth(), c.depth());
+}
+
+TEST(CascadeSwapNetwork, RecombineRestoresFunction) {
+  auto c = revlib::build_1bit_adder();
+  Rng rng(13);
+  auto split = cascade_split_with_swap_network(c, rng, 0.5);
+  EXPECT_TRUE(sim::circuits_equivalent(cascade_recombine(split), c));
+}
+
+TEST(CascadeSwapNetwork, PermutationRecorded) {
+  auto c = revlib::build_4mod5();
+  Rng rng(5);
+  auto split = cascade_split_with_swap_network(c, rng, 0.5);
+  ASSERT_EQ(split.permutation.size(), 5u);
+  std::set<int> seen(split.permutation.begin(), split.permutation.end());
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(CascadeSwapNetwork, FirstPartContainsSwaps) {
+  auto c = revlib::build_rd53();
+  // Try seeds until the permutation is non-identity (near-certain quickly).
+  for (std::uint64_t seed = 1; seed < 10; ++seed) {
+    Rng rng(seed);
+    auto split = cascade_split_with_swap_network(c, rng, 0.5);
+    bool identity = true;
+    for (std::size_t q = 0; q < split.permutation.size(); ++q) {
+      identity = identity && split.permutation[q] == static_cast<int>(q);
+    }
+    if (!identity) {
+      auto ops = split.first.count_ops();
+      EXPECT_GT(ops["swap"], 0u);
+      return;
+    }
+  }
+  FAIL() << "all sampled permutations were identity";
+}
+
+TEST(PrefixObfuscation, AddsRequestedGates) {
+  auto c = revlib::build_4mod5();
+  Rng rng(3);
+  auto obf = prefix_obfuscate(c, 4, rng);
+  EXPECT_EQ(obf.random.gate_count(), 4u);
+  EXPECT_EQ(obf.obfuscated.gate_count(), c.gate_count() + 4);
+}
+
+TEST(PrefixObfuscation, AddsDepthUnlikeTetrisLock) {
+  auto c = revlib::build_4gt13();
+  Rng rng(7);
+  auto obf = prefix_obfuscate(c, 4, rng);
+  EXPECT_GT(obf.obfuscated.depth(), c.depth());
+}
+
+TEST(PrefixObfuscation, ObfuscatedUsuallyDiffersFromOriginal) {
+  auto c = revlib::build_4mod5();
+  int differs = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    auto obf = prefix_obfuscate(c, 3, rng);
+    if (!sim::circuits_equivalent(obf.obfuscated, c)) ++differs;
+  }
+  EXPECT_GE(differs, 4);
+}
+
+TEST(PrefixObfuscation, RestoreIsExact) {
+  auto c = revlib::build_1bit_adder();
+  Rng rng(11);
+  auto obf = prefix_obfuscate(c, 5, rng);
+  EXPECT_TRUE(sim::circuits_equivalent(prefix_restore(obf), c));
+}
+
+TEST(PrefixObfuscation, ZeroGatesIsIdentityTransform) {
+  auto c = revlib::build_4mod5();
+  Rng rng(1);
+  auto obf = prefix_obfuscate(c, 0, rng);
+  EXPECT_EQ(obf.obfuscated.gate_count(), c.gate_count());
+  EXPECT_THROW(prefix_obfuscate(c, -1, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace tetris::baselines

@@ -1,0 +1,104 @@
+#include "revlib/benchmarks.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "qir/layers.h"
+#include "revlib/real_format.h"
+#include "sim/sampler.h"
+
+namespace tetris::revlib {
+namespace {
+
+/// Table-I pins: each reconstruction must match the paper's size stats.
+class BenchmarkShape : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BenchmarkShape, MatchesTable1Statistics) {
+  const Benchmark& b = get_benchmark(GetParam());
+  EXPECT_EQ(static_cast<int>(b.circuit.gate_count()), b.expected_gates);
+  EXPECT_EQ(b.circuit.depth(), b.expected_depth);
+}
+
+TEST_P(BenchmarkShape, IsClassicalReversible) {
+  const Benchmark& b = get_benchmark(GetParam());
+  EXPECT_TRUE(b.circuit.is_classical());
+}
+
+TEST_P(BenchmarkShape, MeasuredQubitsInRange) {
+  const Benchmark& b = get_benchmark(GetParam());
+  EXPECT_FALSE(b.measured.empty());
+  for (int q : b.measured) {
+    EXPECT_GE(q, 0);
+    EXPECT_LT(q, b.circuit.num_qubits());
+  }
+}
+
+TEST_P(BenchmarkShape, HasDeterministicOutcome) {
+  const Benchmark& b = get_benchmark(GetParam());
+  EXPECT_NO_THROW(sim::classical_outcome(b.circuit, b.measured));
+}
+
+TEST_P(BenchmarkShape, HasLeadingSlackForInsertion) {
+  // Algorithm 1 needs at least one qubit with >= 2 leading idle layers to
+  // host an X + X^-1 pair without depth growth.
+  const Benchmark& b = get_benchmark(GetParam());
+  qir::LayerSchedule sched(b.circuit);
+  int best = 0;
+  for (int q = 0; q < b.circuit.num_qubits(); ++q) {
+    best = std::max(best, sched.leading_capacity(q));
+  }
+  EXPECT_GE(best, 2) << b.name;
+}
+
+TEST_P(BenchmarkShape, SerializesToRealFormat) {
+  const Benchmark& b = get_benchmark(GetParam());
+  auto round = from_real(to_real(b.circuit));
+  EXPECT_EQ(round.gate_count(), b.circuit.gate_count());
+  EXPECT_EQ(round.depth(), b.circuit.depth());
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, BenchmarkShape,
+                         ::testing::ValuesIn(benchmark_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Benchmarks, TableHasEightEntriesInPaperOrder) {
+  auto names = benchmark_names();
+  ASSERT_EQ(names.size(), 8u);
+  EXPECT_EQ(names[0], "mini_alu");
+  EXPECT_EQ(names[1], "4mod5");
+  EXPECT_EQ(names[2], "1bit_adder");
+  EXPECT_EQ(names[3], "4gt11");
+  EXPECT_EQ(names[4], "4gt13");
+  EXPECT_EQ(names[5], "rd53");
+  EXPECT_EQ(names[6], "rd73");
+  EXPECT_EQ(names[7], "rd84");
+}
+
+TEST(Benchmarks, QubitCountsSpanPaperRange) {
+  EXPECT_EQ(get_benchmark("1bit_adder").circuit.num_qubits(), 4);
+  EXPECT_EQ(get_benchmark("4mod5").circuit.num_qubits(), 5);
+  EXPECT_EQ(get_benchmark("rd53").circuit.num_qubits(), 7);
+  EXPECT_EQ(get_benchmark("rd73").circuit.num_qubits(), 10);
+  EXPECT_EQ(get_benchmark("rd84").circuit.num_qubits(), 12);
+}
+
+TEST(Benchmarks, UnknownNameThrows) {
+  EXPECT_THROW(get_benchmark("nonexistent"), InvalidArgument);
+}
+
+TEST(Benchmarks, GateCountRangeMatchesPaperClaim) {
+  // "number of gates ranging from 4 to 32"
+  for (const auto& b : table1_benchmarks()) {
+    EXPECT_GE(b.expected_gates, 4);
+    EXPECT_LE(b.expected_gates, 32);
+  }
+}
+
+}  // namespace
+}  // namespace tetris::revlib

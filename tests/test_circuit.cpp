@@ -1,0 +1,208 @@
+#include "qir/circuit.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace tetris::qir {
+namespace {
+
+TEST(Circuit, EmptyCircuit) {
+  Circuit c(3);
+  EXPECT_EQ(c.num_qubits(), 3);
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.depth(), 0);
+  EXPECT_EQ(c.gate_count(), 0u);
+  EXPECT_TRUE(c.used_qubits().empty());
+}
+
+TEST(Circuit, NegativeWidthRejected) {
+  EXPECT_THROW(Circuit(-1), InvalidArgument);
+}
+
+TEST(Circuit, BuilderChains) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).ccx(0, 1, 2).x(2);
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.gate(1).kind, GateKind::CX);
+}
+
+TEST(Circuit, AddValidatesQubitRange) {
+  Circuit c(2);
+  EXPECT_THROW(c.x(2), InvalidArgument);
+  EXPECT_THROW(c.x(-1), InvalidArgument);
+  EXPECT_THROW(c.cx(0, 5), InvalidArgument);
+}
+
+TEST(Circuit, AddValidatesDistinctQubits) {
+  Circuit c(3);
+  EXPECT_THROW(c.cx(1, 1), InvalidArgument);
+  EXPECT_THROW(c.ccx(0, 2, 2), InvalidArgument);
+}
+
+TEST(Circuit, AddValidatesArityAndParams) {
+  Circuit c(3);
+  EXPECT_THROW(c.add(Gate(GateKind::CX, {0})), InvalidArgument);
+  EXPECT_THROW(c.add(Gate(GateKind::X, {0}, {0.5})), InvalidArgument);
+  EXPECT_THROW(c.add(Gate(GateKind::RZ, {0})), InvalidArgument);
+  EXPECT_THROW(c.add(Gate(GateKind::MCX, {0, 1, 2})), InvalidArgument);
+}
+
+TEST(Circuit, DepthSerialVsParallel) {
+  Circuit serial(2);
+  serial.x(0).x(0).x(0);
+  EXPECT_EQ(serial.depth(), 3);
+
+  Circuit parallel(3);
+  parallel.x(0).x(1).x(2);
+  EXPECT_EQ(parallel.depth(), 1);
+
+  Circuit mixed(2);
+  mixed.x(0).cx(0, 1).x(1);
+  EXPECT_EQ(mixed.depth(), 3);
+}
+
+TEST(Circuit, BarrierAlignsButAddsNoDepth) {
+  Circuit c(2);
+  c.x(0).barrier().x(1);
+  // Without the barrier x(1) would be at layer 0; the barrier pushes it to 1.
+  EXPECT_EQ(c.depth(), 2);
+  EXPECT_EQ(c.gate_count(), 2u);  // barrier not counted
+  Circuit nobar = c.without_barriers();
+  EXPECT_EQ(nobar.size(), 2u);
+  EXPECT_EQ(nobar.depth(), 1);
+}
+
+TEST(Circuit, AppendSameWidth) {
+  Circuit a(2);
+  a.x(0);
+  Circuit b(2);
+  b.cx(0, 1);
+  a.append(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.gate(1).kind, GateKind::CX);
+}
+
+TEST(Circuit, AppendNarrowerIsAllowedWiderIsNot) {
+  Circuit wide(4);
+  Circuit narrow(2);
+  narrow.cx(0, 1);
+  wide.append(narrow);  // ok
+  EXPECT_EQ(wide.size(), 1u);
+  Circuit tiny(1);
+  EXPECT_THROW(tiny.append(wide), InvalidArgument);
+}
+
+TEST(Circuit, AppendMapped) {
+  Circuit host(4);
+  Circuit part(2);
+  part.cx(0, 1).x(1);
+  host.append_mapped(part, {3, 1});
+  ASSERT_EQ(host.size(), 2u);
+  EXPECT_EQ(host.gate(0).qubits, (std::vector<int>{3, 1}));
+  EXPECT_EQ(host.gate(1).qubits, (std::vector<int>{1}));
+}
+
+TEST(Circuit, AppendMappedValidatesSize) {
+  Circuit host(4);
+  Circuit part(2);
+  part.x(0);
+  EXPECT_THROW(host.append_mapped(part, {1}), InvalidArgument);
+}
+
+TEST(Circuit, InverseReversesAndAdjoints) {
+  Circuit c(2);
+  c.h(0).s(0).cx(0, 1).rz(0.5, 1);
+  Circuit inv = c.inverse();
+  ASSERT_EQ(inv.size(), 4u);
+  EXPECT_EQ(inv.gate(0).kind, GateKind::RZ);
+  EXPECT_DOUBLE_EQ(inv.gate(0).params[0], -0.5);
+  EXPECT_EQ(inv.gate(1).kind, GateKind::CX);
+  EXPECT_EQ(inv.gate(2).kind, GateKind::Sdg);
+  EXPECT_EQ(inv.gate(3).kind, GateKind::H);
+}
+
+TEST(Circuit, RemappedMovesQubits) {
+  Circuit c(2);
+  c.cx(0, 1);
+  Circuit r = c.remapped({2, 0}, 3);
+  EXPECT_EQ(r.num_qubits(), 3);
+  EXPECT_EQ(r.gate(0).qubits, (std::vector<int>{2, 0}));
+}
+
+TEST(Circuit, RemappedValidates) {
+  Circuit c(2);
+  c.cx(0, 1);
+  EXPECT_THROW(c.remapped({0}, 3), InvalidArgument);
+  EXPECT_THROW(c.remapped({0, 5}, 3), InvalidArgument);
+}
+
+TEST(Circuit, SubcircuitPicksGates) {
+  Circuit c(2);
+  c.x(0).cx(0, 1).x(1).h(0);
+  Circuit s = c.subcircuit({1, 3});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.gate(0).kind, GateKind::CX);
+  EXPECT_EQ(s.gate(1).kind, GateKind::H);
+}
+
+TEST(Circuit, CountOps) {
+  Circuit c(3);
+  c.x(0).x(1).cx(0, 1).ccx(0, 1, 2).barrier();
+  auto ops = c.count_ops();
+  EXPECT_EQ(ops["x"], 2u);
+  EXPECT_EQ(ops["cx"], 1u);
+  EXPECT_EQ(ops["ccx"], 1u);
+  EXPECT_EQ(ops.count("barrier"), 0u);
+  EXPECT_EQ(c.multi_qubit_gate_count(), 2u);
+}
+
+TEST(Circuit, UsedQubits) {
+  Circuit c(5);
+  c.cx(1, 3);
+  auto used = c.used_qubits();
+  EXPECT_EQ(used.size(), 2u);
+  EXPECT_TRUE(used.count(1));
+  EXPECT_TRUE(used.count(3));
+}
+
+TEST(Circuit, IsClassical) {
+  Circuit classical(3);
+  classical.x(0).cx(0, 1).ccx(0, 1, 2).swap(0, 2);
+  EXPECT_TRUE(classical.is_classical());
+  classical.h(0);
+  EXPECT_FALSE(classical.is_classical());
+}
+
+TEST(Circuit, EqualityIgnoresName) {
+  Circuit a(2, "a");
+  a.x(0);
+  Circuit b(2, "b");
+  b.x(0);
+  EXPECT_TRUE(a == b);
+  b.x(1);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Circuit, ApproxEqualAngles) {
+  Circuit a(1);
+  a.rz(0.5, 0);
+  Circuit b(1);
+  b.rz(0.5 + 1e-14, 0);
+  EXPECT_TRUE(a.approx_equal(b));
+  Circuit c(1);
+  c.rz(0.6, 0);
+  EXPECT_FALSE(a.approx_equal(c));
+}
+
+TEST(Circuit, ToStringListsGates) {
+  Circuit c(2, "demo");
+  c.x(0).cx(0, 1);
+  auto s = c.to_string();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("0: x q0"), std::string::npos);
+  EXPECT_NE(s.find("1: cx q0, q1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tetris::qir

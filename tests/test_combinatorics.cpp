@@ -1,0 +1,93 @@
+#include "common/combinatorics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace tetris {
+namespace {
+
+TEST(Combinatorics, FactorialExactSmall) {
+  EXPECT_EQ(factorial_exact(0), 1u);
+  EXPECT_EQ(factorial_exact(1), 1u);
+  EXPECT_EQ(factorial_exact(5), 120u);
+  EXPECT_EQ(factorial_exact(12), 479001600u);
+  EXPECT_EQ(factorial_exact(20), 2432902008176640000u);
+}
+
+TEST(Combinatorics, FactorialExactRejectsLarge) {
+  EXPECT_THROW(factorial_exact(21), InvalidArgument);
+  EXPECT_THROW(factorial_exact(-1), InvalidArgument);
+}
+
+TEST(Combinatorics, LogFactorialMatchesExact) {
+  for (int n = 0; n <= 20; ++n) {
+    double expected = std::log(static_cast<double>(factorial_exact(n)));
+    EXPECT_NEAR(log_factorial(n), expected, 1e-9) << "n=" << n;
+  }
+}
+
+TEST(Combinatorics, BinomialExactValues) {
+  EXPECT_EQ(binomial_exact(0, 0), 1u);
+  EXPECT_EQ(binomial_exact(5, 2), 10u);
+  EXPECT_EQ(binomial_exact(10, 5), 252u);
+  EXPECT_EQ(binomial_exact(12, 0), 1u);
+  EXPECT_EQ(binomial_exact(12, 12), 1u);
+  EXPECT_EQ(binomial_exact(12, 13), 0u);
+  EXPECT_EQ(binomial_exact(7, -1), 0u);
+}
+
+TEST(Combinatorics, BinomialPascalIdentity) {
+  for (int n = 1; n <= 30; ++n) {
+    for (int k = 1; k < n; ++k) {
+      EXPECT_EQ(binomial_exact(n, k),
+                binomial_exact(n - 1, k - 1) + binomial_exact(n - 1, k))
+          << n << " choose " << k;
+    }
+  }
+}
+
+TEST(Combinatorics, LogBinomialMatchesExact) {
+  for (int n = 0; n <= 20; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      double expected = std::log(static_cast<double>(binomial_exact(n, k)));
+      EXPECT_NEAR(log_binomial(n, k), expected, 1e-8);
+    }
+  }
+}
+
+TEST(Combinatorics, LogBinomialOutOfRangeIsMinusInf) {
+  EXPECT_TRUE(std::isinf(log_binomial(5, 6)));
+  EXPECT_LT(log_binomial(5, 6), 0);
+  EXPECT_TRUE(std::isinf(log_binomial(5, -1)));
+}
+
+TEST(Combinatorics, LogAddBasic) {
+  double a = std::log(3.0);
+  double b = std::log(4.0);
+  EXPECT_NEAR(log_add(a, b), std::log(7.0), 1e-12);
+}
+
+TEST(Combinatorics, LogAddWithMinusInf) {
+  double ninf = -std::numeric_limits<double>::infinity();
+  EXPECT_NEAR(log_add(ninf, std::log(2.0)), std::log(2.0), 1e-12);
+  EXPECT_NEAR(log_add(std::log(2.0), ninf), std::log(2.0), 1e-12);
+  EXPECT_TRUE(std::isinf(log_add(ninf, ninf)));
+}
+
+TEST(Combinatorics, LogAddLargeMagnitudes) {
+  // 1e300 + 1e300 = 2e300 without overflow in log space.
+  double l = std::log(1e300);
+  EXPECT_NEAR(log_add(l, l), l + std::log(2.0), 1e-9);
+}
+
+TEST(Combinatorics, LogToLog10) {
+  EXPECT_NEAR(log_to_log10(std::log(1000.0)), 3.0, 1e-12);
+  EXPECT_NEAR(log_to_log10(0.0), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tetris

@@ -1,0 +1,121 @@
+#include "compiler/commute.h"
+
+#include <gtest/gtest.h>
+
+#include "qir/library.h"
+#include "sim/unitary.h"
+
+namespace tetris::compiler {
+namespace {
+
+/// Property: whenever gates_commute claims [A,B] = 0, the dense unitaries of
+/// AB and BA must agree.
+class CommutePair
+    : public ::testing::TestWithParam<std::pair<qir::Gate, qir::Gate>> {};
+
+TEST_P(CommutePair, ClaimedCommutersActuallyCommute) {
+  const auto& [a, b] = GetParam();
+  ASSERT_TRUE(gates_commute(a, b));
+  ASSERT_TRUE(gates_commute(b, a));  // symmetry
+  int width = 0;
+  for (int q : a.qubits) width = std::max(width, q + 1);
+  for (int q : b.qubits) width = std::max(width, q + 1);
+  qir::Circuit ab(width), ba(width);
+  ab.add(a).add(b);
+  ba.add(b).add(a);
+  EXPECT_TRUE(sim::circuits_equivalent(ab, ba))
+      << a.to_string() << " vs " << b.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rules, CommutePair,
+    ::testing::Values(
+        // Disjoint supports.
+        std::make_pair(qir::make_h(0), qir::make_x(1)),
+        std::make_pair(qir::make_cx(0, 1), qir::make_cx(2, 3)),
+        // Both diagonal, shared wires.
+        std::make_pair(qir::make_rz(0.3, 0), qir::make_t(0)),
+        std::make_pair(qir::make_cz(0, 1), qir::make_rz(0.9, 1)),
+        std::make_pair(qir::make_cp(0.4, 0, 1), qir::make_cz(1, 0)),
+        // Diagonal on a CX control.
+        std::make_pair(qir::make_rz(1.1, 0), qir::make_cx(0, 1)),
+        std::make_pair(qir::make_t(2), qir::make_ccx(2, 0, 1)),
+        std::make_pair(qir::make_s(1), qir::make_mcx({1, 2, 3}, 0)),
+        // X family on a CX target.
+        std::make_pair(qir::make_x(1), qir::make_cx(0, 1)),
+        std::make_pair(qir::make_sx(1), qir::make_cx(0, 1)),
+        std::make_pair(qir::make_rx(0.7, 2), qir::make_ccx(0, 1, 2)),
+        // X family pairs on one wire.
+        std::make_pair(qir::make_x(0), qir::make_sx(0)),
+        std::make_pair(qir::make_rx(0.5, 0), qir::make_rx(-1.0, 0))),
+    [](const auto& info) { return "pair" + std::to_string(info.index); });
+
+TEST(GatesCommute, NonCommutingPairsRejected) {
+  EXPECT_FALSE(gates_commute(qir::make_x(0), qir::make_z(0)));
+  EXPECT_FALSE(gates_commute(qir::make_h(0), qir::make_x(0)));
+  EXPECT_FALSE(gates_commute(qir::make_rz(0.3, 1), qir::make_cx(0, 1)));  // on target
+  EXPECT_FALSE(gates_commute(qir::make_x(0), qir::make_cx(0, 1)));        // on control
+  EXPECT_FALSE(gates_commute(qir::make_cx(0, 1), qir::make_cx(1, 0)));
+  EXPECT_FALSE(gates_commute(qir::make_swap(0, 1), qir::make_x(0)));
+}
+
+TEST(GatesCommute, BarriersNeverCommute) {
+  qir::Gate barrier(qir::GateKind::Barrier, {0, 1});
+  EXPECT_FALSE(gates_commute(barrier, qir::make_x(0)));
+}
+
+TEST(CommuteCancel, CancelsThroughCommutingWall) {
+  // RZ ... CX(control on same wire) ... RZ(-theta): peephole can't see it,
+  // commutation-aware cancellation can.
+  qir::Circuit c(2);
+  c.rz(0.8, 0).cx(0, 1).rz(-0.8, 0);
+  OptimizeStats stats;
+  auto out = commute_cancel(c, &stats);
+  EXPECT_EQ(out.gate_count(), 1u);
+  EXPECT_EQ(stats.cancelled_pairs, 1u);
+  EXPECT_TRUE(sim::circuits_equivalent(out, c));
+}
+
+TEST(CommuteCancel, XThroughCxTarget) {
+  qir::Circuit c(2);
+  c.x(1).cx(0, 1).x(1);
+  auto out = commute_cancel(c);
+  EXPECT_EQ(out.gate_count(), 1u);
+  EXPECT_TRUE(sim::circuits_equivalent(out, c));
+}
+
+TEST(CommuteCancel, BlockedByNonCommuter) {
+  qir::Circuit c(2);
+  c.rz(0.8, 0).h(0).rz(-0.8, 0);  // H does not commute with RZ
+  auto out = commute_cancel(c);
+  EXPECT_EQ(out.gate_count(), 3u);
+}
+
+TEST(CommuteCancel, CascadesToFixpoint) {
+  qir::Circuit c(2);
+  // Outer X pair becomes cancellable only after the inner RZ pair vanishes.
+  c.x(1).rz(0.5, 1).rz(-0.5, 1).cx(0, 1).x(1);
+  auto out = commute_cancel(c);
+  EXPECT_EQ(out.gate_count(), 1u);
+  EXPECT_EQ(out.gate(0).kind, qir::GateKind::CX);
+}
+
+TEST(CommuteCancel, PreservesRandomCircuits) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    auto c = qir::library::random_universal(4, 30, rng);
+    auto out = commute_cancel(c);
+    EXPECT_LE(out.gate_count(), c.gate_count());
+    EXPECT_TRUE(sim::circuits_equivalent(out, c)) << "seed " << seed;
+  }
+}
+
+TEST(CommuteCancel, NoOpOnIrreducible) {
+  qir::Circuit c(2);
+  c.h(0).cx(0, 1).t(1);
+  auto out = commute_cancel(c);
+  EXPECT_TRUE(out == c);
+}
+
+}  // namespace
+}  // namespace tetris::compiler

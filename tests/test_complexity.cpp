@@ -1,0 +1,111 @@
+#include "lock/complexity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/combinatorics.h"
+#include "common/error.h"
+
+namespace tetris::lock {
+namespace {
+
+/// Brute-force reference of Eq. 1 for small parameters.
+double reference_eq1(int n, int nmax, double k) {
+  double total = 0.0;
+  for (int i = 1; i <= nmax; ++i) {
+    double inner = 0.0;
+    for (int j = 0; j <= std::min(n, i); ++j) {
+      inner += static_cast<double>(binomial_exact(n, j)) *
+               static_cast<double>(binomial_exact(i, j)) *
+               static_cast<double>(factorial_exact(j));
+    }
+    total += k * inner;
+  }
+  return total;
+}
+
+TEST(Complexity, CascadeMatchesClosedForm) {
+  // k_n * n!
+  EXPECT_NEAR(log_attack_complexity_cascade(5, 1.0), std::log(120.0), 1e-9);
+  EXPECT_NEAR(log_attack_complexity_cascade(4, 3.0), std::log(3.0 * 24.0), 1e-9);
+}
+
+TEST(Complexity, CascadeValidates) {
+  EXPECT_THROW(log_attack_complexity_cascade(0, 1.0), InvalidArgument);
+  EXPECT_THROW(log_attack_complexity_cascade(3, 0.5), InvalidArgument);
+}
+
+TEST(Complexity, Eq1MatchesBruteForceSmall) {
+  for (int n = 1; n <= 6; ++n) {
+    for (int nmax = 1; nmax <= 8; ++nmax) {
+      double expected = std::log(reference_eq1(n, nmax, 1.0));
+      EXPECT_NEAR(log_attack_complexity_tetrislock(n, nmax, 1.0), expected,
+                  1e-9)
+          << "n=" << n << " nmax=" << nmax;
+    }
+  }
+}
+
+TEST(Complexity, Eq1ScalesLinearlyInUniformK) {
+  double base = log_attack_complexity_tetrislock(5, 10, 1.0);
+  double k4 = log_attack_complexity_tetrislock(5, 10, 4.0);
+  EXPECT_NEAR(k4 - base, std::log(4.0), 1e-9);
+}
+
+TEST(Complexity, Eq1PerIndexKVector) {
+  // k = {0, ..., 0, 1 at i=n}: only the i=n term remains, which dominates
+  // the cascade formula's n! term (it includes j=n plus smaller-j terms).
+  int n = 4, nmax = 6;
+  std::vector<double> k(static_cast<std::size_t>(nmax), 0.0);
+  k[static_cast<std::size_t>(n - 1)] = 1.0;
+  double only_n = log_attack_complexity_tetrislock(n, nmax, k);
+  double cascade = log_attack_complexity_cascade(n, 1.0);
+  EXPECT_GT(only_n, cascade);
+}
+
+TEST(Complexity, TetrisLockDominatesCascade) {
+  // The paper's claim: the cascade complexity is a minor fraction of Eq. 1.
+  for (int n : {4, 5, 7, 10, 12}) {
+    double cascade = log_attack_complexity_cascade(n, 1.0);
+    double tetris = log_attack_complexity_tetrislock(n, 27, 1.0);
+    EXPECT_GT(tetris, cascade) << "n=" << n;
+  }
+}
+
+TEST(Complexity, MonotoneInNmax) {
+  double prev = -1e18;
+  for (int nmax = 1; nmax <= 20; ++nmax) {
+    double v = log_attack_complexity_tetrislock(6, nmax, 1.0);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Complexity, MonotoneInN) {
+  double prev = -1e18;
+  for (int n = 1; n <= 12; ++n) {
+    double v = log_attack_complexity_tetrislock(n, 12, 1.0);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Complexity, HandlesLargeDeviceBudgets) {
+  // 127-qubit device (IBM Eagle scale): must not overflow.
+  double v = log_attack_complexity_tetrislock(12, 127, 2.0);
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(log_to_log10(v), 10.0);  // astronomically large
+}
+
+TEST(Complexity, Validation) {
+  EXPECT_THROW(log_attack_complexity_tetrislock(0, 5, 1.0), InvalidArgument);
+  EXPECT_THROW(log_attack_complexity_tetrislock(3, 0, 1.0), InvalidArgument);
+  EXPECT_THROW(
+      log_attack_complexity_tetrislock(3, 5, std::vector<double>{}),
+      InvalidArgument);
+  EXPECT_THROW(log_attack_complexity_tetrislock(3, 5, -1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace tetris::lock

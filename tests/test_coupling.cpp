@@ -1,0 +1,97 @@
+#include "compiler/coupling.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace tetris::compiler {
+namespace {
+
+TEST(Coupling, LineDistances) {
+  auto m = CouplingMap::line(5);
+  EXPECT_EQ(m.num_qubits(), 5);
+  EXPECT_TRUE(m.connected(0, 1));
+  EXPECT_FALSE(m.connected(0, 2));
+  EXPECT_EQ(m.distance(0, 4), 4);
+  EXPECT_EQ(m.distance(2, 2), 0);
+  EXPECT_TRUE(m.is_connected());
+}
+
+TEST(Coupling, RingWrapsAround) {
+  auto m = CouplingMap::ring(6);
+  EXPECT_EQ(m.distance(0, 5), 1);
+  EXPECT_EQ(m.distance(0, 3), 3);
+  EXPECT_THROW(CouplingMap::ring(2), InvalidArgument);
+}
+
+TEST(Coupling, GridDistances) {
+  auto m = CouplingMap::grid(3, 4);
+  EXPECT_EQ(m.num_qubits(), 12);
+  // Manhattan distance between corners.
+  EXPECT_EQ(m.distance(0, 11), 5);
+  EXPECT_TRUE(m.connected(0, 4));   // vertical neighbor
+  EXPECT_TRUE(m.connected(0, 1));   // horizontal neighbor
+  EXPECT_FALSE(m.connected(0, 5));  // diagonal
+}
+
+TEST(Coupling, StarCenter) {
+  auto m = CouplingMap::star(5);
+  EXPECT_EQ(m.degrees()[0], 4);
+  EXPECT_EQ(m.distance(1, 2), 2);
+}
+
+TEST(Coupling, FullIsAllAdjacent) {
+  auto m = CouplingMap::full(4);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      if (a != b) {
+        EXPECT_TRUE(m.connected(a, b));
+      }
+    }
+  }
+}
+
+TEST(Coupling, ValenciaTopology) {
+  auto m = CouplingMap::valencia();
+  EXPECT_EQ(m.num_qubits(), 5);
+  EXPECT_TRUE(m.connected(0, 1));
+  EXPECT_TRUE(m.connected(1, 2));
+  EXPECT_TRUE(m.connected(1, 3));
+  EXPECT_TRUE(m.connected(3, 4));
+  EXPECT_FALSE(m.connected(0, 2));
+  EXPECT_EQ(m.distance(2, 4), 3);
+  EXPECT_EQ(m.degrees()[1], 3);
+}
+
+TEST(Coupling, ShortestPathEndsMatch) {
+  auto m = CouplingMap::valencia();
+  auto path = m.shortest_path(0, 4);
+  ASSERT_EQ(path.size(), 4u);  // 0-1-3-4
+  EXPECT_EQ(path.front(), 0);
+  EXPECT_EQ(path.back(), 4);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(m.connected(path[i], path[i + 1]));
+  }
+}
+
+TEST(Coupling, SelfLoopRejected) {
+  EXPECT_THROW(CouplingMap(2, {{0, 0}}), InvalidArgument);
+}
+
+TEST(Coupling, OutOfRangeEdgeRejected) {
+  EXPECT_THROW(CouplingMap(2, {{0, 2}}), InvalidArgument);
+}
+
+TEST(Coupling, DisconnectedDetected) {
+  CouplingMap m(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(m.is_connected());
+  EXPECT_THROW(m.distance(0, 2), InvalidArgument);
+}
+
+TEST(Coupling, DuplicateEdgesDeduped) {
+  CouplingMap m(3, {{0, 1}, {1, 0}, {0, 1}});
+  EXPECT_EQ(m.neighbors(0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace tetris::compiler

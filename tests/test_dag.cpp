@@ -1,0 +1,107 @@
+#include "qir/dag.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace tetris::qir {
+namespace {
+
+Circuit chain_circuit() {
+  Circuit c(3);
+  c.x(0)        // 0
+      .cx(0, 1) // 1: pred {0}
+      .x(2)     // 2: no preds
+      .cx(1, 2) // 3: preds {1, 2}
+      .x(0);    // 4: pred {1}
+  return c;
+}
+
+TEST(Dag, Predecessors) {
+  CircuitDag dag(chain_circuit());
+  EXPECT_TRUE(dag.predecessors(0).empty());
+  EXPECT_EQ(dag.predecessors(1), (std::vector<std::size_t>{0}));
+  EXPECT_TRUE(dag.predecessors(2).empty());
+  EXPECT_EQ(dag.predecessors(3), (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(dag.predecessors(4), (std::vector<std::size_t>{1}));
+}
+
+TEST(Dag, Successors) {
+  CircuitDag dag(chain_circuit());
+  EXPECT_EQ(dag.successors(0), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(dag.successors(1), (std::vector<std::size_t>{3, 4}));
+  EXPECT_EQ(dag.successors(2), (std::vector<std::size_t>{3}));
+  EXPECT_TRUE(dag.successors(3).empty());
+  EXPECT_TRUE(dag.successors(4).empty());
+}
+
+TEST(Dag, SharedQubitPairDedup) {
+  Circuit c(2);
+  c.cx(0, 1).cx(0, 1);  // successor via both wires, listed once
+  CircuitDag dag(c);
+  EXPECT_EQ(dag.predecessors(1), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(dag.successors(0), (std::vector<std::size_t>{1}));
+}
+
+TEST(Dag, IsOrderIdeal) {
+  CircuitDag dag(chain_circuit());
+  EXPECT_TRUE(dag.is_order_ideal({1, 1, 1, 1, 1}));
+  EXPECT_TRUE(dag.is_order_ideal({0, 0, 0, 0, 0}));
+  EXPECT_TRUE(dag.is_order_ideal({1, 1, 0, 0, 0}));
+  EXPECT_TRUE(dag.is_order_ideal({1, 0, 1, 0, 0}));
+  // Gate 3 requires 1 and 2; gate 1 requires 0.
+  EXPECT_FALSE(dag.is_order_ideal({1, 1, 0, 1, 0}));
+  EXPECT_FALSE(dag.is_order_ideal({0, 1, 0, 0, 0}));
+}
+
+TEST(Dag, IsOrderIdealValidatesSize) {
+  CircuitDag dag(chain_circuit());
+  EXPECT_THROW(dag.is_order_ideal({1, 1}), InvalidArgument);
+}
+
+TEST(Dag, DownwardClosure) {
+  CircuitDag dag(chain_circuit());
+  auto closed = dag.downward_closure({0, 0, 0, 1, 0});
+  EXPECT_EQ(closed, (std::vector<char>{1, 1, 1, 1, 0}));
+  EXPECT_TRUE(dag.is_order_ideal(closed));
+}
+
+TEST(Dag, LargestIdealWithin) {
+  CircuitDag dag(chain_circuit());
+  // Seed includes gate 3 but not its predecessor 2 -> 3 must drop out.
+  auto ideal = dag.largest_ideal_within({1, 1, 0, 1, 0});
+  EXPECT_EQ(ideal, (std::vector<char>{1, 1, 0, 0, 0}));
+  EXPECT_TRUE(dag.is_order_ideal(ideal));
+}
+
+TEST(Dag, LargestIdealCascades) {
+  Circuit c(1);
+  c.x(0).x(0).x(0);  // strict chain
+  CircuitDag dag(c);
+  // Dropping the head kills everything downstream in the seed.
+  auto ideal = dag.largest_ideal_within({0, 1, 1});
+  EXPECT_EQ(ideal, (std::vector<char>{0, 0, 0}));
+}
+
+TEST(Dag, ClosurePropertyRandomized) {
+  // Property: for any seed, largest_ideal_within(seed) is an ideal contained
+  // in seed, and downward_closure(seed) is an ideal containing seed.
+  Circuit c(4);
+  c.x(0).cx(0, 1).ccx(1, 2, 3).cx(3, 0).x(2).cx(2, 1).x(3);
+  CircuitDag dag(c);
+  for (unsigned mask = 0; mask < (1u << 7); ++mask) {
+    std::vector<char> seed(7, 0);
+    for (int b = 0; b < 7; ++b) seed[static_cast<std::size_t>(b)] = (mask >> b) & 1;
+    auto lo = dag.largest_ideal_within(seed);
+    auto hi = dag.downward_closure(seed);
+    EXPECT_TRUE(dag.is_order_ideal(lo));
+    EXPECT_TRUE(dag.is_order_ideal(hi));
+    for (int b = 0; b < 7; ++b) {
+      EXPECT_LE(lo[static_cast<std::size_t>(b)], seed[static_cast<std::size_t>(b)]);
+      EXPECT_GE(hi[static_cast<std::size_t>(b)], seed[static_cast<std::size_t>(b)]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tetris::qir

@@ -1,0 +1,124 @@
+#include "compiler/decompose.h"
+
+#include <gtest/gtest.h>
+
+#include "compiler/target.h"
+#include "sim/unitary.h"
+
+namespace tetris::compiler {
+namespace {
+
+/// Every rewrite rule must preserve the unitary up to global phase.
+class DecomposeRule : public ::testing::TestWithParam<qir::Gate> {};
+
+TEST_P(DecomposeRule, ExpansionIsEquivalent) {
+  const qir::Gate& g = GetParam();
+  int width = 0;
+  for (int q : g.qubits) width = std::max(width, q + 1);
+
+  qir::Circuit original(width);
+  original.add(g);
+
+  DecomposePass pass;  // IBM basis
+  qir::Circuit lowered = pass.run(original);
+
+  // Fully lowered: only basis kinds remain.
+  for (const auto& lg : lowered.gates()) {
+    EXPECT_TRUE(ibm_basis().count(lg.kind))
+        << "non-basis gate " << lg.name() << " from " << g.name();
+  }
+  EXPECT_TRUE(sim::circuits_equivalent(lowered, original))
+      << "rule broken for " << g.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRules, DecomposeRule,
+    ::testing::Values(
+        qir::Gate(qir::GateKind::I, {0}), qir::make_y(0), qir::make_z(0),
+        qir::make_h(0), qir::make_s(0), qir::make_sdg(0), qir::make_t(0),
+        qir::make_tdg(0), qir::make_sxdg(0), qir::make_p(0.7, 0),
+        qir::make_rx(0.4, 0), qir::make_rx(-2.9, 0), qir::make_ry(1.3, 0),
+        qir::make_ry(-0.2, 0), qir::make_cy(0, 1), qir::make_cz(0, 1),
+        qir::make_ch(0, 1), qir::make_cp(0.9, 0, 1),
+        qir::make_cp(-2.2, 0, 1), qir::make_crz(1.1, 0, 1),
+        qir::make_swap(0, 1), qir::make_ccx(0, 1, 2),
+        qir::make_ccx(2, 0, 1), qir::make_cswap(0, 1, 2),
+        qir::make_mcx({0, 1, 2}, 3), qir::make_mcx({3, 1, 0}, 2),
+        qir::make_mcx({0, 1, 2, 3}, 4)),
+    [](const ::testing::TestParamInfo<qir::Gate>& info) {
+      return info.param.name() + "_" + std::to_string(info.index);
+    });
+
+TEST(Decompose, BasisGatesPassThrough) {
+  DecomposePass pass;
+  qir::Circuit c(2);
+  c.x(0).sx(1).rz(0.5, 0).cx(0, 1);
+  qir::Circuit out = pass.run(c);
+  EXPECT_TRUE(out == c);
+}
+
+TEST(Decompose, BarriersAreDropped) {
+  DecomposePass pass;
+  qir::Circuit c(2);
+  c.x(0).barrier().x(1);
+  qir::Circuit out = pass.run(c);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Decompose, ExpandSingleStep) {
+  DecomposePass pass;
+  auto expanded = pass.expand(qir::make_z(0));
+  ASSERT_EQ(expanded.size(), 1u);
+  EXPECT_EQ(expanded[0].kind, qir::GateKind::RZ);
+}
+
+TEST(Decompose, IdentityExpandsToNothing) {
+  DecomposePass pass;
+  EXPECT_TRUE(pass.expand(qir::Gate(qir::GateKind::I, {0})).empty());
+}
+
+TEST(Decompose, CustomBasisKeepsCliffords) {
+  std::set<qir::GateKind> clifford_t = {
+      qir::GateKind::H, qir::GateKind::S, qir::GateKind::Sdg,
+      qir::GateKind::T, qir::GateKind::Tdg, qir::GateKind::CX,
+      qir::GateKind::X};
+  DecomposePass pass(clifford_t);
+  qir::Circuit c(3);
+  c.ccx(0, 1, 2);
+  qir::Circuit out = pass.run(c);
+  for (const auto& g : out.gates()) {
+    EXPECT_TRUE(clifford_t.count(g.kind)) << g.name();
+  }
+  EXPECT_TRUE(sim::circuits_equivalent(out, c));
+}
+
+TEST(Decompose, MczParityNetworkMatchesCz) {
+  // The parity-phase construction on 2 qubits must equal CZ.
+  qir::Circuit direct(2);
+  direct.cz(0, 1);
+  qir::Circuit network(2);
+  for (const auto& g : mcz_parity_network({0, 1})) network.add(g);
+  EXPECT_TRUE(sim::circuits_equivalent(network, direct));
+}
+
+TEST(Decompose, MczParityNetworkMatchesCcz) {
+  // 3 qubits: must equal H(t) CCX H(t) conjugation, i.e. CCZ.
+  qir::Circuit direct(3);
+  direct.h(2).ccx(0, 1, 2).h(2);
+  qir::Circuit network(3);
+  for (const auto& g : mcz_parity_network({0, 1, 2})) network.add(g);
+  EXPECT_TRUE(sim::circuits_equivalent(network, direct));
+}
+
+TEST(Decompose, WholeBenchmarkLowersAndStaysEquivalent) {
+  qir::Circuit c(4);
+  c.ccx(0, 1, 3).cx(0, 1).ccx(1, 2, 3).x(0).cx(1, 2).x(3).cx(0, 1);
+  DecomposePass pass;
+  qir::Circuit out = pass.run(c);
+  EXPECT_TRUE(sim::circuits_equivalent(out, c));
+  // Toffoli-heavy circuit: lowering must multiply the gate count.
+  EXPECT_GT(out.gate_count(), c.gate_count());
+}
+
+}  // namespace
+}  // namespace tetris::compiler

@@ -1,0 +1,139 @@
+// Tests for mid-circuit gap insertion (allow_gap_insertion): the Algorithm-1
+// extension that makes the scheme applicable to interference-style circuits
+// whose wires are all busy from layer 0.
+
+#include <gtest/gtest.h>
+
+#include "lock/obfuscator.h"
+#include "lock/splitter.h"
+#include "qir/library.h"
+#include "revlib/benchmarks.h"
+#include "sim/unitary.h"
+
+namespace tetris::lock {
+namespace {
+
+InsertionConfig gap_config(InsertionAlphabet alphabet,
+                           int max_gates = 3) {
+  InsertionConfig cfg;
+  cfg.alphabet = alphabet;
+  cfg.max_random_gates = max_gates;
+  cfg.allow_gap_insertion = true;
+  return cfg;
+}
+
+TEST(GapInsertion, FindsWindowsInGroverCircuit) {
+  // Grover has no leading slack at all; only gap insertion can fire.
+  auto circuit = qir::library::grover(4, 11, 2);
+  Rng rng(3);
+  Obfuscator obfuscator(gap_config(InsertionAlphabet::Hadamard));
+  auto obf = obfuscator.obfuscate(circuit, rng);
+  EXPECT_TRUE(obf.has_gap_pairs);
+  EXPECT_GE(obf.inserted_gates(), 2);
+  EXPECT_EQ(obf.circuit.depth(), circuit.depth());
+}
+
+TEST(GapInsertion, GapPairsPreserveFunction) {
+  auto circuit = qir::library::grover(3, 5, 1);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    Obfuscator obfuscator(gap_config(InsertionAlphabet::Hadamard));
+    auto obf = obfuscator.obfuscate(circuit, rng);
+    EXPECT_TRUE(sim::circuits_equivalent(obf.circuit, circuit)) << seed;
+    EXPECT_EQ(obf.circuit.depth(), circuit.depth()) << seed;
+  }
+}
+
+TEST(GapInsertion, MaskedCircuitDiffersWhenPairsExist) {
+  auto circuit = qir::library::grover(3, 6, 1);
+  Rng rng(5);
+  Obfuscator obfuscator(gap_config(InsertionAlphabet::Hadamard));
+  auto obf = obfuscator.obfuscate(circuit, rng);
+  if (!obf.has_gap_pairs) GTEST_SKIP() << "no window found for this seed";
+  EXPECT_FALSE(sim::circuits_equivalent(obf.masked(), circuit));
+}
+
+TEST(GapInsertion, SplitSeparatesPairMembers) {
+  auto circuit = qir::library::grover(4, 9, 2);
+  Rng rng(7);
+  Obfuscator obfuscator(gap_config(InsertionAlphabet::Hadamard));
+  auto obf = obfuscator.obfuscate(circuit, rng);
+  ASSERT_TRUE(obf.has_gap_pairs);
+
+  InterlockSplitter splitter;
+  auto pair = splitter.split(obf, rng);
+  // No R member may ever reach split 1; R^-1 members are in split 1 unless
+  // their pair was demoted (then the pair sits intact in split 2).
+  std::vector<char> in_first(obf.circuit.size(), 0);
+  for (std::size_t i : pair.first.gate_indices) in_first[i] = 1;
+  std::size_t separated = 0;
+  for (std::size_t i = 0; i < obf.circuit.size(); ++i) {
+    if (obf.origin[i] == GateOrigin::Random) {
+      EXPECT_FALSE(in_first[i]);
+    }
+    if (obf.origin[i] == GateOrigin::RandomInverse) {
+      if (in_first[i]) {
+        ++separated;
+      } else {
+        // Demoted pair: the partner must be right behind it, also in split 2.
+        ASSERT_LT(i + 1, obf.circuit.size());
+        EXPECT_EQ(obf.origin[i + 1], GateOrigin::Random);
+        EXPECT_FALSE(in_first[i + 1]);
+      }
+    }
+  }
+  EXPECT_GE(separated, 1u) << "no pair was separated by the boundary";
+}
+
+TEST(GapInsertion, SplitRecombinesToOriginal) {
+  auto circuit = qir::library::grover(3, 2, 1);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed + 100);
+    Obfuscator obfuscator(gap_config(InsertionAlphabet::Hadamard));
+    auto obf = obfuscator.obfuscate(circuit, rng);
+    InterlockSplitter splitter;
+    auto pair = splitter.split(obf, rng);
+    auto recombined = InterlockSplitter::recombine_structural(
+        pair, obf.circuit.num_qubits());
+    EXPECT_TRUE(sim::circuits_equivalent(recombined, circuit)) << seed;
+  }
+}
+
+TEST(GapInsertion, WorksOnReversibleBenchmarksToo) {
+  // On RevLib circuits gap insertion adds to the leading prefix budget.
+  const auto& b = revlib::get_benchmark("rd53");
+  Rng rng(9);
+  Obfuscator obfuscator(gap_config(InsertionAlphabet::Mixed, 4));
+  auto obf = obfuscator.obfuscate(b.circuit, rng);
+  EXPECT_EQ(obf.circuit.depth(), b.circuit.depth());
+  EXPECT_TRUE(sim::circuits_equivalent(obf.circuit, b.circuit));
+  EXPECT_LE(obf.inserted_gates(), 8);
+
+  InterlockSplitter splitter;
+  auto pair = splitter.split(obf, rng);
+  auto recombined =
+      InterlockSplitter::recombine_structural(pair, obf.circuit.num_qubits());
+  EXPECT_TRUE(sim::circuits_equivalent(recombined, b.circuit));
+}
+
+TEST(GapInsertion, CxOnlyAlphabetSkipsGapMode) {
+  const auto& b = revlib::get_benchmark("rd53");
+  Rng rng(11);
+  Obfuscator obfuscator(gap_config(InsertionAlphabet::CXOnly, 4));
+  auto obf = obfuscator.obfuscate(b.circuit, rng);
+  EXPECT_FALSE(obf.has_gap_pairs);
+}
+
+TEST(GapInsertion, NoWindowsMeansNoPairs) {
+  // A dense circuit with no idle slots anywhere.
+  qir::Circuit dense(2);
+  for (int i = 0; i < 4; ++i) dense.cx(0, 1);
+  Rng rng(13);
+  Obfuscator obfuscator(gap_config(InsertionAlphabet::Mixed));
+  auto obf = obfuscator.obfuscate(dense, rng);
+  EXPECT_FALSE(obf.has_gap_pairs);
+  EXPECT_EQ(obf.inserted_gates(), 0);
+}
+
+}  // namespace
+}  // namespace tetris::lock

@@ -1,0 +1,132 @@
+#include "qir/gate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace tetris::qir {
+namespace {
+
+TEST(Gate, ArityTable) {
+  EXPECT_EQ(gate_arity(GateKind::X), 1);
+  EXPECT_EQ(gate_arity(GateKind::RZ), 1);
+  EXPECT_EQ(gate_arity(GateKind::CX), 2);
+  EXPECT_EQ(gate_arity(GateKind::SWAP), 2);
+  EXPECT_EQ(gate_arity(GateKind::CCX), 3);
+  EXPECT_EQ(gate_arity(GateKind::CSWAP), 3);
+  EXPECT_EQ(gate_arity(GateKind::MCX), -1);
+  EXPECT_EQ(gate_arity(GateKind::Barrier), -1);
+}
+
+TEST(Gate, ParamCountTable) {
+  EXPECT_EQ(gate_param_count(GateKind::X), 0);
+  EXPECT_EQ(gate_param_count(GateKind::RX), 1);
+  EXPECT_EQ(gate_param_count(GateKind::CP), 1);
+  EXPECT_EQ(gate_param_count(GateKind::CCX), 0);
+}
+
+TEST(Gate, NameRoundTrip) {
+  for (int k = static_cast<int>(GateKind::I);
+       k <= static_cast<int>(GateKind::Barrier); ++k) {
+    auto kind = static_cast<GateKind>(k);
+    EXPECT_EQ(gate_kind_from_name(gate_kind_name(kind)), kind);
+  }
+}
+
+TEST(Gate, NameParseIsCaseInsensitive) {
+  EXPECT_EQ(gate_kind_from_name("CX"), GateKind::CX);
+  EXPECT_EQ(gate_kind_from_name("Sdg"), GateKind::Sdg);
+}
+
+TEST(Gate, UnknownNameThrows) {
+  EXPECT_THROW(gate_kind_from_name("notagate"), ParseError);
+}
+
+TEST(Gate, AdjointSelfInverseKinds) {
+  for (auto g : {make_x(0), make_z(1), make_h(2), make_cx(0, 1),
+                 make_ccx(0, 1, 2), make_swap(0, 1), make_cz(0, 1)}) {
+    EXPECT_TRUE(g.is_self_inverse()) << g.name();
+    EXPECT_EQ(g.adjoint(), g) << g.name();
+  }
+}
+
+TEST(Gate, AdjointDaggerPairs) {
+  EXPECT_EQ(make_s(0).adjoint().kind, GateKind::Sdg);
+  EXPECT_EQ(make_sdg(0).adjoint().kind, GateKind::S);
+  EXPECT_EQ(make_t(0).adjoint().kind, GateKind::Tdg);
+  EXPECT_EQ(make_tdg(0).adjoint().kind, GateKind::T);
+  EXPECT_EQ(make_sx(0).adjoint().kind, GateKind::SXdg);
+  EXPECT_EQ(make_sxdg(0).adjoint().kind, GateKind::SX);
+}
+
+TEST(Gate, AdjointNegatesRotationAngles) {
+  EXPECT_DOUBLE_EQ(make_rz(0.7, 0).adjoint().params[0], -0.7);
+  EXPECT_DOUBLE_EQ(make_rx(-0.2, 0).adjoint().params[0], 0.2);
+  EXPECT_DOUBLE_EQ(make_cp(1.1, 0, 1).adjoint().params[0], -1.1);
+  EXPECT_DOUBLE_EQ(make_crz(0.3, 0, 1).adjoint().params[0], -0.3);
+}
+
+TEST(Gate, AdjointIsInvolution) {
+  for (auto g : {make_rz(0.7, 0), make_s(1), make_sx(2), make_t(0),
+                 make_cp(0.4, 0, 1)}) {
+    EXPECT_TRUE(g.adjoint().adjoint().approx_equal(g)) << g.name();
+  }
+}
+
+TEST(Gate, IsControlled) {
+  EXPECT_TRUE(make_cx(0, 1).is_controlled());
+  EXPECT_TRUE(make_ccx(0, 1, 2).is_controlled());
+  EXPECT_TRUE(make_mcx({0, 1, 2}, 3).is_controlled());
+  EXPECT_FALSE(make_x(0).is_controlled());
+  EXPECT_FALSE(make_swap(0, 1).is_controlled());
+}
+
+TEST(Gate, IsDiagonal) {
+  EXPECT_TRUE(make_z(0).is_diagonal());
+  EXPECT_TRUE(make_rz(0.3, 0).is_diagonal());
+  EXPECT_TRUE(make_cz(0, 1).is_diagonal());
+  EXPECT_FALSE(make_x(0).is_diagonal());
+  EXPECT_FALSE(make_h(0).is_diagonal());
+  EXPECT_FALSE(make_cx(0, 1).is_diagonal());
+}
+
+TEST(Gate, IsClassical) {
+  EXPECT_TRUE(make_x(0).is_classical());
+  EXPECT_TRUE(make_cx(0, 1).is_classical());
+  EXPECT_TRUE(make_ccx(0, 1, 2).is_classical());
+  EXPECT_TRUE(make_swap(0, 1).is_classical());
+  EXPECT_FALSE(make_h(0).is_classical());
+  EXPECT_FALSE(make_t(0).is_classical());
+  EXPECT_FALSE(make_cz(0, 1).is_classical());
+}
+
+TEST(Gate, McxFactoryRequiresThreeControls) {
+  EXPECT_THROW(make_mcx({0, 1}, 2), InvalidArgument);
+  Gate g = make_mcx({0, 1, 2}, 3);
+  EXPECT_EQ(g.kind, GateKind::MCX);
+  ASSERT_EQ(g.num_qubits(), 4);
+  EXPECT_EQ(g.qubits.back(), 3);
+}
+
+TEST(Gate, ToStringFormats) {
+  EXPECT_EQ(make_cx(1, 3).to_string(), "cx q1, q3");
+  EXPECT_EQ(make_x(0).to_string(), "x q0");
+  auto s = make_rz(0.5, 2).to_string();
+  EXPECT_NE(s.find("rz(0.5)"), std::string::npos);
+  EXPECT_NE(s.find("q2"), std::string::npos);
+}
+
+TEST(Gate, ApproxEqualTolerance) {
+  auto a = make_rz(1.0, 0);
+  auto b = make_rz(1.0 + 1e-14, 0);
+  auto c = make_rz(1.1, 0);
+  EXPECT_TRUE(a.approx_equal(b));
+  EXPECT_FALSE(a.approx_equal(c));
+  EXPECT_FALSE(a.approx_equal(make_rx(1.0, 0)));
+  EXPECT_FALSE(a.approx_equal(make_rz(1.0, 1)));
+}
+
+}  // namespace
+}  // namespace tetris::qir

@@ -1,0 +1,155 @@
+#include "lock/insertion.h"
+
+#include <gtest/gtest.h>
+
+#include "revlib/benchmarks.h"
+
+namespace tetris::lock {
+namespace {
+
+TEST(PrefixFits, EmptyPrefixAlwaysFits) {
+  std::vector<int> first_use{3, 0, 2};
+  EXPECT_TRUE(prefix_fits({}, first_use, nullptr));
+}
+
+TEST(PrefixFits, SingleGateNeedsOneLeadingLayer) {
+  std::vector<int> first_use{1, 0};
+  EXPECT_TRUE(prefix_fits({qir::make_x(0)}, first_use, nullptr));
+  EXPECT_FALSE(prefix_fits({qir::make_x(1)}, first_use, nullptr));
+}
+
+TEST(PrefixFits, PairNeedsTwoLayers) {
+  std::vector<int> first_use{2, 1};
+  std::vector<qir::Gate> pair{qir::make_x(0), qir::make_x(0)};
+  EXPECT_TRUE(prefix_fits(pair, first_use, nullptr));
+  std::vector<qir::Gate> too_tall{qir::make_x(1), qir::make_x(1)};
+  EXPECT_FALSE(prefix_fits(too_tall, first_use, nullptr));
+}
+
+TEST(PrefixFits, CxNeedsBothWires) {
+  std::vector<int> first_use{2, 2, 1};
+  EXPECT_TRUE(prefix_fits({qir::make_cx(0, 1)}, first_use, nullptr));
+  EXPECT_FALSE(prefix_fits({qir::make_cx(0, 2), qir::make_cx(0, 2)},
+                           first_use, nullptr));
+}
+
+TEST(PrefixFits, ReportsAsapLayers) {
+  std::vector<int> first_use{4, 4};
+  std::vector<qir::Gate> prefix{qir::make_x(0), qir::make_cx(0, 1),
+                                qir::make_x(1)};
+  std::vector<int> layers;
+  ASSERT_TRUE(prefix_fits(prefix, first_use, &layers));
+  EXPECT_EQ(layers, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Insertion, ZeroLimitGivesEmptyPlan) {
+  InsertionConfig cfg;
+  cfg.max_random_gates = 0;
+  Rng rng(1);
+  auto plan = plan_insertion(revlib::build_rd53(), cfg, rng);
+  EXPECT_TRUE(plan.random.empty());
+  EXPECT_TRUE(plan.prefix.empty());
+}
+
+TEST(Insertion, RespectsGateLimit) {
+  InsertionConfig cfg;
+  cfg.max_random_gates = 2;
+  Rng rng(5);
+  auto plan = plan_insertion(revlib::build_rd53(), cfg, rng);
+  EXPECT_LE(plan.random.size(), 2u);
+  EXPECT_EQ(plan.prefix.size(), 2 * plan.random.size());
+}
+
+TEST(Insertion, PrefixIsInverseThenForward) {
+  InsertionConfig cfg;
+  cfg.max_random_gates = 2;
+  Rng rng(7);
+  auto plan = plan_insertion(revlib::build_4gt11(), cfg, rng);
+  const std::size_t k = plan.random.size();
+  ASSERT_GE(k, 1u);
+  for (std::size_t i = 0; i < k; ++i) {
+    // prefix[i] is the adjoint of random[k-1-i]; prefix[k+i] == random[i].
+    EXPECT_TRUE(plan.prefix[i].approx_equal(
+        plan.random.gate(k - 1 - i).adjoint()));
+    EXPECT_TRUE(plan.prefix[k + i].approx_equal(plan.random.gate(i)));
+  }
+}
+
+TEST(Insertion, AlphabetXOnly) {
+  InsertionConfig cfg;
+  cfg.alphabet = InsertionAlphabet::XOnly;
+  cfg.max_random_gates = 2;
+  Rng rng(3);
+  auto plan = plan_insertion(revlib::build_rd73(), cfg, rng);
+  for (const auto& g : plan.random.gates()) {
+    EXPECT_EQ(g.kind, qir::GateKind::X);
+  }
+}
+
+TEST(Insertion, AlphabetHadamard) {
+  InsertionConfig cfg;
+  cfg.alphabet = InsertionAlphabet::Hadamard;
+  cfg.max_random_gates = 2;
+  Rng rng(3);
+  auto plan = plan_insertion(revlib::build_rd73(), cfg, rng);
+  EXPECT_GE(plan.random.size(), 1u);
+  for (const auto& g : plan.random.gates()) {
+    EXPECT_EQ(g.kind, qir::GateKind::H);
+  }
+}
+
+TEST(Insertion, AlphabetCXOnly) {
+  InsertionConfig cfg;
+  cfg.alphabet = InsertionAlphabet::CXOnly;
+  cfg.max_random_gates = 2;
+  Rng rng(3);
+  auto plan = plan_insertion(revlib::build_rd84(), cfg, rng);
+  for (const auto& g : plan.random.gates()) {
+    EXPECT_EQ(g.kind, qir::GateKind::CX);
+  }
+}
+
+TEST(Insertion, NoLeadingSlackMeansNoInsertion) {
+  // Every qubit used at layer 0: nothing can be prepended without depth.
+  qir::Circuit c(2);
+  c.cx(0, 1);
+  InsertionConfig cfg;
+  cfg.max_random_gates = 4;
+  Rng rng(9);
+  auto plan = plan_insertion(c, cfg, rng);
+  EXPECT_TRUE(plan.random.empty());
+}
+
+/// Property sweep: for every benchmark and many seeds, the accepted prefix
+/// always fits the leading region.
+class InsertionProperty
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(InsertionProperty, PrefixAlwaysFitsLeadingRegion) {
+  const auto& [name, seed] = GetParam();
+  const auto& b = revlib::get_benchmark(name);
+  InsertionConfig cfg;
+  cfg.max_random_gates = 2;
+  Rng rng(static_cast<std::uint64_t>(seed));
+  auto plan = plan_insertion(b.circuit, cfg, rng);
+
+  qir::LayerSchedule sched(b.circuit);
+  std::vector<int> first_use(static_cast<std::size_t>(b.circuit.num_qubits()));
+  for (int q = 0; q < b.circuit.num_qubits(); ++q) {
+    first_use[static_cast<std::size_t>(q)] = sched.first_use(q);
+  }
+  EXPECT_TRUE(prefix_fits(plan.prefix, first_use, nullptr));
+  EXPECT_EQ(plan.prefix_layers.size(), plan.prefix.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, InsertionProperty,
+    ::testing::Combine(::testing::ValuesIn(revlib::benchmark_names()),
+                       ::testing::Values(1, 2, 3, 17, 99)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace tetris::lock

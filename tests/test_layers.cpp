@@ -1,0 +1,110 @@
+#include "qir/layers.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace tetris::qir {
+namespace {
+
+TEST(Layers, EmptyCircuit) {
+  Circuit c(3);
+  LayerSchedule s(c);
+  EXPECT_EQ(s.num_layers(), 0);
+  EXPECT_EQ(s.num_qubits(), 3);
+  EXPECT_EQ(s.first_use(0), 0);   // == num_layers for never-used
+  EXPECT_EQ(s.last_use(0), -1);
+  EXPECT_TRUE(s.empty_slots().empty());
+}
+
+TEST(Layers, AsapAssignment) {
+  Circuit c(3);
+  c.x(0)        // layer 0
+      .cx(0, 1) // layer 1
+      .x(2)     // layer 0 (parallel)
+      .cx(1, 2) // layer 2
+      .x(0);    // layer 2 (q0 free after layer 1)
+  LayerSchedule s(c);
+  EXPECT_EQ(s.num_layers(), 3);
+  EXPECT_EQ(s.layer_of(0), 0);
+  EXPECT_EQ(s.layer_of(1), 1);
+  EXPECT_EQ(s.layer_of(2), 0);
+  EXPECT_EQ(s.layer_of(3), 2);
+  EXPECT_EQ(s.layer_of(4), 2);
+}
+
+TEST(Layers, DepthMatchesCircuitDepth) {
+  Circuit c(4);
+  c.ccx(0, 1, 3).cx(0, 1).ccx(1, 2, 3).x(0).cx(1, 2).x(3).cx(0, 1);
+  LayerSchedule s(c);
+  EXPECT_EQ(s.num_layers(), c.depth());
+}
+
+TEST(Layers, BusyGrid) {
+  Circuit c(3);
+  c.cx(0, 1).x(2);
+  LayerSchedule s(c);
+  EXPECT_TRUE(s.busy(0, 0));
+  EXPECT_TRUE(s.busy(0, 1));
+  EXPECT_TRUE(s.busy(0, 2));
+  EXPECT_THROW(s.busy(1, 0), InvalidArgument);
+  EXPECT_THROW(s.busy(0, 3), InvalidArgument);
+}
+
+TEST(Layers, EmptySlotsSortedAndComplete) {
+  Circuit c(3);
+  c.x(0).cx(0, 1);  // layers: 0 busy q0; 1 busy q0,q1
+  LayerSchedule s(c);
+  auto slots = s.empty_slots();
+  // layer0: q1,q2 free; layer1: q2 free.
+  ASSERT_EQ(slots.size(), 3u);
+  EXPECT_EQ(slots[0], (Slot{0, 1}));
+  EXPECT_EQ(slots[1], (Slot{0, 2}));
+  EXPECT_EQ(slots[2], (Slot{1, 2}));
+  EXPECT_EQ(s.total_slack(), 3u);
+}
+
+TEST(Layers, EmptyQubitsInLayer) {
+  Circuit c(4);
+  c.cx(0, 1).x(0);
+  LayerSchedule s(c);
+  EXPECT_EQ(s.empty_qubits_in_layer(0), (std::vector<int>{2, 3}));
+  EXPECT_EQ(s.empty_qubits_in_layer(1), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Layers, FirstAndLastUse) {
+  Circuit c(4);
+  c.x(0)          // q0: layer 0
+      .cx(0, 1)   // q1 first at layer 1
+      .cx(1, 2);  // q2 first at layer 2
+  LayerSchedule s(c);
+  EXPECT_EQ(s.first_use(0), 0);
+  EXPECT_EQ(s.first_use(1), 1);
+  EXPECT_EQ(s.first_use(2), 2);
+  EXPECT_EQ(s.first_use(3), 3);  // never used -> num_layers
+  EXPECT_EQ(s.last_use(0), 1);
+  EXPECT_EQ(s.last_use(3), -1);
+  EXPECT_EQ(s.leading_capacity(2), 2);
+  EXPECT_EQ(s.leading_capacity(3), 3);
+}
+
+TEST(Layers, GatesInLayerPreservesOrder) {
+  Circuit c(4);
+  c.x(0).x(1).cx(0, 1).x(2);
+  LayerSchedule s(c);
+  EXPECT_EQ(s.gates_in_layer(0), (std::vector<std::size_t>{0, 1, 3}));
+  EXPECT_EQ(s.gates_in_layer(1), (std::vector<std::size_t>{2}));
+  EXPECT_THROW(s.gates_in_layer(2), InvalidArgument);
+}
+
+TEST(Layers, BarrierForcesNewLayer) {
+  Circuit c(2);
+  c.x(0).barrier().x(1);
+  LayerSchedule s(c);
+  EXPECT_EQ(s.num_layers(), 2);
+  // x(1) is pushed behind the barrier even though q1 was idle at layer 0.
+  EXPECT_EQ(s.layer_of(2), 1);
+}
+
+}  // namespace
+}  // namespace tetris::qir

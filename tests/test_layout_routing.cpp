@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "compiler/decompose.h"
+#include "compiler/layout.h"
+#include "compiler/routing.h"
+#include "sim/unitary.h"
+#include "test_util.h"
+
+namespace tetris::compiler {
+namespace {
+
+TEST(Layout, TrivialIsIdentity) {
+  qir::Circuit c(3);
+  c.cx(0, 2);
+  auto layout = choose_layout(c, CouplingMap::line(5), LayoutStrategy::Trivial);
+  EXPECT_EQ(layout, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Layout, GreedyPutsBusiestOnBestConnected) {
+  // q2 participates in all two-qubit gates; valencia's hub is physical 1.
+  qir::Circuit c(3);
+  c.cx(2, 0).cx(2, 1).cx(1, 2).cx(0, 2);
+  auto layout =
+      choose_layout(c, CouplingMap::valencia(), LayoutStrategy::GreedyDegree);
+  EXPECT_EQ(layout[2], 1);
+}
+
+TEST(Layout, GreedyIsInjective) {
+  qir::Circuit c(5);
+  c.cx(0, 1).cx(2, 3).cx(3, 4).cx(1, 2);
+  auto layout =
+      choose_layout(c, CouplingMap::valencia(), LayoutStrategy::GreedyDegree);
+  EXPECT_NO_THROW(validate_layout(layout, 5, 5));
+}
+
+TEST(Layout, RejectsWideCircuit) {
+  qir::Circuit c(6);
+  EXPECT_THROW(choose_layout(c, CouplingMap::line(5), LayoutStrategy::Trivial),
+               InvalidArgument);
+}
+
+TEST(Layout, ValidateCatchesDuplicates) {
+  EXPECT_THROW(validate_layout({0, 0}, 2, 3), InvalidArgument);
+  EXPECT_THROW(validate_layout({0, 5}, 2, 3), InvalidArgument);
+  EXPECT_THROW(validate_layout({0}, 2, 3), InvalidArgument);
+  EXPECT_NO_THROW(validate_layout({2, 0}, 2, 3));
+}
+
+TEST(Routing, AdjacentGateUnchanged) {
+  qir::Circuit c(2);
+  c.cx(0, 1);
+  auto r = route(c, CouplingMap::line(2), {0, 1});
+  EXPECT_EQ(r.swaps_inserted, 0u);
+  EXPECT_EQ(r.circuit.gate_count(), 1u);
+  EXPECT_EQ(r.final_layout, (std::vector<int>{0, 1}));
+}
+
+TEST(Routing, DistantGateGetsSwaps) {
+  qir::Circuit c(2);
+  c.cx(0, 1);
+  // Place the operands at the ends of a 4-qubit line.
+  auto r = route(c, CouplingMap::line(4), {0, 3});
+  EXPECT_GE(r.swaps_inserted, 2u);
+  EXPECT_TRUE(is_coupling_compliant(r.circuit, CouplingMap::line(4)));
+}
+
+TEST(Routing, TracksFinalLayout) {
+  qir::Circuit c(2);
+  c.cx(0, 1).cx(0, 1);
+  auto r = route(c, CouplingMap::line(4), {0, 3});
+  // Second CX is free: operands already adjacent after the first routing.
+  EXPECT_TRUE(is_coupling_compliant(r.circuit, CouplingMap::line(4)));
+  EXPECT_TRUE(r.final_layout[0] != 0 || r.final_layout[1] != 3);
+}
+
+TEST(Routing, WirePermutationConsistentWithLayouts) {
+  qir::Circuit c(3);
+  c.cx(0, 2).cx(1, 2).cx(0, 1);
+  std::vector<int> init{0, 2, 4};
+  auto r = route(c, CouplingMap::line(5), init);
+  // Logical q starts on init[q]; the content of that wire must end where the
+  // final layout says the logical qubit lives.
+  for (int l = 0; l < 3; ++l) {
+    EXPECT_EQ(r.wire_permutation[static_cast<std::size_t>(init[static_cast<std::size_t>(l)])],
+              r.final_layout[static_cast<std::size_t>(l)]);
+  }
+  // And the permutation is a bijection.
+  std::vector<char> seen(5, 0);
+  for (int p : r.wire_permutation) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 5);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(p)]);
+    seen[static_cast<std::size_t>(p)] = 1;
+  }
+}
+
+TEST(Routing, RejectsWideGates) {
+  qir::Circuit c(3);
+  c.ccx(0, 1, 2);
+  EXPECT_THROW(route(c, CouplingMap::line(3), {0, 1, 2}), CompileError);
+}
+
+TEST(Routing, RoutedCircuitIsFunctionallyOriginalPlusPermutation) {
+  // decompose -> route; compiled == embed(original) followed by the wire
+  // permutation the router reports.
+  qir::Circuit c(3);
+  c.ccx(0, 1, 2).cx(0, 2).x(1).cx(2, 0);
+  DecomposePass pass;
+  qir::Circuit lowered = pass.run(c);
+
+  auto coupling = CouplingMap::line(4);
+  std::vector<int> init{1, 3, 0};
+  auto r = route(lowered, coupling, init);
+  EXPECT_TRUE(is_coupling_compliant(r.circuit, coupling));
+
+  qir::Circuit reference = testutil::embed(c, init, 4);
+  testutil::apply_wire_permutation(reference, r.wire_permutation);
+  EXPECT_TRUE(sim::circuits_equivalent(r.circuit, reference));
+}
+
+TEST(Routing, ValenciaEndToEndEquivalence) {
+  qir::Circuit c(5);
+  c.cx(0, 4).cx(2, 3).cx(4, 2).cx(0, 2);
+  auto coupling = CouplingMap::valencia();
+  std::vector<int> init{0, 1, 2, 3, 4};
+  auto r = route(c, coupling, init);
+  EXPECT_TRUE(is_coupling_compliant(r.circuit, coupling));
+
+  qir::Circuit reference = testutil::embed(c, init, 5);
+  testutil::apply_wire_permutation(reference, r.wire_permutation);
+  EXPECT_TRUE(sim::circuits_equivalent(r.circuit, reference));
+}
+
+}  // namespace
+}  // namespace tetris::compiler

@@ -1,0 +1,185 @@
+#include "qir/library.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "common/error.h"
+#include "sim/sampler.h"
+#include "sim/statevector.h"
+#include "sim/unitary.h"
+
+namespace tetris::qir::library {
+namespace {
+
+TEST(Ghz, AmplitudesAreCatState) {
+  for (int n : {1, 2, 4}) {
+    sim::StateVector sv(n);
+    sv.apply_circuit(ghz(n));
+    const auto& amps = sv.amplitudes();
+    double s = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(std::abs(amps.front() - std::complex<double>(s, 0)), 0, 1e-12);
+    EXPECT_NEAR(std::abs(amps.back() - std::complex<double>(s, 0)), 0, 1e-12);
+    for (std::size_t i = 1; i + 1 < amps.size(); ++i) {
+      EXPECT_NEAR(std::abs(amps[i]), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Qft, MatchesDftMatrix) {
+  for (int n : {1, 2, 3}) {
+    auto u = sim::build_unitary(qft(n));
+    const std::size_t dim = u.dim();
+    const double norm = 1.0 / std::sqrt(static_cast<double>(dim));
+    for (std::size_t r = 0; r < dim; ++r) {
+      for (std::size_t col = 0; col < dim; ++col) {
+        double angle = 2.0 * M_PI * static_cast<double>(r * col) /
+                       static_cast<double>(dim);
+        std::complex<double> expected =
+            norm * std::exp(std::complex<double>(0, angle));
+        EXPECT_NEAR(std::abs(u.at(r, col) - expected), 0.0, 1e-9)
+            << "n=" << n << " (" << r << "," << col << ")";
+      }
+    }
+  }
+}
+
+TEST(Qft, InverseComposesToIdentity) {
+  auto c = qft(4);
+  Circuit composed(4);
+  composed.append(c);
+  composed.append(c.inverse());
+  EXPECT_TRUE(sim::circuits_equivalent(composed, Circuit(4)));
+}
+
+TEST(Grover, AmplifiesMarkedState) {
+  const int n = 4;
+  const std::size_t marked = 11;
+  auto c = grover(n, marked, grover_optimal_iterations(n));
+  sim::StateVector sv(n);
+  sv.apply_circuit(c);
+  auto probs = sv.probabilities();
+  EXPECT_GT(probs[marked], 0.9);
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    if (i != marked) {
+      EXPECT_LT(probs[i], 0.05);
+    }
+  }
+}
+
+TEST(Grover, AnyMarkedStateWorks) {
+  const int n = 3;
+  for (std::size_t marked = 0; marked < 8; ++marked) {
+    auto c = grover(n, marked, grover_optimal_iterations(n));
+    sim::StateVector sv(n);
+    sv.apply_circuit(c);
+    auto probs = sv.probabilities();
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < probs.size(); ++i) {
+      if (probs[i] > probs[best]) best = i;
+    }
+    EXPECT_EQ(best, marked);
+  }
+}
+
+TEST(Grover, Validation) {
+  EXPECT_THROW(grover(1, 0, 1), InvalidArgument);
+  EXPECT_THROW(grover(3, 8, 1), InvalidArgument);
+  EXPECT_THROW(grover(3, 0, 0), InvalidArgument);
+  EXPECT_GE(grover_optimal_iterations(2), 1);
+  EXPECT_GT(grover_optimal_iterations(8), grover_optimal_iterations(4));
+}
+
+TEST(BernsteinVazirani, RecoversSecret) {
+  for (std::vector<int> secret :
+       {std::vector<int>{1, 0, 1}, std::vector<int>{0, 0, 0},
+        std::vector<int>{1, 1, 1, 1}}) {
+    auto c = bernstein_vazirani(secret);
+    std::vector<int> measured(secret.size());
+    for (std::size_t i = 0; i < secret.size(); ++i) measured[i] = static_cast<int>(i);
+    auto dist = sim::ideal_distribution(c, measured);
+    // The measured distribution must be a point mass on the secret
+    // (MSB-first convention: secret bit i is qubit i).
+    std::string expected(secret.size(), '0');
+    for (std::size_t i = 0; i < secret.size(); ++i) {
+      if (secret[i]) expected[secret.size() - 1 - i] = '1';
+    }
+    ASSERT_EQ(dist.size(), 1u);
+    EXPECT_EQ(dist.begin()->first, expected);
+  }
+}
+
+TEST(BernsteinVazirani, Validation) {
+  EXPECT_THROW(bernstein_vazirani({}), InvalidArgument);
+  EXPECT_THROW(bernstein_vazirani({0, 2}), InvalidArgument);
+}
+
+TEST(RippleCarryAdder, AddsAllSmallOperands) {
+  const int bits = 2;
+  auto adder = ripple_carry_adder(bits);
+  ASSERT_EQ(adder.num_qubits(), ripple_carry_adder_width(bits));
+  for (int av = 0; av < 4; ++av) {
+    for (int bv = 0; bv < 4; ++bv) {
+      Circuit c(adder.num_qubits());
+      for (int i = 0; i < bits; ++i) {
+        if ((av >> i) & 1) c.x(1 + i);
+        if ((bv >> i) & 1) c.x(1 + bits + i);
+      }
+      c.append(adder);
+      // Read back b (sum) and the carry-out.
+      std::vector<int> measured;
+      for (int i = 0; i < bits; ++i) measured.push_back(1 + bits + i);
+      measured.push_back(adder.num_qubits() - 1);
+      std::string out = sim::classical_outcome(c, measured);
+      int sum = 0;
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        sum = sum * 2 + (out[i] == '1');
+      }
+      EXPECT_EQ(sum, av + bv) << av << "+" << bv;
+    }
+  }
+}
+
+TEST(RippleCarryAdder, PreservesA) {
+  const int bits = 3;
+  auto adder = ripple_carry_adder(bits);
+  Circuit c(adder.num_qubits());
+  c.x(1).x(3);  // a = 0b101
+  c.append(adder);
+  std::vector<int> a_bits{3, 2, 1};
+  EXPECT_EQ(sim::classical_outcome(c, a_bits), "101");
+}
+
+TEST(RandomReversible, IsClassicalWithExactCount) {
+  Rng rng(5);
+  auto c = random_reversible(5, 30, rng);
+  EXPECT_TRUE(c.is_classical());
+  EXPECT_EQ(c.gate_count(), 30u);
+  EXPECT_EQ(c.num_qubits(), 5);
+}
+
+TEST(RandomReversible, SmallRegistersFallBack) {
+  Rng rng(5);
+  auto c1 = random_reversible(1, 10, rng);
+  for (const auto& g : c1.gates()) EXPECT_EQ(g.kind, GateKind::X);
+  auto c2 = random_reversible(2, 10, rng);
+  for (const auto& g : c2.gates()) EXPECT_NE(g.kind, GateKind::CCX);
+}
+
+TEST(RandomUniversal, ProducesRequestedGates) {
+  Rng rng(9);
+  auto c = random_universal(4, 25, rng);
+  EXPECT_EQ(c.gate_count(), 25u);
+  EXPECT_FALSE(c.is_classical());  // overwhelmingly likely with 25 gates
+}
+
+TEST(RandomCircuits, DeterministicPerSeed) {
+  Rng a(3), b(3);
+  EXPECT_TRUE(random_reversible(4, 12, a) == random_reversible(4, 12, b));
+  Rng c(3), d(4);
+  EXPECT_FALSE(random_universal(4, 12, c) == random_universal(4, 12, d));
+}
+
+}  // namespace
+}  // namespace tetris::qir::library

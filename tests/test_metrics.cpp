@@ -1,0 +1,88 @@
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace tetris::metrics {
+namespace {
+
+sim::Counts make_counts(std::map<std::string, std::size_t> h) {
+  sim::Counts c;
+  c.histogram = std::move(h);
+  for (const auto& [k, v] : c.histogram) c.shots += v;
+  return c;
+}
+
+TEST(Tvd, IdenticalDistributionsAreZero) {
+  auto a = make_counts({{"00", 50}, {"11", 50}});
+  EXPECT_NEAR(tvd(a, a), 0.0, 1e-12);
+}
+
+TEST(Tvd, DisjointSupportsAreOne) {
+  auto a = make_counts({{"00", 100}});
+  auto b = make_counts({{"11", 100}});
+  EXPECT_NEAR(tvd(a, b), 1.0, 1e-12);
+}
+
+TEST(Tvd, PaperFormulaExample) {
+  // Paper example style: {"0": 95, "1": 5} vs ideal {"0": 100}.
+  auto observed = make_counts({{"0", 95}, {"1", 5}});
+  std::map<std::string, double> reference{{"0", 1.0}};
+  EXPECT_NEAR(tvd(observed, reference), 0.05, 1e-12);
+}
+
+TEST(Tvd, Symmetric) {
+  auto a = make_counts({{"0", 70}, {"1", 30}});
+  auto b = make_counts({{"0", 40}, {"1", 60}});
+  EXPECT_NEAR(tvd(a, b), tvd(b, a), 1e-12);
+  EXPECT_NEAR(tvd(a, b), 0.3, 1e-12);
+}
+
+TEST(Tvd, MissingKeysCountAsZero) {
+  std::map<std::string, double> a{{"00", 0.5}, {"01", 0.5}};
+  std::map<std::string, double> b{{"00", 0.5}, {"10", 0.5}};
+  EXPECT_NEAR(tvd(a, b), 0.5, 1e-12);
+}
+
+TEST(Tvd, EmptyCountsRejected) {
+  sim::Counts empty;
+  std::map<std::string, double> ref{{"0", 1.0}};
+  EXPECT_THROW(tvd(empty, ref), InvalidArgument);
+}
+
+TEST(Accuracy, CorrectFraction) {
+  auto counts = make_counts({{"101", 970}, {"001", 20}, {"111", 10}});
+  EXPECT_NEAR(accuracy(counts, "101"), 0.97, 1e-12);
+  EXPECT_NEAR(accuracy(counts, "000"), 0.0, 1e-12);
+}
+
+TEST(Accuracy, EmptyRejected) {
+  sim::Counts empty;
+  EXPECT_THROW(accuracy(empty, "0"), InvalidArgument);
+}
+
+TEST(RunningStats, MeanStdMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), 2.138089935299395, 1e-9);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, DegenerateCases) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+}  // namespace
+}  // namespace tetris::metrics

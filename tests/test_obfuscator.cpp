@@ -1,0 +1,127 @@
+#include "lock/obfuscator.h"
+
+#include <gtest/gtest.h>
+
+#include "revlib/benchmarks.h"
+#include "sim/unitary.h"
+
+namespace tetris::lock {
+namespace {
+
+ObfuscatedCircuit obfuscate_benchmark(const std::string& name,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  Obfuscator obf;
+  return obf.obfuscate(revlib::get_benchmark(name).circuit, rng);
+}
+
+TEST(Obfuscator, OriginBookkeeping) {
+  auto obf = obfuscate_benchmark("rd53", 11);
+  EXPECT_EQ(obf.origin.size(), obf.circuit.size());
+  const std::size_t k = obf.random.size();
+  EXPECT_EQ(obf.indices_of(GateOrigin::RandomInverse).size(), k);
+  EXPECT_EQ(obf.indices_of(GateOrigin::Random).size(), k);
+  EXPECT_EQ(obf.indices_of(GateOrigin::Original).size(), obf.original.size());
+  EXPECT_EQ(obf.inserted_gates(), static_cast<int>(2 * k));
+}
+
+TEST(Obfuscator, InsertsAtLeastOneGateWhenSlackExists) {
+  auto obf = obfuscate_benchmark("4gt11", 2);
+  EXPECT_GE(obf.random.size(), 1u);
+}
+
+TEST(Obfuscator, MaskedDropsOnlyInversePrefix) {
+  auto obf = obfuscate_benchmark("4mod5", 5);
+  qir::Circuit masked = obf.masked();
+  EXPECT_EQ(masked.size(), obf.circuit.size() - obf.random.size());
+}
+
+TEST(Obfuscator, MaskedDiffersFunctionallyWhenRandomNonEmpty) {
+  auto obf = obfuscate_benchmark("rd53", 23);
+  ASSERT_GE(obf.random.size(), 1u);
+  EXPECT_FALSE(sim::circuits_equivalent(obf.masked(), obf.original));
+}
+
+/// The three headline structural invariants, swept over benchmarks x seeds.
+class ObfuscatorProperty
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(ObfuscatorProperty, DepthIsUnchanged) {
+  const auto& [name, seed] = GetParam();
+  auto obf = obfuscate_benchmark(name, static_cast<std::uint64_t>(seed));
+  EXPECT_EQ(obf.circuit.depth(), obf.original.depth()) << name;
+}
+
+TEST_P(ObfuscatorProperty, FunctionallyEquivalentToOriginal) {
+  const auto& [name, seed] = GetParam();
+  auto obf = obfuscate_benchmark(name, static_cast<std::uint64_t>(seed));
+  if (obf.circuit.num_qubits() > 10) {
+    GTEST_SKIP() << "unitary oracle too large";
+  }
+  EXPECT_TRUE(sim::circuits_equivalent(obf.circuit, obf.original)) << name;
+}
+
+TEST_P(ObfuscatorProperty, InsertedGateCountInPaperBand) {
+  const auto& [name, seed] = GetParam();
+  auto obf = obfuscate_benchmark(name, static_cast<std::uint64_t>(seed));
+  // Paper: 1-4 gates inserted in total (R plus R^-1), limit |R| <= 2.
+  EXPECT_LE(obf.inserted_gates(), 4);
+  EXPECT_GE(obf.inserted_gates(), 0);
+}
+
+TEST_P(ObfuscatorProperty, InsertedGatesPrecedeOriginalsOnSharedWires) {
+  const auto& [name, seed] = GetParam();
+  auto obf = obfuscate_benchmark(name, static_cast<std::uint64_t>(seed));
+  // In gate-list order, all non-original gates come first by construction;
+  // verify the stronger wire-level claim: on every wire touched by an
+  // inserted gate, no original gate appears earlier in the list.
+  std::vector<bool> wire_has_original(
+      static_cast<std::size_t>(obf.circuit.num_qubits()), false);
+  for (std::size_t i = 0; i < obf.circuit.size(); ++i) {
+    const auto& g = obf.circuit.gate(i);
+    if (obf.origin[i] == GateOrigin::Original) {
+      for (int q : g.qubits) wire_has_original[static_cast<std::size_t>(q)] = true;
+    } else {
+      for (int q : g.qubits) {
+        EXPECT_FALSE(wire_has_original[static_cast<std::size_t>(q)])
+            << "inserted gate " << i << " follows an original gate on wire " << q;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ObfuscatorProperty,
+    ::testing::Combine(::testing::ValuesIn(revlib::benchmark_names()),
+                       ::testing::Values(1, 42, 1234)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(Obfuscator, HonorsConfig) {
+  InsertionConfig cfg;
+  cfg.max_random_gates = 1;
+  cfg.alphabet = InsertionAlphabet::XOnly;
+  Obfuscator obf(cfg);
+  Rng rng(4);
+  auto result = obf.obfuscate(revlib::build_rd84(), rng);
+  EXPECT_LE(result.random.size(), 1u);
+  for (const auto& g : result.random.gates()) {
+    EXPECT_EQ(g.kind, qir::GateKind::X);
+  }
+  EXPECT_EQ(obf.config().max_random_gates, 1);
+}
+
+TEST(Obfuscator, EmptyCircuit) {
+  qir::Circuit empty(3);
+  Obfuscator obf;
+  Rng rng(1);
+  auto result = obf.obfuscate(empty, rng);
+  // No layers -> no leading slots -> nothing inserted.
+  EXPECT_TRUE(result.random.empty());
+  EXPECT_TRUE(result.circuit.empty());
+}
+
+}  // namespace
+}  // namespace tetris::lock

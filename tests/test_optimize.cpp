@@ -1,0 +1,126 @@
+#include "compiler/optimize.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/unitary.h"
+
+namespace tetris::compiler {
+namespace {
+
+TEST(Optimize, CancelsAdjacentSelfInversePairs) {
+  qir::Circuit c(2);
+  c.x(0).x(0).cx(0, 1).cx(0, 1).h(1).h(1);
+  OptimizeStats stats;
+  qir::Circuit out = optimize(c, &stats);
+  EXPECT_EQ(out.gate_count(), 0u);
+  EXPECT_EQ(stats.cancelled_pairs, 3u);
+}
+
+TEST(Optimize, CancelsDaggerPairs) {
+  qir::Circuit c(1);
+  c.s(0).sdg(0).t(0).tdg(0).sx(0).sxdg(0);
+  qir::Circuit out = optimize(c);
+  EXPECT_EQ(out.gate_count(), 0u);
+}
+
+TEST(Optimize, CancelsOppositeRotations) {
+  qir::Circuit c(1);
+  c.rz(0.7, 0).rz(-0.7, 0);
+  qir::Circuit out = optimize(c);
+  EXPECT_EQ(out.gate_count(), 0u);
+}
+
+TEST(Optimize, MergesRotations) {
+  qir::Circuit c(1);
+  c.rz(0.25, 0).rz(0.5, 0);
+  OptimizeStats stats;
+  qir::Circuit out = optimize(c, &stats);
+  ASSERT_EQ(out.gate_count(), 1u);
+  EXPECT_NEAR(out.gate(0).params[0], 0.75, 1e-12);
+  EXPECT_EQ(stats.merged_rotations, 1u);
+}
+
+TEST(Optimize, MergedFullTurnDisappears) {
+  qir::Circuit c(1);
+  c.rz(M_PI, 0).rz(M_PI, 0);  // 2*pi total
+  qir::Circuit out = optimize(c);
+  EXPECT_EQ(out.gate_count(), 0u);
+}
+
+TEST(Optimize, DropsIdentities) {
+  qir::Circuit c(2);
+  c.id(0).rz(0.0, 1).x(0);
+  OptimizeStats stats;
+  qir::Circuit out = optimize(c, &stats);
+  EXPECT_EQ(out.gate_count(), 1u);
+  EXPECT_EQ(stats.dropped_identities, 2u);
+}
+
+TEST(Optimize, InterveningGateBlocksCancellation) {
+  qir::Circuit c(2);
+  c.x(0).cx(0, 1).x(0);  // CX touches q0 between the two X's
+  qir::Circuit out = optimize(c);
+  EXPECT_EQ(out.gate_count(), 3u);
+}
+
+TEST(Optimize, DisjointGateDoesNotBlock) {
+  qir::Circuit c(2);
+  c.x(0).x(1).x(0);  // x(1) shares no wire with the X pair on q0
+  qir::Circuit out = optimize(c);
+  EXPECT_EQ(out.gate_count(), 1u);
+  EXPECT_EQ(out.gate(0).qubits[0], 1);
+}
+
+TEST(Optimize, CxDirectionMatters) {
+  qir::Circuit c(2);
+  c.cx(0, 1).cx(1, 0);
+  qir::Circuit out = optimize(c);
+  EXPECT_EQ(out.gate_count(), 2u);  // not inverses of each other
+}
+
+TEST(Optimize, CascadingCancellation) {
+  // Removing the inner pair exposes the outer pair; needs the fixpoint loop.
+  qir::Circuit c(1);
+  c.h(0).x(0).x(0).h(0);
+  qir::Circuit out = optimize(c);
+  EXPECT_EQ(out.gate_count(), 0u);
+}
+
+TEST(Optimize, SwapChainCollapses) {
+  qir::Circuit c(2);
+  c.swap(0, 1).swap(0, 1);
+  qir::Circuit out = optimize(c);
+  EXPECT_EQ(out.gate_count(), 0u);
+}
+
+TEST(Optimize, PreservesSemantics) {
+  qir::Circuit c(3);
+  c.h(0).t(0).tdg(0).cx(0, 1).x(2).x(2).cx(0, 1).rz(0.3, 1).rz(0.4, 1)
+      .ccx(0, 1, 2).s(0);
+  qir::Circuit out = optimize(c);
+  EXPECT_LT(out.gate_count(), c.gate_count());
+  EXPECT_TRUE(sim::circuits_equivalent(out, c));
+}
+
+TEST(Optimize, BarrierSurvives) {
+  qir::Circuit c(2);
+  c.x(0).barrier().x(0);
+  qir::Circuit out = optimize(c);
+  // Conservative: the barrier blocks nothing wire-wise in our model, but it
+  // must not be deleted.
+  bool has_barrier = false;
+  for (const auto& g : out.gates()) {
+    has_barrier = has_barrier || g.kind == qir::GateKind::Barrier;
+  }
+  EXPECT_TRUE(has_barrier);
+}
+
+TEST(Optimize, NoOpOnIrreducible) {
+  qir::Circuit c(2);
+  c.h(0).cx(0, 1).t(1);
+  qir::Circuit out = optimize(c);
+  EXPECT_TRUE(out == c);
+}
+
+}  // namespace
+}  // namespace tetris::compiler

@@ -1,0 +1,92 @@
+#include "lock/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "revlib/benchmarks.h"
+
+namespace tetris::lock {
+namespace {
+
+FlowResult run_on(const std::string& name, const compiler::Target& target,
+                  std::uint64_t seed, std::size_t shots = 400) {
+  const auto& b = revlib::get_benchmark(name);
+  FlowConfig cfg;
+  cfg.shots = shots;
+  Rng rng(seed);
+  return run_flow(b.circuit, b.measured, target, cfg, rng);
+}
+
+TEST(Pipeline, IdealBackendGivesPerfectRestoration) {
+  auto target = compiler::device_for(5);
+  target.noise = sim::NoiseModel::ideal();
+  auto r = run_on("4mod5", target, 3);
+  EXPECT_DOUBLE_EQ(r.accuracy_original, 1.0);
+  EXPECT_DOUBLE_EQ(r.accuracy_restored, 1.0);
+  EXPECT_DOUBLE_EQ(r.tvd_restored, 0.0);
+}
+
+TEST(Pipeline, ObfuscatedOutputDiffersEvenIdeally) {
+  auto target = compiler::device_for(7);
+  target.noise = sim::NoiseModel::ideal();
+  auto r = run_on("rd53", target, 5);
+  ASSERT_GE(r.obf.random.size(), 1u);
+  EXPECT_GT(r.tvd_obfuscated, 0.3);
+}
+
+TEST(Pipeline, DepthNeverIncreases) {
+  for (const auto& name : revlib::benchmark_names()) {
+    auto target = compiler::device_for(
+        revlib::get_benchmark(name).circuit.num_qubits());
+    target.noise = sim::NoiseModel::ideal();
+    auto r = run_on(name, target, 11, 64);
+    EXPECT_EQ(r.depth_obfuscated, r.depth_original) << name;
+  }
+}
+
+TEST(Pipeline, GateOverheadWithinPaperBand) {
+  auto target = compiler::device_for(5);
+  target.noise = sim::NoiseModel::ideal();
+  auto r = run_on("4mod5", target, 17, 64);
+  std::size_t inserted = r.gates_obfuscated - r.gates_original;
+  EXPECT_LE(inserted, 4u);
+}
+
+TEST(Pipeline, NoisyBackendKeepsRestoredAccuracyHigh) {
+  auto target = compiler::device_for(5);  // fake_valencia noise
+  auto r = run_on("1bit_adder", target, 23, 1000);
+  EXPECT_GT(r.accuracy_restored, 0.8);
+  EXPECT_GT(r.accuracy_original, 0.8);
+  // Restoration penalty stays small (paper: < ~1%; we allow sampling slack).
+  EXPECT_LT(r.accuracy_original - r.accuracy_restored, 0.1);
+  // Restored TVD is near the noise floor, far below the obfuscated TVD.
+  EXPECT_LT(r.tvd_restored, 0.3);
+}
+
+TEST(Pipeline, ObfuscatedTvdExceedsRestoredTvd) {
+  auto target = compiler::device_for(7);
+  auto r = run_on("rd53", target, 29, 600);
+  ASSERT_GE(r.obf.random.size(), 1u);
+  EXPECT_GT(r.tvd_obfuscated, r.tvd_restored);
+}
+
+TEST(Pipeline, ResultCarriesArtifacts) {
+  auto target = compiler::device_for(5);
+  target.noise = sim::NoiseModel::ideal();
+  auto r = run_on("4gt13", target, 31, 64);
+  EXPECT_EQ(r.obf.original.gate_count(), 4u);
+  EXPECT_FALSE(r.splits.second.gate_indices.empty());
+  EXPECT_EQ(r.recombined.circuit.num_qubits(), target.num_qubits());
+  EXPECT_EQ(r.baseline.circuit.num_qubits(), target.num_qubits());
+}
+
+TEST(Pipeline, DeterministicForFixedSeed) {
+  auto target = compiler::device_for(5);
+  auto a = run_on("4mod5", target, 101, 200);
+  auto b = run_on("4mod5", target, 101, 200);
+  EXPECT_EQ(a.tvd_obfuscated, b.tvd_obfuscated);
+  EXPECT_EQ(a.accuracy_restored, b.accuracy_restored);
+  EXPECT_TRUE(a.obf.circuit == b.obf.circuit);
+}
+
+}  // namespace
+}  // namespace tetris::lock

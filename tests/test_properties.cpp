@@ -1,0 +1,120 @@
+// Cross-module property suites: independent implementations of the same
+// quantity must agree on random inputs (classical propagation vs state-vector
+// simulation, schedule bookkeeping vs circuit stats, extreme-noise behavior).
+
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.h"
+#include "qir/layers.h"
+#include "qir/library.h"
+#include "sim/sampler.h"
+#include "sim/statevector.h"
+
+namespace tetris {
+namespace {
+
+class PropertySeed : public ::testing::TestWithParam<int> {};
+
+TEST_P(PropertySeed, ClassicalOutcomeAgreesWithStateVector) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  auto c = qir::library::random_reversible(6, 25, rng);
+  // classical_outcome uses bit propagation; the state vector is the oracle.
+  auto dist = sim::ideal_distribution(c);
+  ASSERT_EQ(dist.size(), 1u);
+  EXPECT_EQ(dist.begin()->first, sim::classical_outcome(c));
+}
+
+TEST_P(PropertySeed, LayerScheduleAccountsForEveryGate) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 50);
+  auto c = qir::library::random_universal(5, 30, rng);
+  qir::LayerSchedule sched(c);
+  EXPECT_EQ(sched.num_layers(), c.depth());
+  std::size_t total = 0;
+  for (int l = 0; l < sched.num_layers(); ++l) {
+    total += sched.gates_in_layer(l).size();
+    // No two gates in one layer may share a qubit.
+    std::set<int> used;
+    for (std::size_t gi : sched.gates_in_layer(l)) {
+      for (int q : c.gate(gi).qubits) {
+        EXPECT_TRUE(used.insert(q).second) << "layer " << l;
+      }
+    }
+  }
+  EXPECT_EQ(total, c.gate_count());
+}
+
+TEST_P(PropertySeed, SlackPlusBusyEqualsGridArea) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+  auto c = qir::library::random_reversible(5, 15, rng);
+  qir::LayerSchedule sched(c);
+  std::size_t busy = 0;
+  for (const auto& g : c.gates()) {
+    busy += static_cast<std::size_t>(g.num_qubits());
+  }
+  EXPECT_EQ(sched.total_slack() + busy,
+            static_cast<std::size_t>(sched.num_layers()) *
+                static_cast<std::size_t>(c.num_qubits()));
+}
+
+TEST_P(PropertySeed, InverseCircuitUndoesStateEvolution) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 150);
+  auto c = qir::library::random_universal(4, 20, rng);
+  sim::StateVector sv(4);
+  sv.apply_circuit(c);
+  sv.apply_circuit(c.inverse());
+  sim::StateVector ref(4);
+  EXPECT_NEAR(sv.fidelity(ref), 1.0, 1e-9);
+}
+
+TEST_P(PropertySeed, SamplingMatchesIdealDistribution) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 200);
+  auto c = qir::library::random_universal(3, 12, rng);
+  auto ideal = sim::ideal_distribution(c);
+  sim::SampleOptions opts;
+  opts.shots = 20000;
+  Rng sample_rng(99);
+  auto counts = sim::sample(c, sim::NoiseModel::ideal(), sample_rng, opts);
+  // Empirical distribution converges: TVD against the exact one is small.
+  EXPECT_LT(metrics::tvd(counts, ideal), 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySeed, ::testing::Range(1, 9));
+
+TEST(ExtremeNoise, CertainReadoutFlipInvertsDeterministicOutcome) {
+  qir::Circuit c(2);  // stays |00>
+  sim::NoiseModel nm;
+  nm.readout = 1.0;   // every bit flips with certainty
+  Rng rng(5);
+  sim::SampleOptions opts;
+  opts.shots = 100;
+  auto counts = sim::sample(c, nm, rng, opts);
+  EXPECT_EQ(counts.count("11"), 100u);
+}
+
+TEST(ExtremeNoise, FullDepolarizingStillNormalized) {
+  qir::Circuit c(2);
+  for (int i = 0; i < 5; ++i) c.x(0).cx(0, 1);
+  sim::NoiseModel nm;
+  nm.p1 = 1.0;
+  nm.p2 = 1.0;
+  Rng rng(7);
+  sim::SampleOptions opts;
+  opts.shots = 500;
+  auto counts = sim::sample(c, nm, rng, opts);
+  std::size_t total = 0;
+  for (const auto& [k, v] : counts.histogram) total += v;
+  EXPECT_EQ(total, 500u);
+}
+
+TEST(ExtremeNoise, ScaledModelClampsRates) {
+  auto nm = sim::NoiseModel::fake_valencia().scaled(1e9);
+  EXPECT_LE(nm.p1, 1.0);
+  EXPECT_LE(nm.p2, 1.0);
+  EXPECT_LE(nm.readout, 1.0);
+  EXPECT_THROW(nm.scaled(-1.0), InvalidArgument);
+  auto zero = nm.scaled(0.0);
+  EXPECT_TRUE(zero.is_ideal());
+}
+
+}  // namespace
+}  // namespace tetris

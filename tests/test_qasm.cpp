@@ -1,0 +1,84 @@
+#include "qir/qasm.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace tetris::qir {
+namespace {
+
+TEST(Qasm, WriteContainsHeaderAndGates) {
+  Circuit c(3, "demo");
+  c.h(0).cx(0, 1).rz(0.25, 2).ccx(0, 1, 2);
+  auto text = to_qasm(c);
+  EXPECT_NE(text.find("OPENQASM 2.0;"), std::string::npos);
+  EXPECT_NE(text.find("qreg q[3];"), std::string::npos);
+  EXPECT_NE(text.find("h q[0];"), std::string::npos);
+  EXPECT_NE(text.find("cx q[0],q[1];"), std::string::npos);
+  EXPECT_NE(text.find("rz(0.25) q[2];"), std::string::npos);
+  EXPECT_NE(text.find("ccx q[0],q[1],q[2];"), std::string::npos);
+}
+
+TEST(Qasm, RoundTripPreservesCircuit) {
+  Circuit c(4, "roundtrip");
+  c.h(0).x(1).s(2).tdg(3).cx(0, 1).cz(1, 2).swap(2, 3).ccx(0, 1, 3)
+      .rz(0.5, 0).rx(-1.25, 1).cp(0.75, 0, 2);
+  Circuit back = from_qasm(to_qasm(c));
+  EXPECT_EQ(back.num_qubits(), 4);
+  ASSERT_EQ(back.size(), c.size());
+  EXPECT_TRUE(back.approx_equal(c, 1e-12));
+}
+
+TEST(Qasm, RoundTripMcxAsC3x) {
+  Circuit c(5);
+  c.mcx({0, 1, 2}, 4);
+  Circuit back = from_qasm(to_qasm(c));
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back.gate(0).kind, GateKind::MCX);
+  EXPECT_EQ(back.gate(0).qubits, (std::vector<int>{0, 1, 2, 4}));
+}
+
+TEST(Qasm, WideMcxRejected) {
+  Circuit c(7);
+  c.mcx({0, 1, 2, 3, 4}, 6);
+  EXPECT_THROW(to_qasm(c), InvalidArgument);
+}
+
+TEST(Qasm, BarrierRoundTrip) {
+  Circuit c(2);
+  c.x(0).barrier().x(1);
+  Circuit back = from_qasm(to_qasm(c));
+  EXPECT_EQ(back.size(), 3u);
+  EXPECT_EQ(back.gate(1).kind, GateKind::Barrier);
+}
+
+TEST(Qasm, ParseIgnoresCregAndMeasure) {
+  const char* text = R"(OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+x q[0];
+measure q[0] -> c[0];
+)";
+  Circuit c = from_qasm(text);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.gate(0).kind, GateKind::X);
+}
+
+TEST(Qasm, ParseErrorsCarryLineInfo) {
+  EXPECT_THROW(from_qasm("OPENQASM 2.0;\nx q[0];\n"), ParseError);  // no qreg
+  EXPECT_THROW(from_qasm("qreg q[2];\nfrobnicate q[0];\n"), ParseError);
+  EXPECT_THROW(from_qasm("qreg q[2];\nrz(abc) q[0];\n"), ParseError);
+  EXPECT_THROW(from_qasm("qreg q[2];\nx q0;\n"), ParseError);  // bad operand
+  EXPECT_THROW(from_qasm(""), InvalidArgument);                // no qreg at all
+}
+
+TEST(Qasm, NameCommentSurvivesRoundTrip) {
+  Circuit c(2, "my_circuit");
+  c.x(0);
+  Circuit back = from_qasm(to_qasm(c));
+  EXPECT_EQ(back.name(), "my_circuit");
+}
+
+}  // namespace
+}  // namespace tetris::qir

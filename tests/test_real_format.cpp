@@ -1,0 +1,115 @@
+#include "revlib/real_format.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sim/unitary.h"
+
+namespace tetris::revlib {
+namespace {
+
+const char* kSample = R"(# toy adder
+.version 2.0
+.numvars 4
+.variables a b c d
+.inputs a b c d
+.outputs a b c s
+.begin
+t1 a
+t2 a b
+t3 a b d
+f2 c d
+f3 a c d
+t4 a b c d
+.end
+)";
+
+TEST(RealFormat, ParsesGates) {
+  auto c = from_real(kSample);
+  EXPECT_EQ(c.num_qubits(), 4);
+  ASSERT_EQ(c.size(), 6u);
+  EXPECT_EQ(c.gate(0).kind, qir::GateKind::X);
+  EXPECT_EQ(c.gate(1).kind, qir::GateKind::CX);
+  EXPECT_EQ(c.gate(2).kind, qir::GateKind::CCX);
+  EXPECT_EQ(c.gate(3).kind, qir::GateKind::SWAP);
+  EXPECT_EQ(c.gate(4).kind, qir::GateKind::CSWAP);
+  EXPECT_EQ(c.gate(5).kind, qir::GateKind::MCX);
+  EXPECT_EQ(c.gate(2).qubits, (std::vector<int>{0, 1, 3}));
+  EXPECT_EQ(c.name(), "toy adder");
+}
+
+TEST(RealFormat, DefaultVariableNames) {
+  const char* text = ".numvars 2\n.begin\nt2 x0 x1\n.end\n";
+  auto c = from_real(text);
+  EXPECT_EQ(c.num_qubits(), 2);
+  EXPECT_EQ(c.gate(0).kind, qir::GateKind::CX);
+}
+
+TEST(RealFormat, RoundTrip) {
+  auto c = from_real(kSample);
+  auto back = from_real(to_real(c));
+  EXPECT_EQ(back.num_qubits(), c.num_qubits());
+  ASSERT_EQ(back.size(), c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(back.gate(i).kind, c.gate(i).kind) << i;
+    EXPECT_EQ(back.gate(i).qubits, c.gate(i).qubits) << i;
+  }
+  EXPECT_TRUE(sim::circuits_equivalent(back, c));
+}
+
+TEST(RealFormat, ErrorMissingEnd) {
+  EXPECT_THROW(from_real(".numvars 2\n.begin\nt1 x0\n"), ParseError);
+}
+
+TEST(RealFormat, ErrorUnknownVariable) {
+  EXPECT_THROW(from_real(".numvars 2\n.variables a b\n.begin\nt1 zz\n.end\n"),
+               ParseError);
+}
+
+TEST(RealFormat, ErrorWrongLineCount) {
+  EXPECT_THROW(from_real(".numvars 2\n.variables a b\n.begin\nt3 a b\n.end\n"),
+               ParseError);
+}
+
+TEST(RealFormat, ErrorUnknownFamily) {
+  EXPECT_THROW(from_real(".numvars 2\n.variables a b\n.begin\nv a b\n.end\n"),
+               ParseError);
+}
+
+TEST(RealFormat, ErrorGateBeforeBegin) {
+  EXPECT_THROW(from_real(".numvars 2\n.variables a b\nt1 a\n.begin\n.end\n"),
+               ParseError);
+}
+
+TEST(RealFormat, ErrorDuplicateVariable) {
+  EXPECT_THROW(from_real(".numvars 2\n.variables a a\n.begin\n.end\n"),
+               ParseError);
+}
+
+TEST(RealFormat, ErrorBadNumvars) {
+  EXPECT_THROW(from_real(".numvars zero\n.begin\n.end\n"), ParseError);
+  EXPECT_THROW(from_real(".numvars 0\n.begin\n.end\n"), ParseError);
+}
+
+TEST(RealFormat, ErrorWideFredkin) {
+  EXPECT_THROW(
+      from_real(".numvars 4\n.variables a b c d\n.begin\nf4 a b c d\n.end\n"),
+      ParseError);
+}
+
+TEST(RealFormat, WriterRejectsNonClassical) {
+  qir::Circuit c(1);
+  c.h(0);
+  EXPECT_THROW(to_real(c), InvalidArgument);
+}
+
+TEST(RealFormat, MetadataDirectivesIgnored) {
+  const char* text =
+      ".version 2.0\n.numvars 1\n.variables a\n.inputs a\n.outputs a\n"
+      ".constants -\n.garbage -\n.begin\nt1 a\n.end\n";
+  auto c = from_real(text);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tetris::revlib

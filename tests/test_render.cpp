@@ -1,0 +1,58 @@
+#include "qir/render.h"
+
+#include <gtest/gtest.h>
+
+namespace tetris::qir {
+namespace {
+
+TEST(Render, OneLinePerQubit) {
+  Circuit c(4);
+  c.h(0).cx(0, 1);
+  auto art = render(c);
+  int newlines = 0;
+  for (char ch : art) {
+    if (ch == '\n') ++newlines;
+  }
+  EXPECT_EQ(newlines, 4);
+}
+
+TEST(Render, ShowsGateGlyphs) {
+  Circuit c(3);
+  c.h(0).cx(0, 2);
+  auto art = render(c);
+  EXPECT_NE(art.find("[h]"), std::string::npos);
+  EXPECT_NE(art.find(" # "), std::string::npos);   // control
+  EXPECT_NE(art.find("(+)"), std::string::npos);   // target
+  EXPECT_NE(art.find(" | "), std::string::npos);   // connector through q1
+}
+
+TEST(Render, LabelsQubits) {
+  Circuit c(2);
+  c.x(1);
+  auto art = render(c);
+  EXPECT_NE(art.find("q0:"), std::string::npos);
+  EXPECT_NE(art.find("q1:"), std::string::npos);
+}
+
+TEST(Render, IncludesCircuitName) {
+  Circuit c(1, "fancy");
+  c.x(0);
+  auto art = render(c);
+  EXPECT_NE(art.find("fancy"), std::string::npos);
+}
+
+TEST(Render, EmptyRegister) {
+  Circuit c(0);
+  EXPECT_EQ(render(c), "");
+}
+
+TEST(Render, SwapGlyph) {
+  Circuit c(2);
+  c.swap(0, 1);
+  auto art = render(c);
+  // Two 'x' marks, one per wire.
+  EXPECT_NE(art.find(" x "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tetris::qir

@@ -1,0 +1,76 @@
+// Additional rendering/IO regression tests: glyph collisions, wide circuits,
+// and the exact pictures the examples print (so example output stays stable).
+
+#include <gtest/gtest.h>
+
+#include "qir/library.h"
+#include "qir/qasm.h"
+#include "qir/render.h"
+#include "revlib/benchmarks.h"
+#include "revlib/real_format.h"
+
+namespace tetris::qir {
+namespace {
+
+TEST(RenderExtra, ConnectorDoesNotOverwriteGateGlyph) {
+  // A gate on q1 shares a column with the CCX(0,2,3) connector through q1;
+  // the gate glyph must win.
+  Circuit c(4);
+  c.x(1).ccx(0, 2, 3);
+  auto art = render(c);
+  // The [x] on q1 must survive; the connector appears on no wire that hosts
+  // a gate in that column.
+  EXPECT_NE(art.find("[x]"), std::string::npos);
+}
+
+TEST(RenderExtra, EveryBenchmarkRendersOneRowPerQubit) {
+  for (const auto& b : revlib::table1_benchmarks()) {
+    auto art = render(b.circuit);
+    int rows = 0;
+    for (char ch : art) {
+      if (ch == '\n') ++rows;
+    }
+    // name line + one line per qubit
+    EXPECT_EQ(rows, b.circuit.num_qubits() + 1) << b.name;
+  }
+}
+
+TEST(RenderExtra, DeepCircuitRendersAllLayers) {
+  auto c = qir::library::grover(3, 5, 1);
+  auto art = render(c);
+  EXPECT_GT(art.size(), 100u);
+  EXPECT_NE(art.find("q0:"), std::string::npos);
+  EXPECT_NE(art.find("q2:"), std::string::npos);
+}
+
+TEST(RenderExtra, BarrierIsInvisibleButHarmless) {
+  Circuit c(2);
+  c.x(0).barrier().x(1);
+  EXPECT_NO_THROW(render(c));
+}
+
+TEST(IoExtra, QasmOfEveryBenchmarkRoundTrips) {
+  for (const auto& b : revlib::table1_benchmarks()) {
+    auto back = from_qasm(to_qasm(b.circuit));
+    EXPECT_TRUE(back == b.circuit) << b.name;
+  }
+}
+
+TEST(IoExtra, RealAndQasmAgreeOnStructure) {
+  for (const auto& b : revlib::table1_benchmarks()) {
+    auto via_real = revlib::from_real(revlib::to_real(b.circuit));
+    auto via_qasm = from_qasm(to_qasm(b.circuit));
+    EXPECT_TRUE(via_real == via_qasm) << b.name;
+  }
+}
+
+TEST(IoExtra, LibraryCircuitsSerializeWhenRepresentable) {
+  // QFT uses cp gates -> qasm ok; swap ok.
+  auto qft = qir::library::qft(4);
+  EXPECT_NO_THROW(to_qasm(qft));
+  auto back = from_qasm(to_qasm(qft));
+  EXPECT_TRUE(back.approx_equal(qft, 1e-12));
+}
+
+}  // namespace
+}  // namespace tetris::qir

@@ -1,0 +1,177 @@
+#include "sim/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace tetris::sim {
+namespace {
+
+TEST(Counts, Basics) {
+  Counts c;
+  c.shots = 10;
+  c.histogram["00"] = 7;
+  c.histogram["11"] = 3;
+  EXPECT_EQ(c.count("00"), 7u);
+  EXPECT_EQ(c.count("01"), 0u);
+  EXPECT_EQ(c.mode(), "00");
+  auto d = c.distribution();
+  EXPECT_DOUBLE_EQ(d["00"], 0.7);
+  EXPECT_DOUBLE_EQ(d["11"], 0.3);
+}
+
+TEST(Counts, ModeOnEmptyThrows) {
+  Counts c;
+  EXPECT_THROW(c.mode(), InvalidArgument);
+}
+
+TEST(Bitstring, MsbFirstConvention) {
+  EXPECT_EQ(bitstring(0, 3), "000");
+  EXPECT_EQ(bitstring(1, 3), "001");  // qubit 0 is rightmost
+  EXPECT_EQ(bitstring(4, 3), "100");  // qubit 2 is leftmost
+  EXPECT_EQ(bitstring(6, 4), "0110");
+}
+
+TEST(Sampler, DeterministicCircuitIdealNoise) {
+  qir::Circuit c(3);
+  c.x(0).x(2);
+  Rng rng(1);
+  SampleOptions opts;
+  opts.shots = 200;
+  auto counts = sample(c, NoiseModel::ideal(), rng, opts);
+  EXPECT_EQ(counts.count("101"), 200u);
+}
+
+TEST(Sampler, MeasuredSubsetProjects) {
+  qir::Circuit c(3);
+  c.x(0).x(2);
+  Rng rng(1);
+  SampleOptions opts;
+  opts.shots = 50;
+  opts.measured = {2};  // only qubit 2
+  auto counts = sample(c, NoiseModel::ideal(), rng, opts);
+  EXPECT_EQ(counts.count("1"), 50u);
+  opts.measured = {1};
+  counts = sample(c, NoiseModel::ideal(), rng, opts);
+  EXPECT_EQ(counts.count("0"), 50u);
+}
+
+TEST(Sampler, MeasuredOrderMatchesConvention) {
+  qir::Circuit c(2);
+  c.x(0);  // qubit0 = 1, qubit1 = 0
+  Rng rng(1);
+  SampleOptions opts;
+  opts.shots = 10;
+  opts.measured = {0, 1};
+  auto counts = sample(c, NoiseModel::ideal(), rng, opts);
+  // measured[0]=q0 is the last character.
+  EXPECT_EQ(counts.count("01"), 10u);
+}
+
+TEST(Sampler, MeasuredOutOfRangeThrows) {
+  qir::Circuit c(2);
+  Rng rng(1);
+  SampleOptions opts;
+  opts.measured = {5};
+  EXPECT_THROW(sample(c, NoiseModel::ideal(), rng, opts), InvalidArgument);
+}
+
+TEST(Sampler, SuperpositionRoughlyBalanced) {
+  qir::Circuit c(1);
+  c.h(0);
+  Rng rng(99);
+  SampleOptions opts;
+  opts.shots = 20000;
+  auto counts = sample(c, NoiseModel::ideal(), rng, opts);
+  double p1 = static_cast<double>(counts.count("1")) / 20000.0;
+  EXPECT_NEAR(p1, 0.5, 0.02);
+}
+
+TEST(Sampler, ReadoutErrorFlipsBits) {
+  qir::Circuit c(1);  // stays |0>
+  NoiseModel nm;
+  nm.readout = 0.1;
+  Rng rng(7);
+  SampleOptions opts;
+  opts.shots = 20000;
+  auto counts = sample(c, nm, rng, opts);
+  double flip = static_cast<double>(counts.count("1")) / 20000.0;
+  EXPECT_NEAR(flip, 0.1, 0.015);
+}
+
+TEST(Sampler, GateNoiseCorruptsDeterministicOutcome) {
+  qir::Circuit c(2);
+  for (int i = 0; i < 10; ++i) c.x(0);
+  NoiseModel nm;
+  nm.p1 = 0.05;
+  Rng rng(3);
+  SampleOptions opts;
+  opts.shots = 4000;
+  auto counts = sample(c, nm, rng, opts);
+  // All-X circuit with 10 gates: ideal outcome "00" (even X count);
+  // with gate noise some shots land elsewhere.
+  EXPECT_GT(counts.count("00"), 2500u);
+  EXPECT_LT(counts.count("00"), 4000u);
+}
+
+TEST(Sampler, NoiselessModelGivesIdealEvenWithManyGates) {
+  qir::Circuit c(2);
+  for (int i = 0; i < 9; ++i) c.x(1);
+  Rng rng(3);
+  SampleOptions opts;
+  opts.shots = 500;
+  auto counts = sample(c, NoiseModel::ideal(), rng, opts);
+  EXPECT_EQ(counts.count("10"), 500u);
+}
+
+TEST(IdealDistribution, PointMassForClassical) {
+  qir::Circuit c(2);
+  c.x(1);
+  auto d = ideal_distribution(c);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_DOUBLE_EQ(d.at("10"), 1.0);
+}
+
+TEST(IdealDistribution, MarginalizesSubset) {
+  qir::Circuit c(2);
+  c.h(0).cx(0, 1);  // Bell
+  auto d = ideal_distribution(c, {0});
+  EXPECT_NEAR(d.at("0"), 0.5, 1e-12);
+  EXPECT_NEAR(d.at("1"), 0.5, 1e-12);
+}
+
+TEST(ClassicalOutcome, MatchesSimulation) {
+  qir::Circuit c(4);
+  c.x(0).cx(0, 1).ccx(0, 1, 2).swap(2, 3).x(2);
+  std::string outcome = classical_outcome(c);
+  auto d = ideal_distribution(c);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.begin()->first, outcome);
+}
+
+TEST(ClassicalOutcome, CswapAndMcx) {
+  qir::Circuit c(5);
+  c.x(0).x(1).x(2).mcx({0, 1, 2}, 4).cswap(4, 0, 3);
+  // q4 flips (all controls set); then q0<->q3 swap since q4=1.
+  std::string outcome = classical_outcome(c);
+  auto d = ideal_distribution(c);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.begin()->first, outcome);
+}
+
+TEST(ClassicalOutcome, RejectsNonClassical) {
+  qir::Circuit c(1);
+  c.h(0);
+  EXPECT_THROW(classical_outcome(c), InvalidArgument);
+}
+
+TEST(ClassicalOutcome, MeasuredSubset) {
+  qir::Circuit c(3);
+  c.x(1);
+  EXPECT_EQ(classical_outcome(c, {1}), "1");
+  EXPECT_EQ(classical_outcome(c, {0, 1}), "10");  // q1 first char (highest)
+  EXPECT_EQ(classical_outcome(c, {2}), "0");
+}
+
+}  // namespace
+}  // namespace tetris::sim

@@ -1,0 +1,235 @@
+#include "sim/statevector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace tetris::sim {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(StateVector, InitialState) {
+  StateVector sv(3);
+  EXPECT_EQ(sv.dim(), 8u);
+  EXPECT_NEAR(std::abs(sv.amplitudes()[0] - cplx(1, 0)), 0.0, kTol);
+  for (std::size_t i = 1; i < 8; ++i) {
+    EXPECT_NEAR(std::abs(sv.amplitudes()[i]), 0.0, kTol);
+  }
+}
+
+TEST(StateVector, WidthLimits) {
+  EXPECT_NO_THROW(StateVector(0));
+  EXPECT_THROW(StateVector(-1), InvalidArgument);
+  EXPECT_THROW(StateVector(29), InvalidArgument);
+}
+
+TEST(StateVector, XFlipsBit) {
+  StateVector sv(2);
+  sv.apply_gate(qir::make_x(1));
+  // little-endian: qubit 1 set -> index 2
+  EXPECT_NEAR(std::abs(sv.amplitudes()[2] - cplx(1, 0)), 0.0, kTol);
+}
+
+TEST(StateVector, HadamardCreatesSuperposition) {
+  StateVector sv(1);
+  sv.apply_gate(qir::make_h(0));
+  const double s = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(sv.amplitudes()[0] - cplx(s, 0)), 0.0, kTol);
+  EXPECT_NEAR(std::abs(sv.amplitudes()[1] - cplx(s, 0)), 0.0, kTol);
+}
+
+TEST(StateVector, BellState) {
+  StateVector sv(2);
+  qir::Circuit c(2);
+  c.h(0).cx(0, 1);
+  sv.apply_circuit(c);
+  const double s = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(sv.amplitudes()[0] - cplx(s, 0)), 0.0, kTol);
+  EXPECT_NEAR(std::abs(sv.amplitudes()[3] - cplx(s, 0)), 0.0, kTol);
+  EXPECT_NEAR(std::abs(sv.amplitudes()[1]), 0.0, kTol);
+  EXPECT_NEAR(std::abs(sv.amplitudes()[2]), 0.0, kTol);
+}
+
+TEST(StateVector, CxControlOff) {
+  StateVector sv(2);
+  sv.apply_gate(qir::make_cx(0, 1));
+  EXPECT_NEAR(std::abs(sv.amplitudes()[0] - cplx(1, 0)), 0.0, kTol);
+}
+
+TEST(StateVector, CxControlOn) {
+  StateVector sv(2);
+  sv.apply_gate(qir::make_x(0));
+  sv.apply_gate(qir::make_cx(0, 1));
+  EXPECT_NEAR(std::abs(sv.amplitudes()[3] - cplx(1, 0)), 0.0, kTol);
+}
+
+TEST(StateVector, ToffoliTruthTable) {
+  for (unsigned input = 0; input < 8; ++input) {
+    StateVector sv(3);
+    sv.set_basis_state(input);
+    sv.apply_gate(qir::make_ccx(0, 1, 2));
+    unsigned expected = input;
+    if ((input & 1u) && (input & 2u)) expected ^= 4u;
+    EXPECT_NEAR(std::abs(sv.amplitudes()[expected] - cplx(1, 0)), 0.0, kTol)
+        << "input=" << input;
+  }
+}
+
+TEST(StateVector, McxTruthTable) {
+  for (unsigned input = 0; input < 16; ++input) {
+    StateVector sv(4);
+    sv.set_basis_state(input);
+    sv.apply_gate(qir::make_mcx({0, 1, 2}, 3));
+    unsigned expected = input;
+    if ((input & 7u) == 7u) expected ^= 8u;
+    EXPECT_NEAR(std::abs(sv.amplitudes()[expected] - cplx(1, 0)), 0.0, kTol)
+        << "input=" << input;
+  }
+}
+
+TEST(StateVector, SwapExchangesQubits) {
+  StateVector sv(2);
+  sv.apply_gate(qir::make_x(0));    // |01> little-endian index 1
+  sv.apply_gate(qir::make_swap(0, 1));
+  EXPECT_NEAR(std::abs(sv.amplitudes()[2] - cplx(1, 0)), 0.0, kTol);
+}
+
+TEST(StateVector, CswapTruthTable) {
+  for (unsigned input = 0; input < 8; ++input) {
+    StateVector sv(3);
+    sv.set_basis_state(input);
+    sv.apply_gate(qir::make_cswap(0, 1, 2));
+    unsigned expected = input;
+    if (input & 1u) {
+      bool b1 = input & 2u, b2 = input & 4u;
+      expected = (input & 1u) | (b2 ? 2u : 0u) | (b1 ? 4u : 0u);
+    }
+    EXPECT_NEAR(std::abs(sv.amplitudes()[expected] - cplx(1, 0)), 0.0, kTol)
+        << "input=" << input;
+  }
+}
+
+TEST(StateVector, ZPhasesOne) {
+  StateVector sv(1);
+  sv.apply_gate(qir::make_x(0));
+  sv.apply_gate(qir::make_z(0));
+  EXPECT_NEAR(std::abs(sv.amplitudes()[1] - cplx(-1, 0)), 0.0, kTol);
+}
+
+TEST(StateVector, SGateGivesI) {
+  StateVector sv(1);
+  sv.apply_gate(qir::make_x(0));
+  sv.apply_gate(qir::make_s(0));
+  EXPECT_NEAR(std::abs(sv.amplitudes()[1] - cplx(0, 1)), 0.0, kTol);
+}
+
+TEST(StateVector, TSquaredIsS) {
+  StateVector a(1), b(1);
+  a.apply_gate(qir::make_h(0));
+  a.apply_gate(qir::make_t(0));
+  a.apply_gate(qir::make_t(0));
+  b.apply_gate(qir::make_h(0));
+  b.apply_gate(qir::make_s(0));
+  EXPECT_NEAR(a.max_abs_diff(b), 0.0, kTol);
+}
+
+TEST(StateVector, SxSquaredIsX) {
+  StateVector a(1), b(1);
+  a.apply_gate(qir::make_sx(0));
+  a.apply_gate(qir::make_sx(0));
+  b.apply_gate(qir::make_x(0));
+  // Global phase may differ; compare probabilities + fidelity.
+  EXPECT_NEAR(a.fidelity(b), 1.0, 1e-10);
+}
+
+TEST(StateVector, RzIsDiagonalPhase) {
+  StateVector sv(1);
+  sv.apply_gate(qir::make_h(0));
+  sv.apply_gate(qir::make_rz(M_PI / 2, 0));
+  // RZ(pi/2) = diag(e^{-i pi/4}, e^{i pi/4}).
+  const double s = 1.0 / std::sqrt(2.0);
+  cplx expected0 = s * std::exp(cplx(0, -M_PI / 4));
+  cplx expected1 = s * std::exp(cplx(0, M_PI / 4));
+  EXPECT_NEAR(std::abs(sv.amplitudes()[0] - expected0), 0.0, kTol);
+  EXPECT_NEAR(std::abs(sv.amplitudes()[1] - expected1), 0.0, kTol);
+}
+
+TEST(StateVector, GateAdjointRoundTripsState) {
+  // Apply G then G^dagger and recover the input for every 1q kind.
+  using qir::GateKind;
+  std::vector<qir::Gate> gates = {
+      qir::make_x(0),  qir::make_y(0),    qir::make_z(0),  qir::make_h(0),
+      qir::make_s(0),  qir::make_sdg(0),  qir::make_t(0),  qir::make_tdg(0),
+      qir::make_sx(0), qir::make_sxdg(0), qir::make_rx(0.3, 0),
+      qir::make_ry(-0.9, 0), qir::make_rz(1.7, 0), qir::make_p(0.4, 0)};
+  for (const auto& g : gates) {
+    StateVector sv(1);
+    sv.apply_gate(qir::make_h(0));  // non-trivial input
+    StateVector ref = sv;
+    sv.apply_gate(g);
+    sv.apply_gate(g.adjoint());
+    EXPECT_NEAR(sv.max_abs_diff(ref), 0.0, 1e-10) << g.name();
+  }
+}
+
+TEST(StateVector, PauliInjection) {
+  StateVector sv(2);
+  sv.apply_pauli('X', 1);
+  EXPECT_NEAR(std::abs(sv.amplitudes()[2] - cplx(1, 0)), 0.0, kTol);
+  sv.apply_pauli('I', 0);
+  EXPECT_NEAR(std::abs(sv.amplitudes()[2] - cplx(1, 0)), 0.0, kTol);
+  EXPECT_THROW(sv.apply_pauli('Q', 0), InvalidArgument);
+}
+
+TEST(StateVector, ProbabilitiesSumToOne) {
+  StateVector sv(3);
+  qir::Circuit c(3);
+  c.h(0).cx(0, 1).t(1).h(2).cx(2, 0);
+  sv.apply_circuit(c);
+  auto p = sv.probabilities();
+  double sum = 0;
+  for (double x : p) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+}
+
+TEST(StateVector, SampleMatchesDistribution) {
+  StateVector sv(1);
+  sv.apply_gate(qir::make_h(0));
+  Rng rng(17);
+  int ones = 0;
+  const int shots = 20000;
+  for (int i = 0; i < shots; ++i) {
+    ones += static_cast<int>(sv.sample(rng));
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / shots, 0.5, 0.02);
+}
+
+TEST(StateVector, InnerAndFidelity) {
+  StateVector a(1), b(1);
+  a.apply_gate(qir::make_h(0));
+  EXPECT_NEAR(std::abs(a.inner(b) - cplx(1.0 / std::sqrt(2.0), 0)), 0.0, kTol);
+  EXPECT_NEAR(a.fidelity(b), 0.5, 1e-10);
+  EXPECT_THROW(a.inner(StateVector(2)), InvalidArgument);
+}
+
+TEST(StateVector, NormalizeRestoresUnitNorm) {
+  StateVector sv(1);
+  sv.apply_gate(qir::make_h(0));
+  // Simulate drift by re-normalizing (should be no-op for exact states).
+  sv.normalize();
+  auto p = sv.probabilities();
+  EXPECT_NEAR(p[0] + p[1], 1.0, kTol);
+}
+
+TEST(StateVector, ApplyCircuitWidthGuard) {
+  StateVector sv(1);
+  qir::Circuit wide(3);
+  wide.x(2);
+  EXPECT_THROW(sv.apply_circuit(wide), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace tetris::sim

@@ -1,0 +1,63 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace tetris {
+namespace {
+
+TEST(Strings, SplitWsBasic) {
+  auto v = split_ws("  a  bb\tccc \n d ");
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[1], "bb");
+  EXPECT_EQ(v[2], "ccc");
+  EXPECT_EQ(v[3], "d");
+}
+
+TEST(Strings, SplitWsEmpty) {
+  EXPECT_TRUE(split_ws("").empty());
+  EXPECT_TRUE(split_ws("   \t\n ").empty());
+}
+
+TEST(Strings, SplitCharPreservesEmptyFields) {
+  auto v = split_char("a,,b,", ',');
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[1], "");
+  EXPECT_EQ(v[2], "b");
+  EXPECT_EQ(v[3], "");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  hello \t"), "hello");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("OPENQASM 2.0", "OPENQASM"));
+  EXPECT_FALSE(starts_with("OPEN", "OPENQASM"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("CxX"), "cxx");
+  EXPECT_EQ(to_lower("already"), "already");
+}
+
+TEST(Strings, FmtDouble) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(0.5, 0), "0");  // rounds to even
+  EXPECT_EQ(fmt_double(-1.005, 1), "-1.0");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("abcdef", 3), "abcdef");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");
+}
+
+}  // namespace
+}  // namespace tetris

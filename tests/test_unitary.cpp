@@ -1,0 +1,110 @@
+#include "sim/unitary.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "qir/gate.h"
+
+namespace tetris::sim {
+namespace {
+
+/// Parameterized unitarity check across all gate kinds.
+class GateUnitarity : public ::testing::TestWithParam<qir::Gate> {};
+
+TEST_P(GateUnitarity, EveryGateIsUnitary) {
+  const qir::Gate& g = GetParam();
+  int width = 0;
+  for (int q : g.qubits) width = std::max(width, q + 1);
+  qir::Circuit c(width);
+  c.add(g);
+  EXPECT_TRUE(is_unitary(build_unitary(c))) << g.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, GateUnitarity,
+    ::testing::Values(
+        qir::Gate(qir::GateKind::I, {0}), qir::make_x(0), qir::make_y(0),
+        qir::make_z(0), qir::make_h(0), qir::make_s(0), qir::make_sdg(0),
+        qir::make_t(0), qir::make_tdg(0), qir::make_sx(0), qir::make_sxdg(0),
+        qir::make_rx(0.37, 0), qir::make_ry(-1.2, 0), qir::make_rz(2.5, 0),
+        qir::make_p(0.9, 0), qir::make_cx(0, 1), qir::make_cy(0, 1),
+        qir::make_cz(0, 1), qir::make_ch(0, 1), qir::make_cp(0.6, 0, 1),
+        qir::make_crz(-0.8, 0, 1), qir::make_swap(0, 1),
+        qir::make_ccx(0, 1, 2), qir::make_cswap(0, 1, 2),
+        qir::make_mcx({0, 1, 2}, 3)),
+    [](const ::testing::TestParamInfo<qir::Gate>& info) {
+      return info.param.name() + "_" + std::to_string(info.index);
+    });
+
+TEST(Unitary, IdentityCircuit) {
+  qir::Circuit c(2);
+  Unitary u = build_unitary(c);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t col = 0; col < 4; ++col) {
+      EXPECT_NEAR(std::abs(u.at(r, col) - (r == col ? 1.0 : 0.0)), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Unitary, CxMatrix) {
+  qir::Circuit c(2);
+  c.cx(0, 1);
+  Unitary u = build_unitary(c);
+  // Columns: |00>->|00>, |01>->|11>, |10>->|10>, |11>->|01>.
+  EXPECT_NEAR(std::abs(u.at(0, 0) - 1.0), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(u.at(3, 1) - 1.0), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(u.at(2, 2) - 1.0), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(u.at(1, 3) - 1.0), 0.0, 1e-12);
+}
+
+TEST(Unitary, EqualUpToPhaseDetectsPhase) {
+  qir::Circuit a(1), b(1);
+  a.z(0);        // diag(1, -1)
+  b.rz(M_PI, 0); // diag(-i, i) = -i * diag(1, -1)
+  EXPECT_TRUE(equal_up_to_phase(build_unitary(a), build_unitary(b)));
+}
+
+TEST(Unitary, EqualUpToPhaseRejectsDifferentGates) {
+  qir::Circuit a(1), b(1);
+  a.x(0);
+  b.z(0);
+  EXPECT_FALSE(equal_up_to_phase(build_unitary(a), build_unitary(b)));
+}
+
+TEST(Unitary, CircuitsEquivalentWidthMismatch) {
+  qir::Circuit a(1), b(2);
+  EXPECT_FALSE(circuits_equivalent(a, b));
+}
+
+TEST(Unitary, InverseComposesToIdentity) {
+  qir::Circuit c(3);
+  c.h(0).cx(0, 1).t(1).ccx(0, 1, 2).sx(2).rz(0.7, 0).swap(1, 2);
+  qir::Circuit id(3);
+  qir::Circuit composed(3);
+  composed.append(c);
+  composed.append(c.inverse());
+  EXPECT_TRUE(circuits_equivalent(composed, id));
+}
+
+TEST(Unitary, WidthGuard) {
+  qir::Circuit c(13);
+  EXPECT_THROW(build_unitary(c), InvalidArgument);
+}
+
+TEST(Unitary, HViaZxBasisChange) {
+  // HXH = Z.
+  qir::Circuit a(1), b(1);
+  a.h(0).x(0).h(0);
+  b.z(0);
+  EXPECT_TRUE(circuits_equivalent(a, b));
+}
+
+TEST(Unitary, SwapEqualsThreeCx) {
+  qir::Circuit a(2), b(2);
+  a.swap(0, 1);
+  b.cx(0, 1).cx(1, 0).cx(0, 1);
+  EXPECT_TRUE(circuits_equivalent(a, b));
+}
+
+}  // namespace
+}  // namespace tetris::sim

@@ -1,0 +1,54 @@
+#pragma once
+
+// Shared helpers for the TetrisLock test-suite.
+
+#include <vector>
+
+#include "qir/circuit.h"
+
+namespace tetris::testutil {
+
+/// Appends SWAP gates to `circuit` realising `perm`: the content currently on
+/// wire p moves to wire perm[p]. Used to express "compiled circuit ==
+/// original + final permutation" equivalences in routing/compiler tests.
+inline void apply_wire_permutation(qir::Circuit& circuit,
+                                   const std::vector<int>& perm) {
+  const int n = static_cast<int>(perm.size());
+  // pos[w] = current wire of the content that started on wire w.
+  std::vector<int> pos(perm.size());
+  for (int w = 0; w < n; ++w) pos[static_cast<std::size_t>(w)] = w;
+  for (int w = 0; w < n; ++w) {
+    int want = perm[static_cast<std::size_t>(w)];
+    int cur = pos[static_cast<std::size_t>(w)];
+    if (cur == want) continue;
+    int other = -1;
+    for (int v = 0; v < n; ++v) {
+      if (pos[static_cast<std::size_t>(v)] == want) {
+        other = v;
+        break;
+      }
+    }
+    circuit.swap(cur, want);
+    pos[static_cast<std::size_t>(w)] = want;
+    if (other >= 0) pos[static_cast<std::size_t>(other)] = cur;
+  }
+}
+
+/// Embeds `circuit` on a wider physical register via layout
+/// (logical q -> physical layout[q]).
+inline qir::Circuit embed(const qir::Circuit& circuit,
+                          const std::vector<int>& layout, int num_physical) {
+  return circuit.remapped(layout, num_physical);
+}
+
+/// A small non-classical test circuit (GHZ preparation plus phases).
+inline qir::Circuit ghz_with_phases(int n) {
+  qir::Circuit c(n, "ghz_phases");
+  c.h(0);
+  for (int q = 0; q + 1 < n; ++q) c.cx(q, q + 1);
+  c.t(0);
+  if (n > 1) c.s(1);
+  return c;
+}
+
+}  // namespace tetris::testutil
