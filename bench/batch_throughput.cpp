@@ -1,0 +1,158 @@
+// Batched-pipeline throughput: the full TetrisLock flow (obfuscate ->
+// interlock-split -> split-compile -> recombine -> noisy verify) over
+// --iterations copies of the eight Table-I RevLib circuits, executed by the
+// runtime BatchRunner at several worker-pool widths.
+//
+// Reports circuits/second per width plus the speedup over the 1-thread run,
+// verifies that every job's metrics are bit-identical across widths (the
+// per-job RNG is derived from (seed, job index), never from scheduling), and
+// writes the sweep to a JSON file (--out, default BENCH_throughput.json) to
+// seed the repo's perf trajectory.
+//
+// Extra flags beyond bench_util's: --threads 1,2,4 overrides the default
+// {1, N/2, N} width sweep (N = hardware concurrency, floored at 4 so the
+// sweep is meaningful on small CI boxes).
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/strings.h"
+#include "lock/pipeline.h"
+#include "revlib/benchmarks.h"
+
+namespace {
+
+using namespace tetris;
+
+struct SweepPoint {
+  unsigned threads = 0;
+  double wall_seconds = 0.0;
+  double circuits_per_second = 0.0;
+};
+
+std::vector<unsigned> default_widths() {
+  unsigned n = std::max(4u, std::thread::hardware_concurrency());
+  return {1, n / 2, n};
+}
+
+/// The per-job metric fingerprint compared across widths.
+std::vector<double> fingerprint(const lock::FlowBatchResult& batch) {
+  std::vector<double> fp;
+  fp.reserve(batch.items.size() * 4);
+  for (const auto& item : batch.items) {
+    fp.push_back(item.result.tvd_obfuscated);
+    fp.push_back(item.result.tvd_restored);
+    fp.push_back(item.result.accuracy_restored);
+    fp.push_back(static_cast<double>(item.result.gates_obfuscated));
+  }
+  return fp;
+}
+
+void write_json(const std::string& path, const benchutil::Args& args,
+                std::size_t job_count, const std::vector<SweepPoint>& sweep,
+                bool deterministic) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    std::exit(1);
+  }
+  out << "{\n"
+      << "  \"bench\": \"batch_throughput\",\n"
+      << "  \"suite\": \"revlib_table1\",\n"
+      << "  \"iterations\": " << args.iterations << ",\n"
+      << "  \"shots\": " << args.shots << ",\n"
+      << "  \"seed\": " << args.seed << ",\n"
+      << "  \"jobs\": " << job_count << ",\n"
+      << "  \"deterministic_across_widths\": "
+      << (deterministic ? "true" : "false") << ",\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    out << "    {\"threads\": " << sweep[i].threads
+        << ", \"wall_seconds\": " << fmt_double(sweep[i].wall_seconds, 4)
+        << ", \"circuits_per_second\": "
+        << fmt_double(sweep[i].circuits_per_second, 2) << "}"
+        << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"baseline_threads\": "
+      << (sweep.empty() ? 0 : sweep.front().threads) << ",\n"
+      << "  \"speedup_max_vs_baseline\": "
+      << fmt_double(sweep.empty() || sweep.front().wall_seconds <= 0.0
+                        ? 0.0
+                        : sweep.front().wall_seconds /
+                              std::max(1e-12, sweep.back().wall_seconds),
+                    2)
+      << "\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = benchutil::parse_args(argc, argv);
+  const std::string out_path =
+      args.out.empty() ? "BENCH_throughput.json" : args.out;
+  // Ascending + deduped so the sweep's first point is the narrowest pool —
+  // the speedup baseline — whatever order --threads was given in.
+  std::vector<unsigned> widths =
+      args.threads.empty() ? default_widths() : args.threads;
+  std::sort(widths.begin(), widths.end());
+  widths.erase(std::unique(widths.begin(), widths.end()), widths.end());
+
+  // The batch: --iterations independent copies of the Table-I suite, each
+  // copy a distinct job (and hence a distinct RNG stream).
+  lock::FlowConfig cfg;
+  cfg.shots = args.shots;
+  std::vector<lock::FlowJob> jobs;
+  for (int iter = 0; iter < args.iterations; ++iter) {
+    for (const auto& b : revlib::table1_benchmarks()) {
+      jobs.push_back(lock::make_flow_job(
+          b.name + "#" + std::to_string(iter), b.circuit, b.measured, cfg));
+    }
+  }
+  std::cout << "batch: " << jobs.size() << " jobs ("
+            << revlib::table1_benchmarks().size() << " circuits x "
+            << args.iterations << " iterations, " << args.shots
+            << " shots)\n\n";
+
+  benchutil::Table table({"threads", "wall (s)", "circuits/s", "speedup"},
+                         {7, 9, 10, 8});
+  table.print_header();
+
+  std::vector<SweepPoint> sweep;
+  std::vector<double> reference_fp;
+  bool deterministic = true;
+  for (unsigned width : widths) {
+    auto batch = lock::run_flow_batch(jobs, args.seed, width);
+    if (batch.failures != 0) {
+      std::cerr << "batch failed at " << width << " threads: "
+                << batch.failures << " job(s) errored\n";
+      for (const auto& item : batch.items) {
+        if (!item.ok) std::cerr << "  " << item.name << ": " << item.error << "\n";
+      }
+      return 1;
+    }
+    auto fp = fingerprint(batch);
+    if (reference_fp.empty()) {
+      reference_fp = fp;
+    } else if (fp != reference_fp) {
+      deterministic = false;  // exact comparison: results must not depend on width
+    }
+    SweepPoint point{width, batch.wall_seconds, batch.circuits_per_second};
+    sweep.push_back(point);
+    double speedup = sweep.front().wall_seconds /
+                     std::max(1e-12, point.wall_seconds);
+    table.print_row({std::to_string(width), fmt_double(point.wall_seconds, 3),
+                     fmt_double(point.circuits_per_second, 2),
+                     fmt_double(speedup, 2) + "x"});
+  }
+
+  std::cout << "\nper-job results identical across widths: "
+            << (deterministic ? "yes" : "NO — DETERMINISM BUG") << "\n";
+  write_json(out_path, args, jobs.size(), sweep, deterministic);
+  return deterministic ? 0 : 1;
+}

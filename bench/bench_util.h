@@ -17,31 +17,49 @@ namespace tetris::benchutil {
 ///   --iterations N   (default 20, the paper's averaging count)
 ///   --shots N        (default 1000, the paper's shot count)
 ///   --seed N         (default 2025)
+///   --threads A,B,C  (worker-pool widths for throughput sweeps; default
+///                     empty, each bench picks its own)
+///   --out PATH       (where JSON-emitting benches write their result)
 struct Args {
   int iterations = 20;
   std::size_t shots = 1000;
   std::uint64_t seed = 2025;
+  std::vector<unsigned> threads;
+  std::string out;
 };
 
 inline Args parse_args(int argc, char** argv) {
   Args args;
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
-    auto next = [&]() -> long {
+    auto next_str = [&]() -> std::string {
       if (i + 1 >= argc) {
         std::cerr << "missing value for " << flag << "\n";
         std::exit(2);
       }
-      return std::strtol(argv[++i], nullptr, 10);
+      return argv[++i];
     };
+    auto next = [&]() -> long { return std::strtol(next_str().c_str(), nullptr, 10); };
     if (flag == "--iterations") {
       args.iterations = static_cast<int>(next());
     } else if (flag == "--shots") {
       args.shots = static_cast<std::size_t>(next());
     } else if (flag == "--seed") {
       args.seed = static_cast<std::uint64_t>(next());
+    } else if (flag == "--threads") {
+      for (const std::string& part : split_char(next_str(), ',')) {
+        long n = std::strtol(part.c_str(), nullptr, 10);
+        if (n <= 0) {
+          std::cerr << "--threads wants positive integers, got '" << part << "'\n";
+          std::exit(2);
+        }
+        args.threads.push_back(static_cast<unsigned>(n));
+      }
+    } else if (flag == "--out") {
+      args.out = next_str();
     } else if (flag == "--help" || flag == "-h") {
-      std::cout << "flags: --iterations N  --shots N  --seed N\n";
+      std::cout << "flags: --iterations N  --shots N  --seed N  "
+                   "--threads A,B,C  --out PATH\n";
       std::exit(0);
     } else {
       std::cerr << "unknown flag " << flag << "\n";

@@ -54,6 +54,13 @@ class Rng {
   /// Derives an independent child generator (for per-iteration seeding).
   Rng fork();
 
+  /// Deterministic per-stream generator: the RNG for stream `stream` of
+  /// `base_seed`, derived with a SplitMix64 mix. Unlike `fork()` this does
+  /// not advance any generator state, so stream i's RNG depends only on
+  /// (base_seed, i) — the batch runner uses it to give concurrent jobs
+  /// schedule-independent randomness.
+  static Rng for_stream(std::uint64_t base_seed, std::uint64_t stream);
+
   /// Raw 64-bit draw, exposed for hashing-style uses.
   std::uint64_t next_u64();
 

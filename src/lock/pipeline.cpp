@@ -1,7 +1,10 @@
 #include "lock/pipeline.h"
 
+#include <utility>
+
 #include "common/error.h"
 #include "metrics/metrics.h"
+#include "runtime/batch_runner.h"
 #include "sim/sampler.h"
 
 namespace tetris::lock {
@@ -101,6 +104,52 @@ FlowResult run_flow(const qir::Circuit& circuit,
   }
 
   return result;
+}
+
+FlowJob make_flow_job(std::string name, qir::Circuit circuit,
+                      std::vector<int> measured, FlowConfig config) {
+  FlowJob job;
+  job.target = compiler::device_for(circuit.num_qubits());
+  if (measured.empty()) {
+    measured.reserve(static_cast<std::size_t>(circuit.num_qubits()));
+    for (int q = 0; q < circuit.num_qubits(); ++q) measured.push_back(q);
+  }
+  job.name = std::move(name);
+  job.circuit = std::move(circuit);
+  job.measured = std::move(measured);
+  job.config = config;
+  return job;
+}
+
+FlowBatchResult run_flow_batch(const std::vector<FlowJob>& jobs,
+                               std::uint64_t base_seed,
+                               unsigned num_threads) {
+  FlowBatchResult batch;
+  batch.items.resize(jobs.size());
+
+  runtime::BatchConfig config;
+  config.num_threads = num_threads;
+  config.base_seed = base_seed;
+  runtime::BatchRunner runner(config);
+
+  // Each job writes only its own pre-sized slot, so no synchronization is
+  // needed beyond the runner's join.
+  auto statuses = runner.run(jobs.size(), [&](std::size_t i, Rng& rng) {
+    const FlowJob& job = jobs[i];
+    batch.items[i].result =
+        run_flow(job.circuit, job.measured, job.target, job.config, rng);
+  });
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    batch.items[i].name = jobs[i].name;
+    batch.items[i].ok = statuses[i].ok;
+    batch.items[i].error = statuses[i].error;
+    batch.items[i].seconds = statuses[i].seconds;
+  }
+  batch.failures = runner.stats().failures;
+  batch.wall_seconds = runner.stats().wall_seconds;
+  batch.circuits_per_second = runner.stats().jobs_per_second;
+  return batch;
 }
 
 }  // namespace tetris::lock

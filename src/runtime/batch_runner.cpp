@@ -1,0 +1,92 @@
+#include "runtime/batch_runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+namespace tetris::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+BatchRunner::BatchRunner(BatchConfig config) : config_(config) {}
+
+std::vector<JobStatus> BatchRunner::run(std::size_t job_count,
+                                        const JobFn& fn) {
+  std::vector<JobStatus> statuses(job_count);
+  for (std::size_t i = 0; i < job_count; ++i) statuses[i].index = i;
+  if (job_count == 0) {
+    stats_ = BatchStats{};
+    return statuses;
+  }
+
+  // A private pool when a specific width was requested (thread-count sweeps),
+  // the shared global pool otherwise.
+  std::unique_ptr<ThreadPool> private_pool;
+  ThreadPool* pool = nullptr;
+  if (config_.num_threads > 0) {
+    private_pool = std::make_unique<ThreadPool>(config_.num_threads);
+    pool = private_pool.get();
+  } else {
+    pool = &ThreadPool::global();
+  }
+
+  std::atomic<bool> abort{false};
+  const auto batch_start = Clock::now();
+
+  auto run_job = [&](std::size_t index) {
+    JobStatus& status = statuses[index];
+    if (config_.stop_on_error && abort.load(std::memory_order_relaxed)) {
+      status.error = "skipped: earlier job failed";
+      return;
+    }
+    const auto job_start = Clock::now();
+    // Deterministic stream split: the RNG depends only on (base_seed, index).
+    Rng rng = Rng::for_stream(config_.base_seed, index);
+    try {
+      fn(index, rng);
+      status.ok = true;
+    } catch (const std::exception& e) {
+      status.error = e.what();
+      abort.store(true, std::memory_order_relaxed);
+    } catch (...) {
+      status.error = "unknown exception";
+      abort.store(true, std::memory_order_relaxed);
+    }
+    status.seconds = seconds_since(job_start);
+  };
+
+  // When running on the shared pool from inside a pool worker (a nested
+  // batch), execute inline instead of deadlocking on our own queue.
+  if (pool->size() <= 1 || ThreadPool::on_worker_thread()) {
+    for (std::size_t i = 0; i < job_count; ++i) run_job(i);
+  } else {
+    std::vector<std::future<void>> pending;
+    pending.reserve(job_count);
+    for (std::size_t i = 0; i < job_count; ++i) {
+      pending.push_back(pool->submit([&run_job, i] { run_job(i); }));
+    }
+    for (auto& future : pending) future.get();
+  }
+
+  stats_.jobs = job_count;
+  stats_.failures = 0;
+  for (const JobStatus& s : statuses) {
+    if (!s.ok) ++stats_.failures;
+  }
+  stats_.wall_seconds = seconds_since(batch_start);
+  stats_.jobs_per_second =
+      stats_.wall_seconds > 0.0
+          ? static_cast<double>(job_count) / stats_.wall_seconds
+          : 0.0;
+  return statuses;
+}
+
+}  // namespace tetris::runtime

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "runtime/thread_pool.h"
+
+namespace tetris::runtime {
+
+/// Outcome of one job of a batch run.
+struct JobStatus {
+  std::size_t index = 0;
+  bool ok = false;
+  std::string error;     ///< exception message when !ok
+  double seconds = 0.0;  ///< wall time of this job alone
+};
+
+/// Aggregate timing of the last `BatchRunner::run` call.
+struct BatchStats {
+  std::size_t jobs = 0;
+  std::size_t failures = 0;
+  double wall_seconds = 0.0;      ///< end-to-end, all workers overlapped
+  double jobs_per_second = 0.0;   ///< jobs / wall_seconds
+};
+
+/// Knobs of a batch run.
+struct BatchConfig {
+  /// Worker threads for this batch. 0 means the shared global pool; a
+  /// positive value spawns a private pool of exactly that size (used by the
+  /// throughput bench to sweep thread counts).
+  unsigned num_threads = 0;
+  /// Base seed from which every job's RNG is derived (see `run`).
+  std::uint64_t base_seed = 2025;
+  /// When true, jobs that have not started yet are skipped (marked failed
+  /// with error "skipped: earlier job failed") after the first failure.
+  bool stop_on_error = false;
+};
+
+/// Executes N independent jobs concurrently with deterministic per-job RNGs.
+///
+/// Job `i` receives an Rng derived from `(base_seed, i)` via a SplitMix64
+/// stream split (`Rng::for_stream`), so its random choices depend only on the
+/// seed and its index — never on scheduling order or thread count. A batch
+/// therefore produces bit-identical per-job results at 1 thread and at N.
+///
+/// Exceptions thrown by a job are captured into its JobStatus; they never
+/// escape `run` and never take down sibling jobs (unless `stop_on_error`).
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchConfig config = {});
+
+  /// `fn(index, rng)` is called once per job, concurrently.
+  using JobFn = std::function<void(std::size_t index, Rng& rng)>;
+
+  /// Runs jobs 0..job_count-1 and blocks until all have finished.
+  /// The returned vector is indexed by job.
+  std::vector<JobStatus> run(std::size_t job_count, const JobFn& fn);
+
+  /// Timing of the most recent `run` call.
+  const BatchStats& stats() const { return stats_; }
+
+  const BatchConfig& config() const { return config_; }
+
+ private:
+  BatchConfig config_;
+  BatchStats stats_;
+};
+
+}  // namespace tetris::runtime

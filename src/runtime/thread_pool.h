@@ -1,0 +1,124 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.h"
+
+namespace tetris::runtime {
+
+/// Fixed-size worker-thread pool.
+///
+/// Tasks are submitted as callables and drained FIFO by `num_threads` worker
+/// threads; `submit` returns a `std::future` that carries the task's return
+/// value or its exception. The pool is intentionally simple — no work
+/// stealing, no priorities — because every hot loop in the library goes
+/// through `parallel_for` (chunked, self-balancing via a shared cursor) or
+/// `BatchRunner` (coarse independent jobs), neither of which benefits from a
+/// fancier scheduler.
+///
+/// Most callers should not construct a pool: use `ThreadPool::global()`,
+/// which is sized from `--jobs` / `TETRIS_THREADS` / the hardware and shared
+/// by the statevector kernels and the batch runner.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means `std::thread::hardware_concurrency`.
+  explicit ThreadPool(unsigned num_threads = 0);
+
+  /// Drains nothing: pending tasks are completed before the workers exit.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Number of tasks submitted but not yet started (diagnostic).
+  std::size_t queued() const;
+
+  /// Enqueues `fn` and returns a future for its result. The future rethrows
+  /// any exception `fn` throws. Submitting after destruction has begun is a
+  /// programming error and throws InvalidArgument.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      TETRIS_REQUIRE(!stop_, "ThreadPool::submit: pool is shutting down");
+      tasks_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// True when the calling thread is a worker of *any* ThreadPool. Used by
+  /// `parallel_for` to fall back to serial execution instead of deadlocking
+  /// on nested parallelism (a pool task waiting for pool tasks).
+  static bool on_worker_thread();
+
+  /// The process-wide shared pool. Created on first use with
+  /// `default_global_threads()` workers.
+  static ThreadPool& global();
+
+  /// Resizes the global pool (tears down the old one and spawns a new one).
+  /// Call at startup — e.g. from a `--jobs N` flag — before parallel work is
+  /// in flight; concurrent in-flight users of the old pool are waited for.
+  /// `n == 0` restores the default sizing.
+  static void set_global_threads(unsigned n);
+
+  /// Sizing rule for the global pool: `TETRIS_THREADS` env var when set to a
+  /// positive integer, otherwise `std::thread::hardware_concurrency` (>= 1).
+  static unsigned default_global_threads();
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+/// Chunking knobs for `parallel_for`.
+struct ParallelForOptions {
+  /// Minimum number of iterations per chunk. Ranges at or below one grain run
+  /// serially on the calling thread (zero scheduling overhead), so `grain`
+  /// doubles as the small-problem cutoff.
+  std::size_t grain = 4096;
+  /// Pool to run on; nullptr means `ThreadPool::global()`.
+  ThreadPool* pool = nullptr;
+};
+
+/// Runs `body(chunk_begin, chunk_end)` over a partition of [begin, end).
+///
+/// The range is cut into chunks of at least `options.grain` iterations which
+/// workers (and the calling thread, which participates) claim from a shared
+/// cursor — cheap dynamic load balancing without work stealing. Returns when
+/// every chunk has completed. The first exception thrown by `body` is
+/// rethrown on the caller after the remaining chunks are cancelled.
+///
+/// Chunks never overlap and each index is visited exactly once, so any body
+/// that writes only to locations derived from its own indices is safe and —
+/// because no arithmetic is reassociated across chunks — produces results
+/// bit-identical to the serial loop.
+///
+/// Calls from inside a pool worker run serially inline (nested parallelism
+/// would deadlock a fixed pool).
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& body,
+                  const ParallelForOptions& options = {});
+
+}  // namespace tetris::runtime

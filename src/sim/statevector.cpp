@@ -4,12 +4,26 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "runtime/thread_pool.h"
 
 namespace tetris::sim {
 
 namespace {
 constexpr double kInvSqrt2 = 0.70710678118654752440;
 const cplx kI(0.0, 1.0);
+
+/// Runs `kernel(begin, end)` over [0, count): chunked across the global pool
+/// when `parallel` is set, as one serial call otherwise. Both paths execute
+/// the same per-index arithmetic, so results are bit-identical.
+template <typename Kernel>
+void run_kernel(bool parallel, std::size_t grain, std::size_t count,
+                const Kernel& kernel) {
+  if (parallel) {
+    runtime::parallel_for(0, count, kernel, {grain, nullptr});
+  } else {
+    kernel(std::size_t{0}, count);
+  }
+}
 }  // namespace
 
 void single_qubit_matrix(qir::GateKind kind, const std::vector<double>& params,
@@ -78,63 +92,77 @@ void StateVector::set_basis_state(std::size_t index) {
 
 void StateVector::apply_single_qubit(const cplx m[2][2], int q) {
   const std::size_t stride = std::size_t{1} << q;
-  const std::size_t n = amps_.size();
-  for (std::size_t base = 0; base < n; base += 2 * stride) {
-    for (std::size_t offset = 0; offset < stride; ++offset) {
-      std::size_t i0 = base + offset;
-      std::size_t i1 = i0 + stride;
-      cplx a0 = amps_[i0];
-      cplx a1 = amps_[i1];
-      amps_[i0] = m[0][0] * a0 + m[0][1] * a1;
-      amps_[i1] = m[1][0] * a0 + m[1][1] * a1;
-    }
-  }
+  cplx* amps = amps_.data();
+  const cplx m00 = m[0][0], m01 = m[0][1], m10 = m[1][0], m11 = m[1][1];
+  // Pair index k interleaves (block, offset): i0 is k with a zero bit spliced
+  // in at position q. Every k touches a disjoint {i0, i1} pair, so chunks of
+  // k are race-free and order-independent.
+  run_kernel(use_parallel(), parallel_grain_, amps_.size() / 2,
+             [=](std::size_t k_begin, std::size_t k_end) {
+               for (std::size_t k = k_begin; k < k_end; ++k) {
+                 const std::size_t i0 =
+                     ((k >> q) << (q + 1)) | (k & (stride - 1));
+                 const std::size_t i1 = i0 + stride;
+                 const cplx a0 = amps[i0];
+                 const cplx a1 = amps[i1];
+                 amps[i0] = m00 * a0 + m01 * a1;
+                 amps[i1] = m10 * a0 + m11 * a1;
+               }
+             });
 }
 
 void StateVector::apply_controlled_single(const cplx m[2][2],
                                           std::size_t control_mask, int q) {
   const std::size_t stride = std::size_t{1} << q;
-  const std::size_t n = amps_.size();
-  for (std::size_t base = 0; base < n; base += 2 * stride) {
-    for (std::size_t offset = 0; offset < stride; ++offset) {
-      std::size_t i0 = base + offset;
-      if ((i0 & control_mask) != control_mask) continue;
-      std::size_t i1 = i0 + stride;
-      cplx a0 = amps_[i0];
-      cplx a1 = amps_[i1];
-      amps_[i0] = m[0][0] * a0 + m[0][1] * a1;
-      amps_[i1] = m[1][0] * a0 + m[1][1] * a1;
-    }
-  }
+  cplx* amps = amps_.data();
+  const cplx m00 = m[0][0], m01 = m[0][1], m10 = m[1][0], m11 = m[1][1];
+  run_kernel(use_parallel(), parallel_grain_, amps_.size() / 2,
+             [=](std::size_t k_begin, std::size_t k_end) {
+               for (std::size_t k = k_begin; k < k_end; ++k) {
+                 const std::size_t i0 =
+                     ((k >> q) << (q + 1)) | (k & (stride - 1));
+                 if ((i0 & control_mask) != control_mask) continue;
+                 const std::size_t i1 = i0 + stride;
+                 const cplx a0 = amps[i0];
+                 const cplx a1 = amps[i1];
+                 amps[i0] = m00 * a0 + m01 * a1;
+                 amps[i1] = m10 * a0 + m11 * a1;
+               }
+             });
 }
 
 void StateVector::apply_swap(int a, int b) {
   const std::size_t bit_a = std::size_t{1} << a;
   const std::size_t bit_b = std::size_t{1} << b;
-  const std::size_t n = amps_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    bool ba = (i & bit_a) != 0;
-    bool bb = (i & bit_b) != 0;
-    if (ba && !bb) {
-      std::size_t j = (i & ~bit_a) | bit_b;
-      std::swap(amps_[i], amps_[j]);
-    }
-  }
+  cplx* amps = amps_.data();
+  // Only the index with bit_a set and bit_b clear initiates a swap, and its
+  // partner j never initiates one itself, so each {i, j} pair is touched by
+  // exactly one iteration — parallel chunks cannot collide.
+  run_kernel(use_parallel(), parallel_grain_, amps_.size(),
+             [=](std::size_t begin, std::size_t end) {
+               for (std::size_t i = begin; i < end; ++i) {
+                 if ((i & bit_a) != 0 && (i & bit_b) == 0) {
+                   const std::size_t j = (i & ~bit_a) | bit_b;
+                   std::swap(amps[i], amps[j]);
+                 }
+               }
+             });
 }
 
 void StateVector::apply_controlled_swap(std::size_t control_mask, int a, int b) {
   const std::size_t bit_a = std::size_t{1} << a;
   const std::size_t bit_b = std::size_t{1} << b;
-  const std::size_t n = amps_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    if ((i & control_mask) != control_mask) continue;
-    bool ba = (i & bit_a) != 0;
-    bool bb = (i & bit_b) != 0;
-    if (ba && !bb) {
-      std::size_t j = (i & ~bit_a) | bit_b;
-      std::swap(amps_[i], amps_[j]);
-    }
-  }
+  cplx* amps = amps_.data();
+  run_kernel(use_parallel(), parallel_grain_, amps_.size(),
+             [=](std::size_t begin, std::size_t end) {
+               for (std::size_t i = begin; i < end; ++i) {
+                 if ((i & control_mask) != control_mask) continue;
+                 if ((i & bit_a) != 0 && (i & bit_b) == 0) {
+                   const std::size_t j = (i & ~bit_a) | bit_b;
+                   std::swap(amps[i], amps[j]);
+                 }
+               }
+             });
 }
 
 void StateVector::apply_gate(const qir::Gate& gate) {
@@ -210,7 +238,14 @@ void StateVector::apply_pauli(char pauli, int q) {
 
 std::vector<double> StateVector::probabilities() const {
   std::vector<double> p(amps_.size());
-  for (std::size_t i = 0; i < amps_.size(); ++i) p[i] = std::norm(amps_[i]);
+  double* out = p.data();
+  const cplx* amps = amps_.data();
+  run_kernel(use_parallel(), parallel_grain_, amps_.size(),
+             [=](std::size_t begin, std::size_t end) {
+               for (std::size_t i = begin; i < end; ++i) {
+                 out[i] = std::norm(amps[i]);
+               }
+             });
   return p;
 }
 

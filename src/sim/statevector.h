@@ -18,10 +18,22 @@ using cplx = std::complex<double>;
 /// 2x2 target matrix) pair, and the permutation kinds (X family, SWAP) use
 /// specialised kernels.
 ///
+/// Gate kernels run multi-threaded on the global runtime::ThreadPool once
+/// the register reaches `parallel_threshold()` qubits; below that they use
+/// the serial loops. Both paths compute every amplitude with identical
+/// arithmetic (gate application touches each amplitude pair independently,
+/// with no cross-element reductions), so parallel results are bit-identical
+/// to serial ones at any thread count.
+///
 /// The register size is bounded only by memory; the RevLib experiments top
 /// out at 12 qubits (4096 amplitudes), far below any practical limit.
 class StateVector {
  public:
+  /// Registers below this width (in qubits) always use the serial kernels:
+  /// at 2^14 amplitudes a gate is ~microseconds of work, below the cost of
+  /// waking the pool.
+  static constexpr int kDefaultParallelThresholdQubits = 14;
+
   /// Initializes |0...0> on `num_qubits` wires (0 <= num_qubits <= 28).
   explicit StateVector(int num_qubits);
 
@@ -64,13 +76,35 @@ class StateVector {
   /// Renormalizes (guards against drift in long trajectories).
   void normalize();
 
+  /// Overrides the parallel/serial cutoff for this register. 0 forces the
+  /// parallel kernels even on tiny registers (used by the equivalence tests);
+  /// anything above num_qubits() pins the serial path.
+  void set_parallel_threshold(int qubits) { parallel_threshold_ = qubits; }
+  int parallel_threshold() const { return parallel_threshold_; }
+
+  /// Overrides the amplitudes-per-chunk grain of the parallel kernels. The
+  /// default (2^12) also serializes any register whose kernels fit in one
+  /// chunk, so equivalence tests shrink it to force real multi-chunk
+  /// execution on small registers.
+  void set_parallel_grain(std::size_t grain) { parallel_grain_ = grain; }
+  std::size_t parallel_grain() const { return parallel_grain_; }
+
+  /// Default kernel grain: 2^12 complex doubles = 64 KiB per chunk — cache
+  /// friendly while amortizing the scheduling cost.
+  static constexpr std::size_t kDefaultParallelGrain = std::size_t{1} << 12;
+
  private:
+  /// True when gate kernels should go through runtime::parallel_for.
+  bool use_parallel() const { return num_qubits_ >= parallel_threshold_; }
+
   void apply_single_qubit(const cplx m[2][2], int q);
   void apply_controlled_single(const cplx m[2][2], std::size_t control_mask, int q);
   void apply_swap(int a, int b);
   void apply_controlled_swap(std::size_t control_mask, int a, int b);
 
   int num_qubits_;
+  int parallel_threshold_ = kDefaultParallelThresholdQubits;
+  std::size_t parallel_grain_ = kDefaultParallelGrain;
   std::vector<cplx> amps_;
 };
 

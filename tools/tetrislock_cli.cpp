@@ -10,15 +10,25 @@
 //              [--out-prefix PATH]
 //              interlock-split; emits one .qasm per segment + the
 //              designer-side qubit maps on stdout
-//   protect    --benchmark NAME | --in FILE  [--seed N] [--shots N]
+//   protect    --benchmark NAME | --in FILE | --batch DIR  [--seed N]
+//              [--shots N]
 //              full flow: obfuscate, split, split-compile, recombine,
-//              verify on the noisy simulated device; prints a Table-I row
+//              verify on the noisy simulated device; prints a Table-I row.
+//              --batch DIR runs the flow over every .real/.qasm file in DIR
+//              concurrently (one row per circuit plus a throughput summary);
+//              --batch revlib uses the built-in Table-I RevLib suite
 //   complexity --n N --nmax M [--k K]
 //              Eq. 1 attack-complexity numbers vs the cascade baseline
+//
+// Every subcommand additionally accepts --jobs N, which sizes the shared
+// worker pool used by the batch runner and the parallel statevector kernels
+// (default: TETRIS_THREADS env var, then hardware concurrency).
 //
 // Exit status is non-zero on any validation failure, so the tool can anchor
 // shell pipelines and CI checks.
 
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -36,6 +46,7 @@
 #include "qir/render.h"
 #include "revlib/benchmarks.h"
 #include "revlib/real_format.h"
+#include "runtime/thread_pool.h"
 #include "sim/sampler.h"
 
 namespace {
@@ -73,6 +84,17 @@ Options parse(int argc, char** argv, int start) {
   return o;
 }
 
+qir::Circuit load_circuit_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw InvalidArgument("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  if (path.size() >= 5 && path.substr(path.size() - 5) == ".real") {
+    return revlib::from_real(buffer.str());
+  }
+  return qir::from_qasm(buffer.str());
+}
+
 qir::Circuit load_circuit(const Options& o, std::vector<int>* measured) {
   if (o.has("benchmark")) {
     const auto& b = revlib::get_benchmark(o.get("benchmark"));
@@ -82,17 +104,7 @@ qir::Circuit load_circuit(const Options& o, std::vector<int>* measured) {
   if (!o.has("in")) {
     throw InvalidArgument("need --benchmark NAME or --in FILE");
   }
-  std::string path = o.get("in");
-  std::ifstream in(path);
-  if (!in) throw InvalidArgument("cannot open " + path);
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  qir::Circuit circuit;
-  if (path.size() >= 5 && path.substr(path.size() - 5) == ".real") {
-    circuit = revlib::from_real(buffer.str());
-  } else {
-    circuit = qir::from_qasm(buffer.str());
-  }
+  qir::Circuit circuit = load_circuit_file(o.get("in"));
   if (measured) {
     measured->clear();
     for (int q = 0; q < circuit.num_qubits(); ++q) measured->push_back(q);
@@ -180,7 +192,78 @@ int cmd_split(const Options& o) {
   return 0;
 }
 
+/// `protect --batch DIR`: every .real/.qasm circuit in DIR (or the built-in
+/// RevLib suite for DIR == "revlib") through the full flow, concurrently.
+int cmd_protect_batch(const Options& o) {
+  lock::FlowConfig cfg;
+  cfg.insertion = insertion_config(o);
+  cfg.shots = static_cast<std::size_t>(o.get_long("shots", 1000));
+
+  std::vector<lock::FlowJob> jobs;
+  const std::string dir = o.get("batch");
+  if (dir == "revlib") {
+    for (const auto& b : revlib::table1_benchmarks()) {
+      jobs.push_back(lock::make_flow_job(b.name, b.circuit, b.measured, cfg));
+    }
+  } else {
+    std::vector<std::filesystem::path> files;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const auto ext = entry.path().extension().string();
+      if (ext == ".real" || ext == ".qasm") files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
+      throw InvalidArgument("no .real/.qasm circuits in " + dir);
+    }
+    for (const auto& file : files) {
+      jobs.push_back(lock::make_flow_job(file.stem().string(),
+                                         load_circuit_file(file.string()),
+                                         {}, cfg));
+    }
+  }
+
+  const auto seed = static_cast<std::uint64_t>(o.get_long("seed", 2025));
+  auto batch = lock::run_flow_batch(jobs, seed);
+
+  std::cout << "circuit           depth      gates      acc(C)  acc(rest)  "
+               "TVD(obf)  TVD(rest)  time\n";
+  std::size_t depth_violations = 0;
+  for (const auto& item : batch.items) {
+    std::cout << pad_right(item.name, 18);
+    if (!item.ok) {
+      std::cout << "FAILED: " << item.error << "\n";
+      continue;
+    }
+    const auto& r = item.result;
+    std::cout << pad_right(std::to_string(r.depth_original) + "->" +
+                               std::to_string(r.depth_obfuscated), 11)
+              << pad_right(std::to_string(r.gates_original) + "->" +
+                               std::to_string(r.gates_obfuscated), 11)
+              << pad_right(fmt_double(r.accuracy_original, 3), 8)
+              << pad_right(fmt_double(r.accuracy_restored, 3), 11)
+              << pad_right(fmt_double(r.tvd_obfuscated, 3), 10)
+              << pad_right(fmt_double(r.tvd_restored, 3), 11)
+              << fmt_double(item.seconds, 3) << "s";
+    // Same validation single-circuit protect enforces: obfuscation must not
+    // change the depth.
+    if (r.depth_obfuscated != r.depth_original) {
+      ++depth_violations;
+      std::cout << "  ERROR: depth changed";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\nbatch: " << batch.items.size() << " circuits, "
+            << batch.failures << " failed, " << depth_violations
+            << " depth violations, "
+            << fmt_double(batch.wall_seconds, 3) << "s wall, "
+            << fmt_double(batch.circuits_per_second, 2) << " circuits/s on "
+            << runtime::ThreadPool::global().size() << " threads\n";
+  return (batch.failures == 0 && depth_violations == 0) ? 0 : 1;
+}
+
 int cmd_protect(const Options& o) {
+  if (o.has("batch")) return cmd_protect_batch(o);
   std::vector<int> measured;
   auto circuit = load_circuit(o, &measured);
   Rng rng(static_cast<std::uint64_t>(o.get_long("seed", 2025)));
@@ -225,6 +308,7 @@ int cmd_complexity(const Options& o) {
 int usage() {
   std::cerr << "usage: tetrislock_cli "
                "{info|obfuscate|split|protect|complexity} [--flags]\n"
+               "       global: --jobs N   (worker threads; also TETRIS_THREADS)\n"
                "see the header of tools/tetrislock_cli.cpp for details\n";
   return 2;
 }
@@ -236,6 +320,11 @@ int main(int argc, char** argv) {
   std::string cmd = argv[1];
   try {
     Options o = parse(argc, argv, 2);
+    if (o.has("jobs")) {
+      long jobs = o.get_long("jobs", 0);
+      if (jobs <= 0) throw InvalidArgument("--jobs must be a positive integer");
+      runtime::ThreadPool::set_global_threads(static_cast<unsigned>(jobs));
+    }
     if (cmd == "info") return cmd_info(o);
     if (cmd == "obfuscate") return cmd_obfuscate(o);
     if (cmd == "split") return cmd_split(o);
