@@ -1,28 +1,34 @@
 // Batched-pipeline throughput: the full TetrisLock flow (obfuscate ->
 // interlock-split -> split-compile -> recombine -> noisy verify) over
-// --iterations copies of the eight Table-I RevLib circuits, executed by the
-// runtime BatchRunner at several worker-pool widths.
+// --iterations copies of the eight Table-I RevLib circuits, executed through
+// the service facade (submit_all + wait_all) at several worker-pool widths.
 //
 // Reports circuits/second per width plus the speedup over the 1-thread run,
 // verifies that every job's metrics are bit-identical across widths (the
 // per-job RNG is derived from (seed, job index), never from scheduling), and
-// writes the sweep to a JSON file (--out, default BENCH_throughput.json) to
-// seed the repo's perf trajectory.
+// then replays the widest batch twice against a cache-enabled service to
+// measure the result-cache hit rate and confirm cached results are
+// bit-identical to computed ones. The sweep is written as JSON (--out,
+// default BENCH_throughput.json) to seed the repo's perf trajectory.
 //
 // Extra flags beyond bench_util's: --threads 1,2,4 overrides the default
 // {1, N/2, N} width sweep (N = hardware concurrency, floored at 4 so the
 // sweep is meaningful on small CI boxes).
 
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/json.h"
 #include "common/strings.h"
 #include "lock/pipeline.h"
 #include "revlib/benchmarks.h"
+#include "service/service.h"
 
 namespace {
 
@@ -39,54 +45,84 @@ std::vector<unsigned> default_widths() {
   return {1, n / 2, n};
 }
 
-/// The per-job metric fingerprint compared across widths.
-std::vector<double> fingerprint(const lock::FlowBatchResult& batch) {
+/// The per-job metric fingerprint compared across widths and cache passes.
+std::vector<double> fingerprint(const std::vector<service::JobOutcome>& outcomes) {
   std::vector<double> fp;
-  fp.reserve(batch.items.size() * 4);
-  for (const auto& item : batch.items) {
-    fp.push_back(item.result.tvd_obfuscated);
-    fp.push_back(item.result.tvd_restored);
-    fp.push_back(item.result.accuracy_restored);
-    fp.push_back(static_cast<double>(item.result.gates_obfuscated));
+  fp.reserve(outcomes.size() * 4);
+  for (const auto& out : outcomes) {
+    fp.push_back(out.result.tvd_obfuscated);
+    fp.push_back(out.result.tvd_restored);
+    fp.push_back(out.result.accuracy_restored);
+    fp.push_back(static_cast<double>(out.result.gates_obfuscated));
   }
   return fp;
 }
 
+/// Runs the batch through a cache-less service at the given width (every
+/// job must really execute for throughput numbers); exits on any failure.
+std::vector<service::JobOutcome> run_batch(const std::vector<lock::FlowJob>& jobs,
+                                           std::uint64_t seed, unsigned width,
+                                           double* wall_seconds) {
+  service::ServiceConfig cfg;
+  cfg.num_threads = width;
+  cfg.base_seed = seed;
+  service::Service svc(cfg);
+  const auto start = std::chrono::steady_clock::now();
+  svc.submit_all(jobs);
+  auto outcomes = svc.wait_all();
+  if (wall_seconds) {
+    *wall_seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  }
+  for (const auto& out : outcomes) {
+    if (out.state != service::JobState::kDone) {
+      std::cerr << "job " << out.name << " failed at " << width
+                << " threads: " << out.status.message << "\n";
+      std::exit(1);
+    }
+  }
+  return outcomes;
+}
+
 void write_json(const std::string& path, const benchutil::Args& args,
                 std::size_t job_count, const std::vector<SweepPoint>& sweep,
-                bool deterministic) {
+                bool deterministic, double cache_hit_rate,
+                bool cache_identical) {
+  json::Writer w;
+  w.begin_object();
+  w.key("bench").value("batch_throughput");
+  w.key("suite").value("revlib_table1");
+  w.key("iterations").value(args.iterations);
+  w.key("shots").value(args.shots);
+  w.key("seed").value(args.seed);
+  w.key("jobs").value(job_count);
+  w.key("deterministic_across_widths").value(deterministic);
+  w.key("cache_hit_rate_second_pass").value(cache_hit_rate);
+  w.key("cache_results_identical").value(cache_identical);
+  w.key("results").begin_array();
+  for (const SweepPoint& point : sweep) {
+    w.begin_object();
+    w.key("threads").value(point.threads);
+    w.key("wall_seconds").value(point.wall_seconds);
+    w.key("circuits_per_second").value(point.circuits_per_second);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("baseline_threads").value(sweep.empty() ? 0u : sweep.front().threads);
+  w.key("speedup_max_vs_baseline")
+      .value(sweep.empty() || sweep.front().wall_seconds <= 0.0
+                 ? 0.0
+                 : sweep.front().wall_seconds /
+                       std::max(1e-12, sweep.back().wall_seconds));
+  w.end_object();
+
   std::ofstream out(path);
   if (!out) {
     std::cerr << "cannot write " << path << "\n";
     std::exit(1);
   }
-  out << "{\n"
-      << "  \"bench\": \"batch_throughput\",\n"
-      << "  \"suite\": \"revlib_table1\",\n"
-      << "  \"iterations\": " << args.iterations << ",\n"
-      << "  \"shots\": " << args.shots << ",\n"
-      << "  \"seed\": " << args.seed << ",\n"
-      << "  \"jobs\": " << job_count << ",\n"
-      << "  \"deterministic_across_widths\": "
-      << (deterministic ? "true" : "false") << ",\n"
-      << "  \"results\": [\n";
-  for (std::size_t i = 0; i < sweep.size(); ++i) {
-    out << "    {\"threads\": " << sweep[i].threads
-        << ", \"wall_seconds\": " << fmt_double(sweep[i].wall_seconds, 4)
-        << ", \"circuits_per_second\": "
-        << fmt_double(sweep[i].circuits_per_second, 2) << "}"
-        << (i + 1 < sweep.size() ? "," : "") << "\n";
-  }
-  out << "  ],\n"
-      << "  \"baseline_threads\": "
-      << (sweep.empty() ? 0 : sweep.front().threads) << ",\n"
-      << "  \"speedup_max_vs_baseline\": "
-      << fmt_double(sweep.empty() || sweep.front().wall_seconds <= 0.0
-                        ? 0.0
-                        : sweep.front().wall_seconds /
-                              std::max(1e-12, sweep.back().wall_seconds),
-                    2)
-      << "\n}\n";
+  out << w.str() << "\n";
   std::cout << "wrote " << path << "\n";
 }
 
@@ -127,22 +163,16 @@ int main(int argc, char** argv) {
   std::vector<double> reference_fp;
   bool deterministic = true;
   for (unsigned width : widths) {
-    auto batch = lock::run_flow_batch(jobs, args.seed, width);
-    if (batch.failures != 0) {
-      std::cerr << "batch failed at " << width << " threads: "
-                << batch.failures << " job(s) errored\n";
-      for (const auto& item : batch.items) {
-        if (!item.ok) std::cerr << "  " << item.name << ": " << item.error << "\n";
-      }
-      return 1;
-    }
-    auto fp = fingerprint(batch);
+    double wall = 0.0;
+    auto outcomes = run_batch(jobs, args.seed, width, &wall);
+    auto fp = fingerprint(outcomes);
     if (reference_fp.empty()) {
       reference_fp = fp;
     } else if (fp != reference_fp) {
       deterministic = false;  // exact comparison: results must not depend on width
     }
-    SweepPoint point{width, batch.wall_seconds, batch.circuits_per_second};
+    SweepPoint point{width, wall,
+                     wall > 0.0 ? static_cast<double>(jobs.size()) / wall : 0.0};
     sweep.push_back(point);
     double speedup = sweep.front().wall_seconds /
                      std::max(1e-12, point.wall_seconds);
@@ -150,9 +180,40 @@ int main(int argc, char** argv) {
                      fmt_double(point.circuits_per_second, 2),
                      fmt_double(speedup, 2) + "x"});
   }
-
   std::cout << "\nper-job results identical across widths: "
             << (deterministic ? "yes" : "NO — DETERMINISM BUG") << "\n";
-  write_json(out_path, args, jobs.size(), sweep, deterministic);
-  return deterministic ? 0 : 1;
+
+  // Cache pass: the same batch twice against one cache-enabled service; the
+  // second submission must be served from the cache with identical metrics.
+  double cache_hit_rate = 0.0;
+  bool cache_identical = true;
+  {
+    service::ServiceConfig scfg;
+    scfg.num_threads = widths.back();
+    scfg.base_seed = args.seed;
+    scfg.cache_capacity = jobs.size();
+    service::Service svc(scfg);
+    svc.submit_all(jobs);
+    auto first = svc.wait_all();
+    svc.submit_all(jobs);
+    auto all = svc.wait_all();
+    std::vector<service::JobOutcome> second(all.begin() + first.size(),
+                                            all.end());
+    std::size_t hits = 0;
+    for (const auto& out : second) {
+      if (out.cache_hit) ++hits;
+    }
+    cache_hit_rate = second.empty()
+                         ? 0.0
+                         : static_cast<double>(hits) / second.size();
+    cache_identical = fingerprint(second) == fingerprint(first) &&
+                      fingerprint(first) == reference_fp;
+    std::cout << "cache second pass: " << fmt_double(100.0 * cache_hit_rate, 1)
+              << "% hits, results identical: "
+              << (cache_identical ? "yes" : "NO — CACHE BUG") << "\n";
+  }
+
+  write_json(out_path, args, jobs.size(), sweep, deterministic,
+             cache_hit_rate, cache_identical);
+  return (deterministic && cache_identical) ? 0 : 1;
 }

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+
+namespace tetris {
+
+/// Incremental FNV-1a 64-bit hasher — the one hashing primitive behind every
+/// content digest in the library (`qir::Circuit::content_hash`, the service
+/// layer's flow fingerprint). Centralised so the components of a composite
+/// key can never drift apart: all ingestion goes through the same per-byte
+/// mix, and doubles are folded in by exact bit pattern (a digest must change
+/// iff the value would change a computation).
+class Fnv64 {
+ public:
+  /// Any integer type widens to 64 bits before mixing. A template (exact
+  /// match for every integral type) rather than a std::uint64_t overload,
+  /// which would be ambiguous against mix(double) for size_t arguments on
+  /// platforms where size_t is not uint64_t's underlying type.
+  template <typename T, std::enable_if_t<std::is_integral_v<T>, int> = 0>
+  void mix(T v) {
+    const auto u = static_cast<std::uint64_t>(v);
+    for (int byte = 0; byte < 8; ++byte) {
+      mix_byte(static_cast<unsigned char>((u >> (8 * byte)) & 0xffULL));
+    }
+  }
+
+  void mix(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+  }
+
+  void mix(const std::string& s) {
+    mix(static_cast<std::uint64_t>(s.size()));
+    for (char c : s) mix_byte(static_cast<unsigned char>(c));
+  }
+
+  std::uint64_t digest() const { return h_; }
+
+ private:
+  void mix_byte(unsigned char b) {
+    h_ ^= b;
+    h_ *= 0x100000001b3ULL;
+  }
+
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace tetris

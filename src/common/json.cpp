@@ -1,0 +1,199 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <locale>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace tetris::json {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Shortest representation that round-trips: try increasing precision.
+  // Streams imbued with the classic locale keep '.' as the decimal
+  // separator whatever LC_NUMERIC the host application set — printf-family
+  // %g would emit ',' under e.g. de_DE and produce invalid JSON.
+  std::string s;
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::ostringstream out;
+    out.imbue(std::locale::classic());
+    out << std::setprecision(precision) << v;
+    s = out.str();
+    std::istringstream in(s);
+    in.imbue(std::locale::classic());
+    double parsed = 0.0;
+    in >> parsed;
+    if (parsed == v) break;
+  }
+  // "1e+05" and bare integers are valid JSON numbers, but bare integers lose
+  // the "this was a double" hint; keep them as-is (JSON has one number type).
+  return s;
+}
+
+Writer::Writer(int indent) : indent_(indent) {}
+
+void Writer::newline_indent() {
+  if (indent_ <= 0) return;
+  out_ += '\n';
+  out_.append(stack_.size() * static_cast<std::size_t>(indent_), ' ');
+}
+
+void Writer::raw(std::string_view text) { out_.append(text); }
+
+void Writer::before_value() {
+  TETRIS_REQUIRE(!done_, "json::Writer: document already complete");
+  if (stack_.empty()) return;  // top-level value
+  if (stack_.back() == Scope::Object) {
+    TETRIS_REQUIRE(key_pending_,
+                   "json::Writer: value inside object requires key() first");
+    return;  // key() already emitted separator and indentation
+  }
+  if (has_items_.back()) raw(",");
+  newline_indent();
+  has_items_.back() = true;
+}
+
+Writer& Writer::key(std::string_view k) {
+  TETRIS_REQUIRE(!stack_.empty() && stack_.back() == Scope::Object,
+                 "json::Writer: key() outside object");
+  TETRIS_REQUIRE(!key_pending_, "json::Writer: key() after key()");
+  if (has_items_.back()) raw(",");
+  newline_indent();
+  has_items_.back() = true;
+  raw("\"");
+  raw(escape(k));
+  raw(indent_ > 0 ? "\": " : "\":");
+  key_pending_ = true;
+  return *this;
+}
+
+Writer& Writer::begin_object() {
+  before_value();
+  key_pending_ = false;
+  raw("{");
+  stack_.push_back(Scope::Object);
+  has_items_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::end_object() {
+  TETRIS_REQUIRE(!stack_.empty() && stack_.back() == Scope::Object,
+                 "json::Writer: end_object without open object");
+  TETRIS_REQUIRE(!key_pending_, "json::Writer: end_object after dangling key");
+  bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) newline_indent();
+  raw("}");
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+Writer& Writer::begin_array() {
+  before_value();
+  key_pending_ = false;
+  raw("[");
+  stack_.push_back(Scope::Array);
+  has_items_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::end_array() {
+  TETRIS_REQUIRE(!stack_.empty() && stack_.back() == Scope::Array,
+                 "json::Writer: end_array without open array");
+  bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) newline_indent();
+  raw("]");
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::string_view v) {
+  before_value();
+  key_pending_ = false;
+  raw("\"");
+  raw(escape(v));
+  raw("\"");
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+Writer& Writer::value(const char* v) { return value(std::string_view(v)); }
+
+Writer& Writer::value(bool v) {
+  before_value();
+  key_pending_ = false;
+  raw(v ? "true" : "false");
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+Writer& Writer::value(long long v) {
+  before_value();
+  key_pending_ = false;
+  raw(std::to_string(v));
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+Writer& Writer::value(unsigned long long v) {
+  before_value();
+  key_pending_ = false;
+  raw(std::to_string(v));
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+Writer& Writer::value(double v) {
+  before_value();
+  key_pending_ = false;
+  raw(format_double(v));
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+Writer& Writer::null_value() {
+  before_value();
+  key_pending_ = false;
+  raw("null");
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+const std::string& Writer::str() const {
+  TETRIS_REQUIRE(stack_.empty() && done_,
+                 "json::Writer: str() on incomplete document");
+  return out_;
+}
+
+}  // namespace tetris::json

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tetris::json {
+
+/// Streaming JSON writer — the one JSON producer of the library.
+///
+/// The service layer serializes FlowResults and batch summaries with it, the
+/// CLI's --out-json flag writes files through it, and the benchmark harnesses
+/// reuse it for their BENCH_*.json trajectory points. It emits pretty-printed,
+/// deterministic text: keys appear in call order, doubles are formatted with
+/// shortest-round-trip precision ("%.17g", then trimmed), so two runs that
+/// compute bit-identical values produce byte-identical documents — which is
+/// exactly what the determinism harnesses diff.
+///
+/// Usage:
+///   Writer w;
+///   w.begin_object();
+///   w.key("name").value("rd53");
+///   w.key("tvd").value(0.125);
+///   w.key("splits").begin_array().value(3).value(4).end_array();
+///   w.end_object();
+///   std::string doc = w.str();
+///
+/// Structural misuse (a key outside an object, unbalanced end_*, reading
+/// str() with open scopes) throws InvalidArgument rather than emitting
+/// malformed JSON.
+class Writer {
+ public:
+  /// `indent` spaces per nesting level; 0 writes compact single-line JSON.
+  explicit Writer(int indent = 2);
+
+  Writer& begin_object();
+  Writer& end_object();
+  Writer& begin_array();
+  Writer& end_array();
+
+  /// Names the next value; only valid directly inside an object.
+  Writer& key(std::string_view k);
+
+  Writer& value(std::string_view v);
+  Writer& value(const char* v);
+  Writer& value(bool v);
+  // One overload per fundamental integer type, so every width and the
+  // cstdint aliases (int64_t, uint64_t, size_t) resolve without ambiguity.
+  Writer& value(long long v);
+  Writer& value(unsigned long long v);
+  Writer& value(long v) { return value(static_cast<long long>(v)); }
+  Writer& value(unsigned long v) {
+    return value(static_cast<unsigned long long>(v));
+  }
+  Writer& value(int v) { return value(static_cast<long long>(v)); }
+  Writer& value(unsigned v) {
+    return value(static_cast<unsigned long long>(v));
+  }
+  /// Non-finite doubles have no JSON representation; they serialize as null.
+  Writer& value(double v);
+  Writer& null_value();
+
+  /// The finished document. Throws if any object/array is still open.
+  const std::string& str() const;
+
+ private:
+  enum class Scope { Object, Array };
+
+  void before_value();
+  void newline_indent();
+  void raw(std::string_view text);
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;  // per open scope: wrote at least one item
+  bool key_pending_ = false;     // a key was written, its value is due
+  bool done_ = false;            // a complete top-level value exists
+  int indent_ = 2;
+};
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string escape(std::string_view s);
+
+/// Deterministic shortest round-trip formatting for finite doubles
+/// (always contains a '.', an 'e', or is an integer literal).
+std::string format_double(double v);
+
+}  // namespace tetris::json

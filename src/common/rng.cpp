@@ -45,12 +45,16 @@ std::size_t Rng::weighted_index(const std::vector<double>& weights) {
 Rng Rng::fork() { return Rng(next_u64()); }
 
 Rng Rng::for_stream(std::uint64_t base_seed, std::uint64_t stream) {
+  return Rng(stream_seed(base_seed, stream));
+}
+
+std::uint64_t Rng::stream_seed(std::uint64_t base_seed, std::uint64_t stream) {
   // SplitMix64 finalizer over the stream-offset seed. The golden-gamma
   // increment keeps adjacent streams statistically independent.
   std::uint64_t z = base_seed + (stream + 1) * 0x9E3779B97F4A7C15ULL;
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return Rng(z ^ (z >> 31));
+  return z ^ (z >> 31);
 }
 
 std::uint64_t Rng::next_u64() { return engine_(); }

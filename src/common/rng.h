@@ -61,6 +61,12 @@ class Rng {
   /// schedule-independent randomness.
   static Rng for_stream(std::uint64_t base_seed, std::uint64_t stream);
 
+  /// The seed value `for_stream` constructs its generator from, exposed as a
+  /// plain number so callers can store, log, or cache-key a job's effective
+  /// seed: `Rng(stream_seed(b, i))` is exactly `for_stream(b, i)`.
+  static std::uint64_t stream_seed(std::uint64_t base_seed,
+                                   std::uint64_t stream);
+
   /// Raw 64-bit draw, exposed for hashing-style uses.
   std::uint64_t next_u64();
 

@@ -1,10 +1,11 @@
 #include "lock/pipeline.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/error.h"
 #include "metrics/metrics.h"
-#include "runtime/batch_runner.h"
+#include "service/service.h"
 #include "sim/sampler.h"
 
 namespace tetris::lock {
@@ -124,31 +125,38 @@ FlowJob make_flow_job(std::string name, qir::Circuit circuit,
 FlowBatchResult run_flow_batch(const std::vector<FlowJob>& jobs,
                                std::uint64_t base_seed,
                                unsigned num_threads) {
-  FlowBatchResult batch;
-  batch.items.resize(jobs.size());
-
-  runtime::BatchConfig config;
+  // Compatibility wrapper over the service facade. submit_all derives job
+  // i's seed as Rng::stream_seed(base_seed, i) — the exact stream derivation
+  // this function has always used — so results are bit-identical to the
+  // pre-service implementation. The cache is off: callers of the legacy API
+  // expect every job to actually run.
+  service::ServiceConfig config;
   config.num_threads = num_threads;
   config.base_seed = base_seed;
-  runtime::BatchRunner runner(config);
+  config.cache_capacity = 0;
+  service::Service svc(config);
 
-  // Each job writes only its own pre-sized slot, so no synchronization is
-  // needed beyond the runner's join.
-  auto statuses = runner.run(jobs.size(), [&](std::size_t i, Rng& rng) {
-    const FlowJob& job = jobs[i];
-    batch.items[i].result =
-        run_flow(job.circuit, job.measured, job.target, job.config, rng);
-  });
+  const auto start = std::chrono::steady_clock::now();
+  svc.submit_all(jobs);
+  auto outcomes = svc.wait_all();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
 
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    batch.items[i].name = jobs[i].name;
-    batch.items[i].ok = statuses[i].ok;
-    batch.items[i].error = statuses[i].error;
-    batch.items[i].seconds = statuses[i].seconds;
+  FlowBatchResult batch;
+  batch.items.resize(jobs.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    FlowBatchItem& item = batch.items[i];
+    item.name = jobs[i].name;
+    item.ok = outcomes[i].state == service::JobState::kDone;
+    item.error = outcomes[i].status.message;
+    item.seconds = outcomes[i].seconds;
+    if (item.ok) item.result = std::move(outcomes[i].result);
+    if (!item.ok) ++batch.failures;
   }
-  batch.failures = runner.stats().failures;
-  batch.wall_seconds = runner.stats().wall_seconds;
-  batch.circuits_per_second = runner.stats().jobs_per_second;
+  batch.wall_seconds = wall;
+  batch.circuits_per_second =
+      wall > 0.0 ? static_cast<double>(jobs.size()) / wall : 0.0;
   return batch;
 }
 

@@ -88,6 +88,11 @@ struct FlowBatchResult {
 /// via `Rng::for_stream`, so each job's result is bit-identical whatever the
 /// thread count or completion order; a failing job is reported in its item
 /// and does not disturb its siblings.
+///
+/// Compatibility wrapper: this is now a thin blocking shim over
+/// `service::Service` (submit_all + wait_all with the cache disabled), which
+/// is the preferred programmatic API — it adds async submission, polling,
+/// streaming drain, result caching, and structured status codes.
 FlowBatchResult run_flow_batch(const std::vector<FlowJob>& jobs,
                                std::uint64_t base_seed,
                                unsigned num_threads = 0);

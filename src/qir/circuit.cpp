@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/error.h"
+#include "common/hash.h"
 
 namespace tetris::qir {
 
@@ -164,6 +165,23 @@ Circuit Circuit::without_barriers() const {
     if (g.kind != GateKind::Barrier) out.add(g);
   }
   return out;
+}
+
+std::uint64_t Circuit::content_hash() const {
+  // Every field is folded through the shared FNV-1a mix so the digest is a
+  // pure function of (num_qubits, gate list) — independent of platform,
+  // name, and how the circuit was built.
+  Fnv64 f;
+  f.mix(static_cast<std::uint64_t>(num_qubits_));
+  f.mix(gates_.size());
+  for (const Gate& g : gates_) {
+    f.mix(static_cast<std::uint64_t>(g.kind));
+    f.mix(g.qubits.size());
+    for (int q : g.qubits) f.mix(static_cast<std::uint64_t>(q));
+    f.mix(g.params.size());
+    for (double p : g.params) f.mix(p);
+  }
+  return f.digest();
 }
 
 bool Circuit::operator==(const Circuit& other) const {

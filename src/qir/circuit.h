@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
@@ -108,6 +109,17 @@ class Circuit {
 
   /// Removes all barriers (compilers call this first).
   Circuit without_barriers() const;
+
+  /// Canonical 64-bit content hash: FNV-1a over the register width and each
+  /// gate's kind, qubits, and exact parameter bit patterns, in temporal
+  /// order. The name is excluded (it is reporting metadata), so operator==
+  /// equal circuits hash equal — except for parameter bit patterns that
+  /// compare == but differ in bits (±0.0), which hash apart. The service
+  /// layer's result cache keys on this, which is why exact bits — not a
+  /// tolerance — are hashed: a cache hit must guarantee a bit-identical
+  /// simulation input, and the ±0.0 asymmetry only costs a spurious miss,
+  /// never a wrong hit.
+  std::uint64_t content_hash() const;
 
   /// Structural equality gate-by-gate (name is ignored).
   bool operator==(const Circuit& other) const;

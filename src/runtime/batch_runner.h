@@ -46,6 +46,12 @@ struct BatchConfig {
 /// seed and its index — never on scheduling order or thread count. A batch
 /// therefore produces bit-identical per-job results at 1 thread and at N.
 ///
+/// This is the low-level blocking primitive for generic fan-out work (e.g.
+/// sharding a sampler's trajectories). Flow pipelines should go through
+/// `service::Service`, which layers async handles, caching, and structured
+/// errors over the same pool and the same (base_seed, i) seed derivation —
+/// keep the two derivations in lockstep.
+///
 /// Exceptions thrown by a job are captured into its JobStatus; they never
 /// escape `run` and never take down sibling jobs (unless `stop_on_error`).
 class BatchRunner {

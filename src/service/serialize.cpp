@@ -1,0 +1,103 @@
+#include "service/serialize.h"
+
+namespace tetris::service {
+
+void flow_result_fields(json::Writer& w, const lock::FlowResult& r) {
+  w.key("depth_original").value(r.depth_original);
+  w.key("depth_obfuscated").value(r.depth_obfuscated);
+  w.key("gates_original").value(r.gates_original);
+  w.key("gates_obfuscated").value(r.gates_obfuscated);
+  w.key("inserted_gates").value(r.obf.inserted_gates());
+  w.key("split_widths")
+      .begin_array()
+      .value(r.splits.first.circuit.num_qubits())
+      .value(r.splits.second.circuit.num_qubits())
+      .end_array();
+  w.key("tvd_obfuscated").value(r.tvd_obfuscated);
+  w.key("tvd_restored").value(r.tvd_restored);
+  w.key("accuracy_original").value(r.accuracy_original);
+  w.key("accuracy_restored").value(r.accuracy_restored);
+}
+
+std::string to_json(const lock::FlowResult& r, int indent) {
+  json::Writer w(indent);
+  w.begin_object();
+  flow_result_fields(w, r);
+  w.end_object();
+  return w.str();
+}
+
+void job_outcome_object(json::Writer& w, const JobOutcome& outcome,
+                        bool include_timing) {
+  w.begin_object();
+  w.key("id").value(outcome.id);
+  w.key("name").value(outcome.name);
+  w.key("seed").value(outcome.seed);
+  w.key("state").value(job_state_name(outcome.state));
+  w.key("status").begin_object();
+  w.key("code").value(status_code_name(outcome.status.code));
+  if (!outcome.status.message.empty()) {
+    w.key("message").value(outcome.status.message);
+  }
+  w.end_object();
+  w.key("cache_hit").value(outcome.cache_hit);
+  if (include_timing) w.key("seconds").value(outcome.seconds);
+  if (outcome.state == JobState::kDone) {
+    w.key("result").begin_object();
+    flow_result_fields(w, outcome.result);
+    w.end_object();
+  }
+  w.end_object();
+}
+
+std::string to_json(const JobOutcome& outcome, bool include_timing,
+                    int indent) {
+  json::Writer w(indent);
+  job_outcome_object(w, outcome, include_timing);
+  return w.str();
+}
+
+std::string batch_to_json(const std::vector<JobOutcome>& outcomes,
+                          unsigned threads, double wall_seconds,
+                          const CacheStats* cache, bool include_timing,
+                          int indent) {
+  std::size_t failures = 0;
+  std::size_t cancelled = 0;
+  for (const JobOutcome& o : outcomes) {
+    if (o.state == JobState::kFailed) ++failures;
+    if (o.state == JobState::kCancelled) ++cancelled;
+  }
+
+  json::Writer w(indent);
+  w.begin_object();
+  w.key("schema").value("tetrislock.batch.v1");
+  w.key("jobs").value(outcomes.size());
+  w.key("failures").value(failures);
+  w.key("cancelled").value(cancelled);
+  w.key("threads").value(threads);
+  if (include_timing) {
+    w.key("wall_seconds").value(wall_seconds);
+    w.key("jobs_per_second")
+        .value(wall_seconds > 0.0
+                   ? static_cast<double>(outcomes.size()) / wall_seconds
+                   : 0.0);
+  }
+  if (cache != nullptr) {
+    w.key("cache").begin_object();
+    w.key("hits").value(cache->hits);
+    w.key("misses").value(cache->misses);
+    w.key("evictions").value(cache->evictions);
+    w.key("entries").value(cache->entries);
+    w.key("capacity").value(cache->capacity);
+    w.end_object();
+  }
+  w.key("items").begin_array();
+  for (const JobOutcome& o : outcomes) {
+    job_outcome_object(w, o, include_timing);
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace tetris::service

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "lock/pipeline.h"
+#include "service/service.h"
+
+namespace tetris::service {
+
+/// JSON serialization of the service layer's result types, so a front-end or
+/// shell pipeline can consume flow outcomes without linking the library.
+///
+/// All documents are deterministic: field order is fixed and doubles are
+/// formatted with shortest round-trip precision, so bit-identical results
+/// serialize to byte-identical text. Timing fields (wall-clock seconds and
+/// throughput) are the only run-dependent values; pass
+/// `include_timing = false` to omit them when diffing documents across runs
+/// or thread counts.
+
+/// Appends the FlowResult metric fields to an object the caller has already
+/// opened on `w` (composition point for custom envelopes).
+void flow_result_fields(json::Writer& w, const lock::FlowResult& r);
+
+/// One FlowResult as a standalone JSON object.
+std::string to_json(const lock::FlowResult& r, int indent = 2);
+
+/// Appends one job outcome as a complete JSON object value: id, name, seed,
+/// state, status, cache_hit, [seconds,] and the result fields when done.
+void job_outcome_object(json::Writer& w, const JobOutcome& outcome,
+                        bool include_timing = true);
+
+/// One JobOutcome as a standalone JSON object.
+std::string to_json(const JobOutcome& outcome, bool include_timing = true,
+                    int indent = 2);
+
+/// A whole batch: summary counts, optional wall-clock/throughput timing,
+/// optional cache counters, and the per-job outcomes in submission order.
+/// This is the document `tetrislock_cli protect --batch --out-json` writes.
+std::string batch_to_json(const std::vector<JobOutcome>& outcomes,
+                          unsigned threads, double wall_seconds,
+                          const CacheStats* cache = nullptr,
+                          bool include_timing = true, int indent = 2);
+
+}  // namespace tetris::service

@@ -1,0 +1,391 @@
+#include "service/service.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/error.h"
+#include "common/hash.h"
+
+namespace tetris::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kParseError: return "parse_error";
+    case StatusCode::kCompileError: return "compile_error";
+    case StatusCode::kLockError: return "lock_error";
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kInternalError: return "internal_error";
+  }
+  return "unknown";
+}
+
+bool is_terminal(JobState state) {
+  return state == JobState::kDone || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+ServiceStatus ServiceStatus::from_current_exception() {
+  // Rethrow-and-classify: most-derived tetris errors first, then the family
+  // base, then anything else.
+  try {
+    throw;
+  } catch (const InvalidArgument& e) {
+    return {StatusCode::kInvalidArgument, e.what()};
+  } catch (const ParseError& e) {
+    return {StatusCode::kParseError, e.what()};
+  } catch (const CompileError& e) {
+    return {StatusCode::kCompileError, e.what()};
+  } catch (const LockError& e) {
+    return {StatusCode::kLockError, e.what()};
+  } catch (const std::exception& e) {
+    return {StatusCode::kInternalError, e.what()};
+  } catch (...) {
+    return {StatusCode::kInternalError, "unknown exception"};
+  }
+}
+
+std::uint64_t flow_fingerprint(const lock::FlowJob& job) {
+  Fnv64 f;
+  // Measured qubits (order matters: it is the output-register order).
+  f.mix(static_cast<std::uint64_t>(job.measured.size()));
+  for (int q : job.measured) f.mix(static_cast<std::uint64_t>(q));
+  // Target: topology, basis, and noise rates all change the outcome.
+  f.mix(job.target.name);
+  f.mix(static_cast<std::uint64_t>(job.target.num_qubits()));
+  f.mix(static_cast<std::uint64_t>(job.target.coupling.edges().size()));
+  for (const auto& [a, b] : job.target.coupling.edges()) {
+    f.mix(static_cast<std::uint64_t>(a));
+    f.mix(static_cast<std::uint64_t>(b));
+  }
+  f.mix(static_cast<std::uint64_t>(job.target.basis.size()));
+  for (qir::GateKind kind : job.target.basis) {  // std::set: sorted, canonical
+    f.mix(static_cast<std::uint64_t>(kind));
+  }
+  f.mix(job.target.noise.name);
+  f.mix(job.target.noise.p1);
+  f.mix(job.target.noise.p2);
+  f.mix(job.target.noise.readout);
+  // FlowConfig: insertion + split knobs and the shot count.
+  const lock::InsertionConfig& ins = job.config.insertion;
+  f.mix(static_cast<std::uint64_t>(ins.max_random_gates));
+  f.mix(ins.cx_probability);
+  f.mix(static_cast<std::uint64_t>(ins.alphabet));
+  f.mix(static_cast<std::uint64_t>(ins.attempts_per_gate));
+  f.mix(static_cast<std::uint64_t>(ins.ensure_x_gate ? 1 : 0));
+  f.mix(static_cast<std::uint64_t>(ins.allow_gap_insertion ? 1 : 0));
+  const lock::SplitConfig& split = job.config.split;
+  f.mix(split.interlock_fraction);
+  f.mix(split.max_cut_depth_fraction);
+  f.mix(static_cast<std::uint64_t>(job.config.shots));
+  return f.digest();
+}
+
+// --------------------------------------------------------------- JobHandle
+
+JobState JobHandle::poll() const {
+  TETRIS_REQUIRE(valid(), "JobHandle::poll on invalid handle");
+  return service_->poll(*this);
+}
+
+JobOutcome JobHandle::wait() const {
+  TETRIS_REQUIRE(valid(), "JobHandle::wait on invalid handle");
+  return service_->wait(*this);
+}
+
+bool JobHandle::cancel() const {
+  TETRIS_REQUIRE(valid(), "JobHandle::cancel on invalid handle");
+  return service_->cancel(*this);
+}
+
+// ----------------------------------------------------------------- Service
+
+std::size_t Service::CacheKeyHash::operator()(const CacheKey& k) const {
+  auto combine = [](std::uint64_t a, std::uint64_t b) {
+    return a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+  };
+  std::uint64_t h = combine(k.circuit_hash, k.seed);
+  return static_cast<std::size_t>(combine(h, k.fingerprint));
+}
+
+Service::Service(ServiceConfig config) : config_(config) {
+  if (config_.num_threads > 0) {
+    private_pool_ = std::make_unique<runtime::ThreadPool>(config_.num_threads);
+  }
+  cache_stats_.capacity = config_.cache_capacity;
+}
+
+Service::~Service() {
+  std::unique_lock<std::mutex> lk(mutex_);
+  cv_.wait(lk, [this] { return outstanding_ == 0; });
+  // private_pool_ (if any) tears down after every job has finished, so no
+  // task can still reference this service.
+}
+
+runtime::ThreadPool& Service::pool() {
+  return private_pool_ ? *private_pool_ : runtime::ThreadPool::global();
+}
+
+JobHandle Service::submit(lock::FlowJob job) {
+  return submit(std::move(job), Rng::stream_seed(config_.base_seed, 0));
+}
+
+JobHandle Service::submit(lock::FlowJob job, std::uint64_t seed) {
+  auto record = std::make_shared<JobRecord>();
+  record->job = std::move(job);
+  record->seed = seed;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    record->id = static_cast<std::uint64_t>(records_.size()) + 1;
+    records_.push_back(record);
+    ++outstanding_;
+  }
+  enqueue(record);
+  return JobHandle(this, record->id);
+}
+
+std::vector<JobHandle> Service::submit_all(std::vector<lock::FlowJob> jobs) {
+  std::vector<JobHandle> handles;
+  handles.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    handles.push_back(
+        submit(std::move(jobs[i]), Rng::stream_seed(config_.base_seed, i)));
+  }
+  return handles;
+}
+
+void Service::enqueue(const std::shared_ptr<JobRecord>& record) {
+  // From inside a worker of the shared global pool, queueing and waiting
+  // would deadlock the fixed pool (a pool task waiting for a pool task); run
+  // the job inline instead, exactly like BatchRunner and parallel_for do.
+  if (!private_pool_ && runtime::ThreadPool::on_worker_thread()) {
+    execute(record);
+    return;
+  }
+  // The future is intentionally dropped: completion is tracked by
+  // outstanding_/cv_, and execute() never throws.
+  pool().submit([this, record] { execute(record); });
+}
+
+void Service::execute(const std::shared_ptr<JobRecord>& record) {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (record->state == JobState::kCancelled) {
+      --outstanding_;
+      cv_.notify_all();
+      return;
+    }
+    record->state = JobState::kRunning;
+  }
+
+  const auto start = Clock::now();
+  const bool cache_enabled = config_.cache_capacity > 0;
+  CacheKey key;
+  std::shared_ptr<const lock::FlowResult> cached;
+  if (cache_enabled) {
+    key.circuit_hash = record->job.circuit.content_hash();
+    key.seed = record->seed;
+    key.fingerprint = flow_fingerprint(record->job);
+    std::lock_guard<std::mutex> lk(mutex_);
+    auto it = cache_index_.find(key);
+    if (it != cache_index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // mark most recently used
+      cached = it->second->result;
+      ++cache_stats_.hits;
+    } else {
+      ++cache_stats_.misses;
+    }
+  }
+
+  if (cached) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    record->result = std::move(cached);
+    record->cache_hit = true;
+    record->state = JobState::kDone;
+    record->seconds = seconds_since(start);
+    --outstanding_;
+    cv_.notify_all();
+    return;
+  }
+
+  // The actual work happens outside any lock.
+  std::shared_ptr<const lock::FlowResult> result;
+  ServiceStatus status;
+  try {
+    Rng rng(record->seed);
+    result = std::make_shared<const lock::FlowResult>(
+        lock::run_flow(record->job.circuit, record->job.measured,
+                       record->job.target, record->job.config, rng));
+  } catch (...) {
+    status = ServiceStatus::from_current_exception();
+  }
+
+  std::lock_guard<std::mutex> lk(mutex_);
+  record->seconds = seconds_since(start);
+  if (result) {
+    // Insert only if a concurrent job with the same triple didn't beat us to
+    // it (cache stampede): a blind push would leave an unindexed duplicate
+    // in lru_ whose eviction would erase the live entry's index.
+    if (cache_enabled && cache_index_.find(key) == cache_index_.end()) {
+      lru_.push_front(CacheEntry{key, result});
+      cache_index_[key] = lru_.begin();
+      while (lru_.size() > config_.cache_capacity) {
+        cache_index_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++cache_stats_.evictions;
+      }
+      cache_stats_.entries = lru_.size();
+    }
+    record->result = std::move(result);
+    record->state = JobState::kDone;
+  } else {
+    record->status = status;
+    record->state = JobState::kFailed;
+  }
+  --outstanding_;
+  cv_.notify_all();
+}
+
+std::shared_ptr<Service::JobRecord> Service::find(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  TETRIS_REQUIRE(id >= 1 && id <= records_.size(),
+                 "Service: unknown job id " + std::to_string(id));
+  return records_[static_cast<std::size_t>(id) - 1];
+}
+
+JobOutcome Service::outcome_locked(const JobRecord& record) const {
+  JobOutcome out;
+  out.id = record.id;
+  out.name = record.job.name;
+  out.seed = record.seed;
+  out.state = record.state;
+  out.status = record.status;
+  out.cache_hit = record.cache_hit;
+  out.seconds = record.seconds;
+  return out;
+}
+
+JobOutcome Service::make_outcome(const std::shared_ptr<JobRecord>& record,
+                                 std::unique_lock<std::mutex>& lk) const {
+  JobOutcome out = outcome_locked(*record);
+  std::shared_ptr<const lock::FlowResult> result = record->result;
+  // The FlowResult deep copy (several circuits) happens without the lock;
+  // a terminal record's result pointer never changes.
+  lk.unlock();
+  if (out.state == JobState::kDone && result) out.result = *result;
+  lk.lock();
+  return out;
+}
+
+JobState Service::poll(const JobHandle& handle) const {
+  auto record = find(handle.id());
+  std::lock_guard<std::mutex> lk(mutex_);
+  return record->state;
+}
+
+JobOutcome Service::wait(const JobHandle& handle) const {
+  auto record = find(handle.id());
+  std::unique_lock<std::mutex> lk(mutex_);
+  cv_.wait(lk, [&] { return is_terminal(record->state); });
+  return make_outcome(record, lk);
+}
+
+bool Service::cancel(const JobHandle& handle) {
+  auto record = find(handle.id());
+  std::lock_guard<std::mutex> lk(mutex_);
+  if (record->state != JobState::kQueued) return false;
+  record->state = JobState::kCancelled;
+  record->status = {StatusCode::kCancelled, "cancelled before execution"};
+  cv_.notify_all();
+  return true;
+}
+
+std::size_t Service::drain(
+    const std::function<void(const JobOutcome&)>& sink) {
+  std::unique_lock<std::mutex> lk(mutex_);
+  const std::size_t end = records_.size();  // jobs submitted before the call
+  std::size_t delivered = 0;
+  while (drained_ < end) {
+    // The cursor — not a captured record — is the wait predicate's anchor: a
+    // concurrent drain may advance it while we sleep, and re-delivering the
+    // job we captured would break the exactly-once contract.
+    const std::size_t index = drained_;
+    auto record = records_[index];
+    cv_.wait(lk, [&] {
+      return drained_ != index || is_terminal(record->state);
+    });
+    if (drained_ != index) continue;  // a sibling drain delivered this job
+    JobOutcome out = outcome_locked(*record);
+    auto result = record->result;
+    ++drained_;
+    ++delivered;
+    cv_.notify_all();  // wake sibling drains watching the cursor
+    lk.unlock();  // never hold the service lock across the copy or user code
+    if (out.state == JobState::kDone && result) out.result = *result;
+    sink(out);
+    lk.lock();
+  }
+  return delivered;
+}
+
+std::vector<JobOutcome> Service::wait_all() const {
+  std::unique_lock<std::mutex> lk(mutex_);
+  const std::size_t end = records_.size();
+  std::vector<JobOutcome> outcomes;
+  outcomes.reserve(end);
+  for (std::size_t i = 0; i < end; ++i) {
+    auto record = records_[i];
+    cv_.wait(lk, [&] { return is_terminal(record->state); });
+    outcomes.push_back(make_outcome(record, lk));
+  }
+  return outcomes;
+}
+
+std::size_t Service::jobs_submitted() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return records_.size();
+}
+
+CacheStats Service::cache_stats() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  CacheStats stats = cache_stats_;
+  stats.entries = lru_.size();
+  stats.capacity = config_.cache_capacity;
+  return stats;
+}
+
+void Service::clear_cache() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  lru_.clear();
+  cache_index_.clear();
+  cache_stats_.entries = 0;
+}
+
+unsigned Service::threads() const {
+  return private_pool_ ? private_pool_->size()
+                       : runtime::ThreadPool::global().size();
+}
+
+}  // namespace tetris::service

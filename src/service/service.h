@@ -1,0 +1,261 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "lock/pipeline.h"
+#include "runtime/thread_pool.h"
+
+namespace tetris::service {
+
+/// Structured error family of the service layer. Exceptions thrown by the
+/// pipeline never escape a Service call — they are mapped onto one of these
+/// codes plus the exception message, so a front-end can branch on the class
+/// of failure without parsing strings.
+enum class StatusCode {
+  kOk,
+  kInvalidArgument,  ///< tetris::InvalidArgument (bad qubit index, shots, ...)
+  kParseError,       ///< tetris::ParseError (malformed .real / .qasm input)
+  kCompileError,     ///< tetris::CompileError (could not lower to target)
+  kLockError,        ///< tetris::LockError (locking invariant violated)
+  kCancelled,        ///< job cancelled before it started executing
+  kInternalError,    ///< any other exception
+};
+
+/// Stable lower-snake name of a code ("ok", "invalid_argument", ...), used in
+/// JSON output and log lines.
+const char* status_code_name(StatusCode code);
+
+/// Outcome classification of one service operation or job.
+struct ServiceStatus {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+
+  bool ok() const { return code == StatusCode::kOk; }
+
+  /// Maps the in-flight exception to a status; call only inside a catch
+  /// block. Specific tetris errors keep their class, everything else becomes
+  /// kInternalError.
+  static ServiceStatus from_current_exception();
+};
+
+/// Lifecycle of a submitted job.
+enum class JobState {
+  kQueued,     ///< accepted, waiting for a worker
+  kRunning,    ///< a worker is executing the flow
+  kDone,       ///< finished successfully; result is valid
+  kFailed,     ///< finished with an error; status carries the code + message
+  kCancelled,  ///< cancelled while still queued; it never executed
+};
+
+/// Stable lower-snake name of a state ("queued", "running", ...).
+const char* job_state_name(JobState state);
+
+/// True for kDone/kFailed/kCancelled — states a job can no longer leave.
+/// Poll loops must test this, not `== kDone`, or they spin forever on a
+/// failed or cancelled job.
+bool is_terminal(JobState state);
+
+/// Everything the service reports about one finished (or cancelled) job.
+struct JobOutcome {
+  std::uint64_t id = 0;       ///< submission-order id, starting at 1
+  std::string name;           ///< FlowJob::name
+  std::uint64_t seed = 0;     ///< effective RNG seed of this job
+  JobState state = JobState::kQueued;
+  ServiceStatus status;       ///< ok() iff state == kDone
+  bool cache_hit = false;     ///< result was served from the result cache
+  double seconds = 0.0;       ///< execution wall time (≈0 for cache hits)
+  lock::FlowResult result;    ///< valid only when state == kDone
+};
+
+/// Hit/miss counters of the result cache.
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;      ///< lookups that went on to run the flow
+  std::size_t evictions = 0;   ///< entries dropped by the LRU capacity bound
+  std::size_t entries = 0;     ///< currently resident results
+  std::size_t capacity = 0;    ///< configured bound (0 = cache disabled)
+};
+
+/// Service knobs.
+struct ServiceConfig {
+  /// Worker threads. 0 shares the process-global pool (sized by --jobs /
+  /// TETRIS_THREADS); a positive value gives this service a private pool of
+  /// exactly that size.
+  unsigned num_threads = 0;
+  /// Base seed from which per-job seeds are derived (see Service::submit).
+  std::uint64_t base_seed = 2025;
+  /// Result-cache capacity in entries; 0 disables caching entirely.
+  std::size_t cache_capacity = 0;
+};
+
+class Service;
+
+/// Lightweight reference to a submitted job. Copyable; valid for the
+/// lifetime of the Service that issued it.
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  std::uint64_t id() const { return id_; }
+  bool valid() const { return service_ != nullptr; }
+
+  /// Non-blocking state query.
+  JobState poll() const;
+  /// Blocks until the job is terminal and returns its full outcome.
+  JobOutcome wait() const;
+  /// Cancels the job if it has not started; returns true on success. A job
+  /// that is already running, finished, or cancelled is unaffected.
+  bool cancel() const;
+
+ private:
+  friend class Service;
+  JobHandle(Service* service, std::uint64_t id) : service_(service), id_(id) {}
+
+  Service* service_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+/// A stable fingerprint of everything besides the circuit and the seed that
+/// influences a flow's outcome: the measured-qubit list, the full target
+/// (topology, basis, noise rates), and the FlowConfig knobs. Together with
+/// `Circuit::content_hash()` and the job seed this identifies a flow run
+/// exactly — the triple the result cache keys on.
+std::uint64_t flow_fingerprint(const lock::FlowJob& job);
+
+/// The programmatic front door of the TetrisLock stack.
+///
+/// `Service` owns the worker pool and the result cache and turns the
+/// synchronous `lock::run_flow` pipeline into an async job API:
+///
+///   service::Service svc({/*num_threads=*/0, /*base_seed=*/7,
+///                         /*cache_capacity=*/128});
+///   auto handle = svc.submit(lock::make_flow_job("adder", circuit));
+///   while (!service::is_terminal(handle.poll())) { /* do other work */ }
+///   auto outcome = handle.wait();  // kDone, kFailed, or kCancelled
+///
+/// Determinism: a job's randomness comes exclusively from its seed. The
+/// two-argument `submit` takes the seed verbatim; the one-argument overload
+/// uses `Rng::stream_seed(base_seed, 0)` and `submit_all` gives the i-th job
+/// `Rng::stream_seed(base_seed, i)` — the same derivation `run_flow_batch`
+/// has always used, so a batch through the service is bit-identical to the
+/// legacy API at any thread count. Because outputs are a pure function of
+/// (circuit, seed, fingerprint), serving a repeated triple from the cache is
+/// indistinguishable from re-running it — with one caveat: circuit *names*
+/// are reporting metadata excluded from `content_hash()`, so a cached
+/// FlowResult's embedded circuits carry the names of the job that first
+/// computed it (JobOutcome::name is always the submitting job's own name).
+///
+/// Thread safety: all public methods may be called concurrently. Exceptions
+/// from the pipeline never escape — they surface as JobOutcome::status.
+class Service {
+ public:
+  explicit Service(ServiceConfig config = {});
+  /// Blocks until every accepted job has reached a terminal state.
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Async submission. Returns immediately (unless called from inside a
+  /// worker of the shared global pool, where the job runs inline to avoid
+  /// pool deadlock — the handle is then already terminal).
+  JobHandle submit(lock::FlowJob job);
+  JobHandle submit(lock::FlowJob job, std::uint64_t seed);
+
+  /// Submits jobs[i] with seed `Rng::stream_seed(base_seed, i)`; handles are
+  /// in job order.
+  std::vector<JobHandle> submit_all(std::vector<lock::FlowJob> jobs);
+
+  JobState poll(const JobHandle& handle) const;
+  JobOutcome wait(const JobHandle& handle) const;
+  bool cancel(const JobHandle& handle);
+
+  /// Streaming consumption: delivers the outcome of every not-yet-drained
+  /// job submitted before this call, in submission order, invoking `sink` as
+  /// each job completes (it waits for stragglers, it does not reorder).
+  /// Returns the number delivered. Each job is delivered exactly once across
+  /// all drain calls.
+  std::size_t drain(const std::function<void(const JobOutcome&)>& sink);
+
+  /// Blocks until all jobs are terminal and returns every outcome in
+  /// submission order (does not interact with drain's once-only cursor).
+  std::vector<JobOutcome> wait_all() const;
+
+  std::size_t jobs_submitted() const;
+  CacheStats cache_stats() const;
+  /// Drops all cached results (counters keep accumulating).
+  void clear_cache();
+
+  const ServiceConfig& config() const { return config_; }
+  /// Width of the pool this service executes on.
+  unsigned threads() const;
+
+ private:
+  struct JobRecord {
+    std::uint64_t id = 0;
+    lock::FlowJob job;
+    std::uint64_t seed = 0;
+    JobState state = JobState::kQueued;
+    ServiceStatus status;
+    bool cache_hit = false;
+    double seconds = 0.0;
+    /// Shared with the cache; immutable once the record is terminal. Held by
+    /// pointer so completion and delivery are O(1) under the service mutex —
+    /// the per-outcome deep copy happens outside the lock.
+    std::shared_ptr<const lock::FlowResult> result;
+  };
+
+  struct CacheKey {
+    std::uint64_t circuit_hash = 0;
+    std::uint64_t seed = 0;
+    std::uint64_t fingerprint = 0;
+    bool operator==(const CacheKey& o) const {
+      return circuit_hash == o.circuit_hash && seed == o.seed &&
+             fingerprint == o.fingerprint;
+    }
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const;
+  };
+  struct CacheEntry {
+    CacheKey key;
+    std::shared_ptr<const lock::FlowResult> result;
+  };
+
+  runtime::ThreadPool& pool();
+  void enqueue(const std::shared_ptr<JobRecord>& record);
+  void execute(const std::shared_ptr<JobRecord>& record);
+  /// Copies the metadata fields only; the result is attached by
+  /// make_outcome, which drops the lock for the deep copy.
+  JobOutcome outcome_locked(const JobRecord& record) const;
+  JobOutcome make_outcome(const std::shared_ptr<JobRecord>& record,
+                          std::unique_lock<std::mutex>& lk) const;
+  std::shared_ptr<JobRecord> find(std::uint64_t id) const;
+
+  ServiceConfig config_;
+  std::unique_ptr<runtime::ThreadPool> private_pool_;
+
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  std::vector<std::shared_ptr<JobRecord>> records_;  // submission order
+  std::size_t outstanding_ = 0;  // accepted but not yet terminal
+  std::size_t drained_ = 0;      // drain cursor into records_
+
+  // LRU result cache: most-recently-used at the front of lru_, with an index
+  // into it by key. Guarded by mutex_.
+  std::list<CacheEntry> lru_;
+  std::unordered_map<CacheKey, std::list<CacheEntry>::iterator, CacheKeyHash>
+      cache_index_;
+  CacheStats cache_stats_;
+};
+
+}  // namespace tetris::service

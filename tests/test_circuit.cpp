@@ -204,5 +204,48 @@ TEST(Circuit, ToStringListsGates) {
   EXPECT_NE(s.find("1: cx q0, q1"), std::string::npos);
 }
 
+TEST(Circuit, ContentHashIgnoresNameOnly) {
+  Circuit a(3, "alpha");
+  a.h(0).cx(0, 1).rz(0.25, 2);
+  Circuit b(3, "beta");
+  b.h(0).cx(0, 1).rz(0.25, 2);
+  EXPECT_EQ(a.content_hash(), b.content_hash());  // name is metadata
+  EXPECT_EQ(a.content_hash(), a.content_hash());  // stable across calls
+}
+
+TEST(Circuit, ContentHashSeesEveryStructuralField) {
+  Circuit base(3);
+  base.h(0).cx(0, 1).rz(0.25, 2);
+  const auto h = base.content_hash();
+
+  Circuit other_kind(3);
+  other_kind.x(0).cx(0, 1).rz(0.25, 2);
+  EXPECT_NE(other_kind.content_hash(), h);
+
+  Circuit other_qubit(3);
+  other_qubit.h(1).cx(0, 1).rz(0.25, 2);
+  EXPECT_NE(other_qubit.content_hash(), h);
+
+  Circuit other_param(3);
+  other_param.h(0).cx(0, 1).rz(0.25000001, 2);
+  EXPECT_NE(other_param.content_hash(), h);
+
+  Circuit other_width(4);
+  other_width.h(0).cx(0, 1).rz(0.25, 2);
+  EXPECT_NE(other_width.content_hash(), h);
+
+  Circuit other_order(3);
+  other_order.cx(0, 1).h(0).rz(0.25, 2);
+  EXPECT_NE(other_order.content_hash(), h);
+}
+
+TEST(Circuit, ContentHashMatchesEqualityOnCopies) {
+  Circuit a(3);
+  a.ccx(0, 1, 2).swap(1, 2);  // exercise multi-qubit encoding too
+  Circuit b = a;
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+}
+
 }  // namespace
 }  // namespace tetris::qir

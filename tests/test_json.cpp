@@ -1,0 +1,124 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <limits>
+
+#include "common/error.h"
+
+namespace tetris::json {
+namespace {
+
+TEST(JsonWriter, FlatObject) {
+  Writer w(0);
+  w.begin_object();
+  w.key("name").value("rd53");
+  w.key("qubits").value(7);
+  w.key("ok").value(true);
+  w.key("nothing").null_value();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"rd53\",\"qubits\":7,\"ok\":true,\"nothing\":null}");
+}
+
+TEST(JsonWriter, NestedStructures) {
+  Writer w(0);
+  w.begin_object();
+  w.key("sweep").begin_array();
+  w.begin_object().key("threads").value(1u).end_object();
+  w.begin_object().key("threads").value(4u).end_object();
+  w.end_array();
+  w.key("empty_array").begin_array().end_array();
+  w.key("empty_object").begin_object().end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"sweep\":[{\"threads\":1},{\"threads\":4}],"
+            "\"empty_array\":[],\"empty_object\":{}}");
+}
+
+TEST(JsonWriter, PrettyPrintingIndents) {
+  Writer w(2);
+  w.begin_object();
+  w.key("a").value(1);
+  w.key("b").begin_array().value(2).end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  EXPECT_EQ(escape("plain"), "plain");
+  EXPECT_EQ(escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(escape(std::string("nul\x01") + "x"), "nul\\u0001x");
+}
+
+TEST(JsonWriter, DoubleFormattingRoundTrips) {
+  EXPECT_EQ(format_double(0.5), "0.5");
+  EXPECT_EQ(format_double(0.0), "0");
+  EXPECT_EQ(format_double(-3.0), "-3");
+  // Shortest form that round-trips: 0.1 has no exact binary representation
+  // but "0.1" parses back to the same double.
+  EXPECT_EQ(format_double(0.1), "0.1");
+  double awkward = 0.9929999999999999;
+  double parsed = 0.0;
+  sscanf(format_double(awkward).c_str(), "%lf", &parsed);
+  EXPECT_EQ(parsed, awkward);
+  // Non-finite values serialize as null (no JSON representation).
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(format_double(std::numeric_limits<double>::quiet_NaN()), "null");
+}
+
+TEST(JsonWriter, DeterministicAcrossWriters) {
+  auto build = [] {
+    Writer w;
+    w.begin_object();
+    w.key("tvd").value(0.9929999999999999);
+    w.key("count").value(std::size_t{384});
+    w.end_object();
+    return w.str();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(JsonWriter, StructuralMisuseThrows) {
+  {
+    Writer w;
+    EXPECT_THROW(w.key("k"), InvalidArgument);  // key outside object
+  }
+  {
+    Writer w;
+    w.begin_array();
+    EXPECT_THROW(w.end_object(), InvalidArgument);  // mismatched close
+  }
+  {
+    Writer w;
+    w.begin_object();
+    w.key("k");
+    EXPECT_THROW(w.end_object(), InvalidArgument);  // dangling key
+  }
+  {
+    Writer w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1), InvalidArgument);  // value without key
+  }
+  {
+    Writer w;
+    w.begin_object();
+    EXPECT_THROW(w.str(), InvalidArgument);  // incomplete document
+  }
+  {
+    Writer w;
+    w.value(1);
+    EXPECT_THROW(w.value(2), InvalidArgument);  // two top-level values
+  }
+}
+
+TEST(JsonWriter, TopLevelScalar) {
+  Writer w;
+  w.value("only");
+  EXPECT_EQ(w.str(), "\"only\"");
+}
+
+}  // namespace
+}  // namespace tetris::json

@@ -6,32 +6,41 @@
 //   obfuscate  --benchmark NAME | --in FILE  [--seed N] [--max-gates N]
 //              [--alphabet x|cx|mixed|h] [--gap] [--out FILE.qasm]
 //              run Algorithm 1 and emit the obfuscated circuit
-//   split      --benchmark NAME | --in FILE  [--seed N] [--k N]
-//              [--out-prefix PATH]
+//   split      --benchmark NAME | --in FILE  [--seed N] [--max-gates N]
+//              [--alphabet ...] [--gap] [--out-prefix PATH]
 //              interlock-split; emits one .qasm per segment + the
 //              designer-side qubit maps on stdout
 //   protect    --benchmark NAME | --in FILE | --batch DIR  [--seed N]
-//              [--shots N]
-//              full flow: obfuscate, split, split-compile, recombine,
-//              verify on the noisy simulated device; prints a Table-I row.
-//              --batch DIR runs the flow over every .real/.qasm file in DIR
-//              concurrently (one row per circuit plus a throughput summary);
-//              --batch revlib uses the built-in Table-I RevLib suite
+//              [--shots N] [--cache] [--out-json FILE]
+//              full flow through the service facade: obfuscate, split,
+//              split-compile, recombine, verify on the noisy simulated
+//              device; prints a Table-I row. --batch DIR runs the flow over
+//              every .real/.qasm file in DIR concurrently, streaming one row
+//              per circuit as it completes plus a throughput summary;
+//              --batch revlib uses the built-in Table-I RevLib suite.
+//              --cache enables the service result cache (hit/miss counters
+//              in the summary); --out-json writes the machine-readable
+//              outcome document.
 //   complexity --n N --nmax M [--k K]
 //              Eq. 1 attack-complexity numbers vs the cascade baseline
 //
 // Every subcommand additionally accepts --jobs N, which sizes the shared
-// worker pool used by the batch runner and the parallel statevector kernels
-// (default: TETRIS_THREADS env var, then hardware concurrency).
+// worker pool used by the service and the parallel statevector kernels
+// (default: TETRIS_THREADS env var, then hardware concurrency). Unknown
+// flags and non-integer values for integer flags are rejected with a
+// per-subcommand error instead of being silently ignored.
 //
 // Exit status is non-zero on any validation failure, so the tool can anchor
 // shell pipelines and CI checks.
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -47,6 +56,8 @@
 #include "revlib/benchmarks.h"
 #include "revlib/real_format.h"
 #include "runtime/thread_pool.h"
+#include "service/serialize.h"
+#include "service/service.h"
 #include "sim/sampler.h"
 
 namespace {
@@ -60,13 +71,60 @@ struct Options {
     auto it = values.find(key);
     return it == values.end() ? fallback : it->second;
   }
-  long get_long(const std::string& key, long fallback) const {
+  /// Integer flag value, validated: non-numeric text, trailing junk,
+  /// overflow, and values below `min_value` all become an InvalidArgument
+  /// naming the flag (values like `--shots -1` would otherwise wrap to a
+  /// huge std::size_t at the use site).
+  long get_long(const std::string& key, long fallback,
+                long min_value = std::numeric_limits<long>::min()) const {
     auto it = values.find(key);
-    return it == values.end() ? fallback : std::stol(it->second);
+    if (it == values.end()) return fallback;
+    long v = 0;
+    try {
+      std::size_t consumed = 0;
+      v = std::stol(it->second, &consumed);
+      if (consumed != it->second.size()) {
+        throw std::invalid_argument("trailing characters");
+      }
+    } catch (const std::exception&) {
+      throw InvalidArgument("--" + key + " expects an integer, got '" +
+                            it->second + "'");
+    }
+    if (v < min_value) {
+      throw InvalidArgument("--" + key + " must be >= " +
+                            std::to_string(min_value) + ", got " +
+                            std::to_string(v));
+    }
+    return v;
   }
 };
 
-Options parse(int argc, char** argv, int start) {
+/// Flags that take no value.
+const std::set<std::string>& boolean_flags() {
+  static const std::set<std::string> kFlags = {"gap", "cache"};
+  return kFlags;
+}
+
+/// Per-subcommand flag whitelist; --jobs is accepted everywhere.
+const std::set<std::string>* allowed_flags(const std::string& cmd) {
+  static const std::map<std::string, std::set<std::string>> kAllowed = {
+      {"info", {"benchmark", "in"}},
+      {"obfuscate",
+       {"benchmark", "in", "seed", "max-gates", "alphabet", "gap", "out"}},
+      {"split",
+       {"benchmark", "in", "seed", "max-gates", "alphabet", "gap",
+        "out-prefix"}},
+      {"protect",
+       {"benchmark", "in", "batch", "seed", "shots", "max-gates", "alphabet",
+        "gap", "cache", "out-json"}},
+      {"complexity", {"n", "nmax", "k"}},
+  };
+  auto it = kAllowed.find(cmd);
+  return it == kAllowed.end() ? nullptr : &it->second;
+}
+
+Options parse(int argc, char** argv, int start,
+              const std::string& cmd, const std::set<std::string>& allowed) {
   Options o;
   for (int i = start; i < argc; ++i) {
     std::string flag = argv[i];
@@ -74,7 +132,11 @@ Options parse(int argc, char** argv, int start) {
       throw InvalidArgument("expected --flag, got '" + flag + "'");
     }
     flag = flag.substr(2);
-    if (flag == "gap") {
+    if (flag != "jobs" && allowed.count(flag) == 0) {
+      throw InvalidArgument("unknown flag --" + flag + " for subcommand '" +
+                            cmd + "'");
+    }
+    if (boolean_flags().count(flag) > 0) {
       o.values[flag] = "1";
     } else {
       if (i + 1 >= argc) throw InvalidArgument("missing value for --" + flag);
@@ -114,7 +176,7 @@ qir::Circuit load_circuit(const Options& o, std::vector<int>* measured) {
 
 lock::InsertionConfig insertion_config(const Options& o) {
   lock::InsertionConfig cfg;
-  cfg.max_random_gates = static_cast<int>(o.get_long("max-gates", 2));
+  cfg.max_random_gates = static_cast<int>(o.get_long("max-gates", 2, 0));
   cfg.allow_gap_insertion = o.has("gap");
   std::string alphabet = o.get("alphabet", "mixed");
   if (alphabet == "x") cfg.alphabet = lock::InsertionAlphabet::XOnly;
@@ -136,6 +198,21 @@ void write_or_print(const std::string& text, const std::string& path) {
   std::cout << "wrote " << path << "\n";
 }
 
+/// Service configured from the shared protect flags.
+service::ServiceConfig service_config(const Options& o, std::size_t jobs) {
+  service::ServiceConfig cfg;
+  cfg.base_seed = static_cast<std::uint64_t>(o.get_long("seed", 2025, 0));
+  cfg.cache_capacity =
+      o.has("cache") ? std::max<std::size_t>(jobs, 64) : 0;
+  return cfg;
+}
+
+void print_cache_stats(const service::CacheStats& stats) {
+  std::cout << "cache: " << stats.hits << " hits, " << stats.misses
+            << " misses, " << stats.evictions << " evictions, "
+            << stats.entries << "/" << stats.capacity << " entries\n";
+}
+
 int cmd_info(const Options& o) {
   std::vector<int> measured;
   auto circuit = load_circuit(o, &measured);
@@ -155,7 +232,7 @@ int cmd_info(const Options& o) {
 
 int cmd_obfuscate(const Options& o) {
   auto circuit = load_circuit(o, nullptr);
-  Rng rng(static_cast<std::uint64_t>(o.get_long("seed", 2025)));
+  Rng rng(static_cast<std::uint64_t>(o.get_long("seed", 2025, 0)));
   lock::Obfuscator obfuscator(insertion_config(o));
   auto obf = obfuscator.obfuscate(circuit, rng);
   std::cout << "inserted " << obf.inserted_gates() << " gates ("
@@ -167,7 +244,7 @@ int cmd_obfuscate(const Options& o) {
 
 int cmd_split(const Options& o) {
   auto circuit = load_circuit(o, nullptr);
-  Rng rng(static_cast<std::uint64_t>(o.get_long("seed", 2025)));
+  Rng rng(static_cast<std::uint64_t>(o.get_long("seed", 2025, 0)));
   lock::Obfuscator obfuscator(insertion_config(o));
   auto obf = obfuscator.obfuscate(circuit, rng);
   lock::InterlockSplitter splitter;
@@ -193,11 +270,12 @@ int cmd_split(const Options& o) {
 }
 
 /// `protect --batch DIR`: every .real/.qasm circuit in DIR (or the built-in
-/// RevLib suite for DIR == "revlib") through the full flow, concurrently.
+/// RevLib suite for DIR == "revlib") through the service facade,
+/// concurrently; rows stream out in submission order as jobs complete.
 int cmd_protect_batch(const Options& o) {
   lock::FlowConfig cfg;
   cfg.insertion = insertion_config(o);
-  cfg.shots = static_cast<std::size_t>(o.get_long("shots", 1000));
+  cfg.shots = static_cast<std::size_t>(o.get_long("shots", 1000, 1));
 
   std::vector<lock::FlowJob> jobs;
   const std::string dir = o.get("batch");
@@ -223,19 +301,29 @@ int cmd_protect_batch(const Options& o) {
     }
   }
 
-  const auto seed = static_cast<std::uint64_t>(o.get_long("seed", 2025));
-  auto batch = lock::run_flow_batch(jobs, seed);
+  service::Service svc(service_config(o, jobs.size()));
+  const auto start = std::chrono::steady_clock::now();
+  svc.submit_all(jobs);
 
   std::cout << "circuit           depth      gates      acc(C)  acc(rest)  "
                "TVD(obf)  TVD(rest)  time\n";
   std::size_t depth_violations = 0;
-  for (const auto& item : batch.items) {
-    std::cout << pad_right(item.name, 18);
-    if (!item.ok) {
-      std::cout << "FAILED: " << item.error << "\n";
-      continue;
+  std::size_t failures = 0;
+  // Only the JSON document needs the outcomes after printing; skip the
+  // second FlowResult deep copy when --out-json was not requested.
+  const bool keep_outcomes = o.has("out-json");
+  std::vector<service::JobOutcome> outcomes;
+  if (keep_outcomes) outcomes.reserve(jobs.size());
+  svc.drain([&](const service::JobOutcome& out) {
+    if (keep_outcomes) outcomes.push_back(out);
+    std::cout << pad_right(out.name, 18);
+    if (out.state != service::JobState::kDone) {
+      ++failures;
+      std::cout << "FAILED [" << service::status_code_name(out.status.code)
+                << "]: " << out.status.message << "\n";
+      return;
     }
-    const auto& r = item.result;
+    const auto& r = out.result;
     std::cout << pad_right(std::to_string(r.depth_original) + "->" +
                                std::to_string(r.depth_obfuscated), 11)
               << pad_right(std::to_string(r.gates_original) + "->" +
@@ -244,7 +332,8 @@ int cmd_protect_batch(const Options& o) {
               << pad_right(fmt_double(r.accuracy_restored, 3), 11)
               << pad_right(fmt_double(r.tvd_obfuscated, 3), 10)
               << pad_right(fmt_double(r.tvd_restored, 3), 11)
-              << fmt_double(item.seconds, 3) << "s";
+              << fmt_double(out.seconds, 3) << "s";
+    if (out.cache_hit) std::cout << "  (cached)";
     // Same validation single-circuit protect enforces: obfuscation must not
     // change the depth.
     if (r.depth_obfuscated != r.depth_original) {
@@ -252,26 +341,55 @@ int cmd_protect_batch(const Options& o) {
       std::cout << "  ERROR: depth changed";
     }
     std::cout << "\n";
+  });
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+
+  std::cout << "\nbatch: " << jobs.size() << " circuits, " << failures
+            << " failed, " << depth_violations << " depth violations, "
+            << fmt_double(wall, 3) << "s wall, "
+            << fmt_double(wall > 0.0 ? jobs.size() / wall : 0.0, 2)
+            << " circuits/s on " << svc.threads() << " threads\n";
+  const auto cache = svc.cache_stats();
+  if (o.has("cache")) print_cache_stats(cache);
+
+  if (o.has("out-json")) {
+    write_or_print(service::batch_to_json(outcomes, svc.threads(), wall,
+                                      o.has("cache") ? &cache : nullptr),
+               o.get("out-json"));
   }
-  std::cout << "\nbatch: " << batch.items.size() << " circuits, "
-            << batch.failures << " failed, " << depth_violations
-            << " depth violations, "
-            << fmt_double(batch.wall_seconds, 3) << "s wall, "
-            << fmt_double(batch.circuits_per_second, 2) << " circuits/s on "
-            << runtime::ThreadPool::global().size() << " threads\n";
-  return (batch.failures == 0 && depth_violations == 0) ? 0 : 1;
+  return (failures == 0 && depth_violations == 0) ? 0 : 1;
 }
 
 int cmd_protect(const Options& o) {
   if (o.has("batch")) return cmd_protect_batch(o);
   std::vector<int> measured;
   auto circuit = load_circuit(o, &measured);
-  Rng rng(static_cast<std::uint64_t>(o.get_long("seed", 2025)));
+  const auto seed = static_cast<std::uint64_t>(o.get_long("seed", 2025, 0));
   auto target = compiler::device_for(circuit.num_qubits());
   lock::FlowConfig cfg;
   cfg.insertion = insertion_config(o);
-  cfg.shots = static_cast<std::size_t>(o.get_long("shots", 1000));
-  auto r = lock::run_flow(circuit, measured, target, cfg, rng);
+  cfg.shots = static_cast<std::size_t>(o.get_long("shots", 1000, 1));
+
+  lock::FlowJob job;
+  job.name = circuit.name().empty() ? o.get("benchmark", "circuit")
+                                    : circuit.name();
+  job.circuit = std::move(circuit);
+  job.measured = std::move(measured);
+  job.target = target;
+  job.config = cfg;
+
+  service::Service svc(service_config(o, 1));
+  // The explicit seed keeps the single-circuit output identical to the
+  // pre-service CLI, which seeded Rng(seed) directly.
+  auto outcome = svc.submit(std::move(job), seed).wait();
+  if (outcome.state != service::JobState::kDone) {
+    std::cerr << "error [" << service::status_code_name(outcome.status.code)
+              << "]: " << outcome.status.message << "\n";
+    return 1;
+  }
+  const auto& r = outcome.result;
 
   std::cout << "device            : " << target.name << " (noise "
             << target.noise.name << ")\n";
@@ -285,15 +403,19 @@ int cmd_protect(const Options& o) {
   std::cout << "accuracy restored : " << fmt_double(r.accuracy_restored, 3) << "\n";
   std::cout << "TVD obfuscated    : " << fmt_double(r.tvd_obfuscated, 3) << "\n";
   std::cout << "TVD restored      : " << fmt_double(r.tvd_restored, 3) << "\n";
+  if (o.has("cache")) print_cache_stats(svc.cache_stats());
+  if (o.has("out-json")) {
+    write_or_print(service::to_json(outcome), o.get("out-json"));
+  }
   bool ok = r.depth_obfuscated == r.depth_original;
   std::cout << (ok ? "OK: zero depth overhead\n" : "ERROR: depth changed\n");
   return ok ? 0 : 1;
 }
 
 int cmd_complexity(const Options& o) {
-  int n = static_cast<int>(o.get_long("n", 5));
-  int nmax = static_cast<int>(o.get_long("nmax", 27));
-  double k = static_cast<double>(o.get_long("k", 1));
+  int n = static_cast<int>(o.get_long("n", 5, 1));
+  int nmax = static_cast<int>(o.get_long("nmax", 27, 1));
+  double k = static_cast<double>(o.get_long("k", 1, 1));
   double cascade = lock::log_attack_complexity_cascade(n, k);
   double tetris = lock::log_attack_complexity_tetrislock(n, nmax, k);
   std::cout << "cascade  (k*n!)  : 10^" << fmt_double(log_to_log10(cascade), 2)
@@ -309,6 +431,8 @@ int usage() {
   std::cerr << "usage: tetrislock_cli "
                "{info|obfuscate|split|protect|complexity} [--flags]\n"
                "       global: --jobs N   (worker threads; also TETRIS_THREADS)\n"
+               "       protect: --cache --out-json FILE  (service result "
+               "cache + JSON output)\n"
                "see the header of tools/tetrislock_cli.cpp for details\n";
   return 2;
 }
@@ -319,7 +443,9 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   std::string cmd = argv[1];
   try {
-    Options o = parse(argc, argv, 2);
+    const std::set<std::string>* allowed = allowed_flags(cmd);
+    if (allowed == nullptr) return usage();
+    Options o = parse(argc, argv, 2, cmd, *allowed);
     if (o.has("jobs")) {
       long jobs = o.get_long("jobs", 0);
       if (jobs <= 0) throw InvalidArgument("--jobs must be a positive integer");
