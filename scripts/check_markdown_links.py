@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker (stdlib only, used by the CI docs job).
+
+Scans the given markdown files for inline links/images `[text](target)` and
+reference definitions `[label]: target`, and verifies that every *relative*
+target resolves to an existing file or directory (anchors are stripped;
+pure-anchor and external scheme links are skipped — CI must not depend on
+network access). Exits non-zero listing every broken link.
+
+Usage: check_markdown_links.py FILE.md [FILE.md ...]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline [text](target) — target up to the first unescaped ')' or space
+# (markdown allows an optional "title" after the space, which we ignore).
+INLINE = re.compile(r"\[[^\]]*\]\(\s*<?([^)\s>]+)>?[^)]*\)")
+# Reference definitions: [label]: target
+REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+<?(\S+?)>?\s*$", re.MULTILINE)
+SCHEME = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def strip_code(text: str) -> str:
+    """Removes fenced and inline code spans, where () is never a link."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`]*`", "", text)
+
+
+def targets(text: str):
+    text = strip_code(text)
+    for pattern in (INLINE, REFDEF):
+        for match in pattern.finditer(text):
+            yield match.group(1)
+
+
+def check_file(path: Path) -> list:
+    broken = []
+    for target in targets(path.read_text(encoding="utf-8")):
+        if SCHEME.match(target):  # http:, https:, mailto:, ...
+            continue
+        if target.startswith("#"):  # in-page anchor
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            broken.append((path, target))
+    return broken
+
+
+def main(argv: list) -> int:
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    broken = []
+    checked = 0
+    for arg in argv:
+        path = Path(arg)
+        if not path.is_file():
+            print(f"error: no such markdown file: {path}", file=sys.stderr)
+            return 2
+        checked += 1
+        broken.extend(check_file(path))
+    for path, target in broken:
+        print(f"BROKEN {path}: {target}")
+    print(f"checked {checked} file(s), {len(broken)} broken link(s)")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -73,6 +73,9 @@ FlowResult run_flow(const qir::Circuit& circuit,
 
   sim::SampleOptions opts;
   opts.shots = config.shots;
+  // Shots shard over the pool this flow executes on (see SampleOptions);
+  // the counts are bit-identical at any fan-out.
+  opts.threads = config.sample_threads;
 
   // Obfuscated view: the masked circuit R.C an adversary would run, compiled
   // on the same backend (paper Sec. V-C).

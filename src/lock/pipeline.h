@@ -20,6 +20,14 @@ struct FlowConfig {
   InsertionConfig insertion;
   SplitConfig split;
   std::size_t shots = 1000;  ///< paper: 1000 shots per simulation
+  /// Worker fan-out of each sim::sample call inside the flow (see
+  /// SampleOptions::threads): 0 shards shots over the pool the flow is
+  /// executing on — inside service::Service that is the service pool, so
+  /// sampler helpers fill idle workers instead of oversubscribing — and 1
+  /// pins the samplers serial. Counts are bit-identical at any value, so
+  /// this knob is excluded from service::flow_fingerprint (a cached result
+  /// is valid whatever fan-out computed it).
+  unsigned sample_threads = 0;
 };
 
 /// Everything one TetrisLock iteration produces: artifacts and the metrics

@@ -62,7 +62,11 @@ class BatchRunner {
   using JobFn = std::function<void(std::size_t index, Rng& rng)>;
 
   /// Runs jobs 0..job_count-1 and blocks until all have finished.
-  /// The returned vector is indexed by job.
+  ///
+  /// \param job_count number of independent jobs to execute
+  /// \param fn        job body; receives the job index and the job's own
+  ///                  stream-derived Rng (see class docs)
+  /// \return per-job statuses, indexed by job (never reordered)
   std::vector<JobStatus> run(std::size_t job_count, const JobFn& fn);
 
   /// Timing of the most recent `run` call.

@@ -8,8 +8,9 @@ namespace tetris::runtime {
 
 namespace {
 
-/// Set while a thread is executing ThreadPool::worker_loop.
-thread_local bool t_on_worker_thread = false;
+/// The pool owning the calling thread; set for the lifetime of
+/// ThreadPool::worker_loop, null on every non-worker thread.
+thread_local ThreadPool* t_worker_pool = nullptr;
 
 std::mutex& global_pool_mutex() {
   static std::mutex m;
@@ -46,7 +47,7 @@ std::size_t ThreadPool::queued() const {
 }
 
 void ThreadPool::worker_loop() {
-  t_on_worker_thread = true;
+  t_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -60,7 +61,9 @@ void ThreadPool::worker_loop() {
   }
 }
 
-bool ThreadPool::on_worker_thread() { return t_on_worker_thread; }
+bool ThreadPool::on_worker_thread() { return t_worker_pool != nullptr; }
+
+ThreadPool* ThreadPool::current() { return t_worker_pool; }
 
 unsigned ThreadPool::default_global_threads() {
   if (const char* env = std::getenv("TETRIS_THREADS")) {

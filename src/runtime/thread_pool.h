@@ -66,7 +66,21 @@ class ThreadPool {
   /// True when the calling thread is a worker of *any* ThreadPool. Used by
   /// `parallel_for` to fall back to serial execution instead of deadlocking
   /// on nested parallelism (a pool task waiting for pool tasks).
+  ///
+  /// \return true iff the caller is inside some pool's worker_loop.
   static bool on_worker_thread();
+
+  /// The pool whose worker is executing the calling thread.
+  ///
+  /// Nested fan-out (e.g. `sim::sample` sharding its shots from inside a
+  /// `service::Service` flow job) uses this to enqueue helper tasks on the
+  /// *same* pool the caller already runs on, so intra-job parallelism shares
+  /// the job-level pool's workers instead of oversubscribing the machine
+  /// with a second pool.
+  ///
+  /// \return the owning pool, or nullptr when called from a non-worker
+  ///         thread (the main thread, a detached std::thread, ...).
+  static ThreadPool* current();
 
   /// The process-wide shared pool. Created on first use with
   /// `default_global_threads()` workers.
@@ -116,7 +130,15 @@ struct ParallelForOptions {
 /// bit-identical to the serial loop.
 ///
 /// Calls from inside a pool worker run serially inline (nested parallelism
-/// would deadlock a fixed pool).
+/// would deadlock a fixed pool). Fan-out that must also parallelize when
+/// nested uses `runtime::run_chunked` (shard.h) instead — the
+/// caller-participates cursor design `sim::sample` shards its trajectories
+/// with; see docs/ARCHITECTURE.md.
+///
+/// \param begin   first iteration index (inclusive)
+/// \param end     one past the last iteration index
+/// \param body    chunk body, invoked as body(chunk_begin, chunk_end)
+/// \param options grain size and target pool
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t, std::size_t)>& body,
                   const ParallelForOptions& options = {});

@@ -41,6 +41,13 @@ void job_outcome_object(json::Writer& w, const JobOutcome& outcome,
   }
   w.end_object();
   w.key("cache_hit").value(outcome.cache_hit);
+  // Sampler settings as configured (not the effective pool width, which is
+  // run-dependent): lets consumers judge the shot-noise error bars of the
+  // fidelity metrics, sqrt(p*(1-p)/shots) per sampled probability.
+  w.key("sampler").begin_object();
+  w.key("shots").value(outcome.shots);
+  w.key("threads").value(outcome.sample_threads);
+  w.end_object();
   if (include_timing) w.key("seconds").value(outcome.seconds);
   if (outcome.state == JobState::kDone) {
     w.key("result").begin_object();

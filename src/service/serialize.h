@@ -27,7 +27,8 @@ void flow_result_fields(json::Writer& w, const lock::FlowResult& r);
 std::string to_json(const lock::FlowResult& r, int indent = 2);
 
 /// Appends one job outcome as a complete JSON object value: id, name, seed,
-/// state, status, cache_hit, [seconds,] and the result fields when done.
+/// state, status, cache_hit, the sampler settings used (shots / threads, as
+/// configured on the job), [seconds,] and the result fields when done.
 void job_outcome_object(json::Writer& w, const JobOutcome& outcome,
                         bool include_timing = true);
 

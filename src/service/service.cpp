@@ -100,6 +100,8 @@ std::uint64_t flow_fingerprint(const lock::FlowJob& job) {
   f.mix(split.interlock_fraction);
   f.mix(split.max_cut_depth_fraction);
   f.mix(static_cast<std::uint64_t>(job.config.shots));
+  // config.sample_threads is deliberately NOT mixed: the sharded sampler is
+  // bit-identical at any fan-out, so it cannot change the cached result.
   return f.digest();
 }
 
@@ -284,6 +286,8 @@ JobOutcome Service::outcome_locked(const JobRecord& record) const {
   out.status = record.status;
   out.cache_hit = record.cache_hit;
   out.seconds = record.seconds;
+  out.shots = record.job.config.shots;
+  out.sample_threads = record.job.config.sample_threads;
   return out;
 }
 

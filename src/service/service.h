@@ -73,6 +73,11 @@ struct JobOutcome {
   ServiceStatus status;       ///< ok() iff state == kDone
   bool cache_hit = false;     ///< result was served from the result cache
   double seconds = 0.0;       ///< execution wall time (≈0 for cache hits)
+  /// Sampler settings the job was configured with (FlowConfig::shots /
+  /// ::sample_threads), echoed so JSON consumers can judge the statistical
+  /// resolution of the fidelity metrics without the submitting code.
+  std::size_t shots = 0;
+  unsigned sample_threads = 0;  ///< 0 = shared the service pool
   lock::FlowResult result;    ///< valid only when state == kDone
 };
 
@@ -128,7 +133,10 @@ class JobHandle {
 /// influences a flow's outcome: the measured-qubit list, the full target
 /// (topology, basis, noise rates), and the FlowConfig knobs. Together with
 /// `Circuit::content_hash()` and the job seed this identifies a flow run
-/// exactly — the triple the result cache keys on.
+/// exactly — the triple the result cache keys on. Knobs that provably do
+/// not change the outcome (FlowConfig::sample_threads: the sampler is
+/// bit-identical at any fan-out) are excluded, so a cached result is shared
+/// across thread settings.
 std::uint64_t flow_fingerprint(const lock::FlowJob& job);
 
 /// The programmatic front door of the TetrisLock stack.

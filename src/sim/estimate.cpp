@@ -27,4 +27,27 @@ AccuracyEstimate estimate_accuracy(const qir::Circuit& circuit,
   return out;
 }
 
+double accuracy_standard_error(double accuracy, std::size_t shots) {
+  TETRIS_REQUIRE(accuracy >= 0.0 && accuracy <= 1.0,
+                 "accuracy_standard_error: accuracy must be in [0,1]");
+  TETRIS_REQUIRE(shots > 0, "accuracy_standard_error: shots must be >= 1");
+  return std::sqrt(accuracy * (1.0 - accuracy) /
+                   static_cast<double>(shots));
+}
+
+std::size_t shots_for_standard_error(double accuracy, double target_se) {
+  TETRIS_REQUIRE(accuracy >= 0.0 && accuracy <= 1.0,
+                 "shots_for_standard_error: accuracy must be in [0,1]");
+  TETRIS_REQUIRE(target_se > 0.0,
+                 "shots_for_standard_error: target must be > 0");
+  double needed = accuracy * (1.0 - accuracy) / (target_se * target_se);
+  if (needed <= 1.0) return 1;
+  // Casting a double above the size_t range is undefined behavior; any
+  // target this tight (>~1e18 shots) is unreachable in practice anyway.
+  TETRIS_REQUIRE(needed < 9.0e18,
+                 "shots_for_standard_error: target needs more shots than "
+                 "representable");
+  return static_cast<std::size_t>(std::ceil(needed));
+}
+
 }  // namespace tetris::sim

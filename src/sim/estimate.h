@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstddef>
+
 #include "qir/circuit.h"
 #include "sim/noise.h"
 
@@ -31,5 +33,34 @@ AccuracyEstimate estimate_accuracy(const qir::Circuit& circuit,
                                    const NoiseModel& noise,
                                    int measured_bits,
                                    double error_miss_rate = 0.75);
+
+/// \brief Standard error of a sampled accuracy at a given shot count.
+///
+/// A sampled accuracy is a binomial proportion: over `shots` independent
+/// trajectories with per-shot success probability `accuracy`, the estimator
+/// has standard error `sqrt(accuracy * (1 - accuracy) / shots)` — at worst
+/// `0.5 / sqrt(shots)` (at accuracy 0.5). This is the variance-vs-shots
+/// trade-off behind `SampleOptions::shots`: quadrupling the shots halves the
+/// error bar. Use `estimate_accuracy(...).estimate` as the `accuracy` input
+/// to size a run before simulating anything.
+///
+/// \param accuracy expected per-shot success probability, in [0, 1]
+/// \param shots    number of Monte-Carlo trajectories, >= 1
+/// \return one standard deviation of the sampled accuracy
+/// \throws InvalidArgument on accuracy outside [0, 1] or shots == 0
+double accuracy_standard_error(double accuracy, std::size_t shots);
+
+/// \brief Smallest shot count whose standard error is at or below a target.
+///
+/// Inverts `accuracy_standard_error`: returns
+/// `ceil(accuracy * (1 - accuracy) / target_se^2)`, floored at 1. Pass
+/// accuracy 0.5 when the true value is unknown — it is the worst case, so
+/// the returned count is sufficient for any accuracy.
+///
+/// \param accuracy  expected per-shot success probability, in [0, 1]
+/// \param target_se desired standard error, > 0
+/// \return the minimal sufficient shot count
+/// \throws InvalidArgument on accuracy outside [0, 1] or target_se <= 0
+std::size_t shots_for_standard_error(double accuracy, double target_se);
 
 }  // namespace tetris::sim

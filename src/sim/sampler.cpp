@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "common/error.h"
+#include "runtime/shard.h"
+#include "runtime/thread_pool.h"
 #include "sim/statevector.h"
 
 namespace tetris::sim {
@@ -66,6 +69,83 @@ std::size_t apply_readout(std::size_t index, const std::vector<int>& measured,
   return index;
 }
 
+/// Read-only context shared by every shard worker of one sample() call.
+/// All pointers reference data owned by sample()'s frame, which outlives
+/// every access (see the straggler-safety note in run_sharded).
+struct SampleContext {
+  const qir::Circuit* circuit = nullptr;
+  const StateVector* ideal = nullptr;  ///< noise-free full run, shared read-only
+  const std::vector<int>* measured = nullptr;
+  const NoiseModel* noise = nullptr;
+  const std::vector<double>* error_probs = nullptr;  ///< per gate index
+  bool any_gate_noise = false;
+  std::uint64_t base_seed = 0;  ///< base of the per-shot stream family
+};
+
+/// Runs shots [begin, end) of the deterministic shot grid into `out`.
+///
+/// Shot `i` draws exclusively from `Rng::for_stream(base_seed, i)`, so the
+/// outcomes of a range depend only on its indices — never on which thread or
+/// chunk executes it.
+void run_shot_range(const SampleContext& ctx, std::size_t begin,
+                    std::size_t end, Counts& out) {
+  const auto& gates = ctx.circuit->gates();
+  // The trajectory register is only needed when a gate error can fire; a
+  // 0-qubit placeholder keeps the error-free path allocation-free.
+  StateVector traj(ctx.any_gate_noise ? ctx.circuit->num_qubits() : 0);
+  std::vector<std::size_t> error_sites;
+  for (std::size_t shot = begin; shot < end; ++shot) {
+    Rng rng = Rng::for_stream(ctx.base_seed, shot);
+    std::size_t raw;
+    error_sites.clear();
+    if (ctx.any_gate_noise) {
+      for (std::size_t i = 0; i < gates.size(); ++i) {
+        if ((*ctx.error_probs)[i] > 0.0 &&
+            rng.bernoulli((*ctx.error_probs)[i])) {
+          error_sites.push_back(i);
+        }
+      }
+    }
+    if (error_sites.empty()) {
+      raw = ctx.ideal->sample(rng);
+    } else {
+      traj.reset();
+      std::size_t next_err = 0;
+      for (std::size_t i = 0; i < gates.size(); ++i) {
+        traj.apply_gate(gates[i]);
+        if (next_err < error_sites.size() && error_sites[next_err] == i) {
+          inject_depolarizing(traj, gates[i].qubits, rng);
+          ++next_err;
+        }
+      }
+      raw = traj.sample(rng);
+    }
+    raw = apply_readout(raw, *ctx.measured, ctx.noise->readout, rng);
+    ++out.histogram[project_outcome(raw, *ctx.measured)];
+  }
+}
+
+/// Shards `shots` over `pool` with `width` participants via
+/// `runtime::run_chunked` (caller-participates cursor: safe from inside a
+/// pool worker, degrades to serial on a saturated pool) and merges the
+/// per-chunk histograms in index order into `total`. Chunk c writes only to
+/// partial[c] and draws only from shot-indexed RNG streams, so the merged
+/// histogram is independent of width, pool, and claim order.
+void run_sharded(const SampleContext& ctx, std::size_t shots,
+                 std::size_t chunk, std::size_t num_chunks, unsigned width,
+                 runtime::ThreadPool& pool, Counts& total) {
+  std::vector<Counts> partial(num_chunks);
+  runtime::run_chunked(pool, num_chunks, width, [&](std::size_t c) {
+    const std::size_t begin = c * chunk;
+    run_shot_range(ctx, begin, std::min(shots, begin + chunk), partial[c]);
+  });
+  for (Counts& p : partial) {
+    for (const auto& [key, value] : p.histogram) {
+      total.histogram[key] += value;
+    }
+  }
+}
+
 }  // namespace
 
 std::size_t Counts::count(const std::string& bs) const {
@@ -104,8 +184,14 @@ Counts sample(const qir::Circuit& circuit, const NoiseModel& noise, Rng& rng,
   std::vector<int> measured = resolve_measured(circuit, options.measured);
   Counts counts;
   counts.shots = options.shots;
+  // Exactly one draw, unconditionally: the base of the per-shot stream
+  // family. The caller's generator advancement is therefore independent of
+  // shots, threads, and chunking.
+  const std::uint64_t base_seed = rng.next_u64();
+  if (options.shots == 0) return counts;
 
-  // One ideal run serves every error-free shot.
+  // One ideal run serves every error-free shot, shared read-only by all
+  // shard workers (StateVector::sample is const).
   StateVector ideal(circuit.num_qubits());
   ideal.apply_circuit(circuit);
 
@@ -117,35 +203,39 @@ Counts sample(const qir::Circuit& circuit, const NoiseModel& noise, Rng& rng,
     any_gate_noise = any_gate_noise || error_probs[i] > 0.0;
   }
 
-  StateVector traj(circuit.num_qubits());
-  std::vector<std::size_t> error_sites;
-  for (std::size_t shot = 0; shot < options.shots; ++shot) {
-    std::size_t raw;
-    error_sites.clear();
-    if (any_gate_noise) {
-      for (std::size_t i = 0; i < gates.size(); ++i) {
-        if (error_probs[i] > 0.0 && rng.bernoulli(error_probs[i])) {
-          error_sites.push_back(i);
-        }
-      }
-    }
-    if (error_sites.empty()) {
-      raw = ideal.sample(rng);
-    } else {
-      traj.reset();
-      std::size_t next_err = 0;
-      for (std::size_t i = 0; i < gates.size(); ++i) {
-        traj.apply_gate(gates[i]);
-        if (next_err < error_sites.size() && error_sites[next_err] == i) {
-          inject_depolarizing(traj, gates[i].qubits, rng);
-          ++next_err;
-        }
-      }
-      raw = traj.sample(rng);
-    }
-    raw = apply_readout(raw, measured, noise.readout, rng);
-    ++counts.histogram[project_outcome(raw, measured)];
+  SampleContext ctx;
+  ctx.circuit = &circuit;
+  ctx.ideal = &ideal;
+  ctx.measured = &measured;
+  ctx.noise = &noise;
+  ctx.error_probs = &error_probs;
+  ctx.any_gate_noise = any_gate_noise;
+  ctx.base_seed = base_seed;
+
+  // Shard plan. The chunk grain is a pure performance knob: results are
+  // bit-identical for any partition because shot i's randomness is
+  // for_stream(base_seed, i) wherever it runs.
+  runtime::ThreadPool* pool = options.pool;
+  if (pool == nullptr) pool = runtime::ThreadPool::current();
+  if (pool == nullptr) pool = &runtime::ThreadPool::global();
+  const unsigned width = std::max(
+      1u, options.threads == 0 ? pool->size() : options.threads);
+  const std::size_t grain = std::max<std::size_t>(1, options.shots_per_chunk);
+  // Floor division honors the "at least `grain` shots per chunk" contract
+  // (ceil could halve the final chunks); the width*4 cap gives each
+  // participant a few chunks so one slow (error-heavy) chunk does not
+  // serialize the tail.
+  const std::size_t by_grain = std::max<std::size_t>(1, options.shots / grain);
+  const std::size_t num_chunks =
+      std::min<std::size_t>(by_grain, static_cast<std::size_t>(width) * 4);
+
+  if (width == 1 || num_chunks <= 1) {
+    run_shot_range(ctx, 0, options.shots, counts);
+    return counts;
   }
+  const std::size_t chunk = (options.shots + num_chunks - 1) / num_chunks;
+  run_sharded(ctx, options.shots, chunk, (options.shots + chunk - 1) / chunk,
+              width, *pool, counts);
   return counts;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <string>
 #include <vector>
@@ -8,53 +9,119 @@
 #include "qir/circuit.h"
 #include "sim/noise.h"
 
+namespace tetris::runtime {
+class ThreadPool;
+}
+
 namespace tetris::sim {
 
-/// Shot histogram, keyed by bitstring in Qiskit convention: the character at
-/// position 0 is the *highest-indexed* measured qubit, the last character is
-/// qubit 0 (or the first entry of the measured list). "01" with measured
-/// qubits {0,1} means qubit1=0, qubit0=1.
+/// \brief Shot histogram of a sampling run.
+///
+/// Keys are bitstrings in Qiskit convention: the character at position 0 is
+/// the *highest-indexed* measured qubit, the last character is qubit 0 (or
+/// the first entry of the measured list). "01" with measured qubits {0,1}
+/// means qubit1=0, qubit0=1.
 struct Counts {
   std::map<std::string, std::size_t> histogram;
   std::size_t shots = 0;
 
-  /// Count for a specific bitstring (0 if absent).
+  /// \param bitstring outcome key in the convention above
+  /// \return the count for `bitstring` (0 if absent)
   std::size_t count(const std::string& bitstring) const;
 
-  /// Normalized distribution (sums to 1 when shots > 0).
+  /// \return normalized distribution (sums to 1 when shots > 0)
   std::map<std::string, double> distribution() const;
 
-  /// Most frequent outcome; throws InvalidArgument when empty.
+  /// \return the most frequent outcome
+  /// \throws InvalidArgument when the histogram is empty
   std::string mode() const;
 };
 
-/// Renders basis index `index` as a bitstring over `num_bits` bits,
+/// \brief Renders basis index `index` as a bitstring over `num_bits` bits,
 /// most-significant (highest qubit) first.
 std::string bitstring(std::size_t index, int num_bits);
 
-/// Options for the trajectory sampler.
+/// \brief Options for the trajectory sampler.
+///
+/// **Choosing `shots` (variance-vs-shots guideline).** Every metric derived
+/// from a `Counts` histogram is a Monte-Carlo estimate whose standard error
+/// shrinks as 1/sqrt(shots): an outcome with true probability `p` is
+/// estimated with standard error `sqrt(p*(1-p)/shots)`, at worst
+/// `0.5/sqrt(shots)`. So 1000 shots (the paper's setting) resolve an
+/// accuracy to about ±1.6% and 10000 shots to about ±0.5%; distinguishing
+/// two accuracies that differ by `d` needs roughly `1/d^2` shots. The
+/// closed-form helpers `sim::accuracy_standard_error` /
+/// `sim::shots_for_standard_error` (estimate.h) compute these numbers, and
+/// docs/ARCHITECTURE.md discusses the trade-off in detail.
 struct SampleOptions {
+  /// Number of Monte-Carlo trajectories; the paper uses 1000 per simulation.
   std::size_t shots = 1000;
+
   /// Qubits to measure, in register order; empty means all qubits.
   std::vector<int> measured;
+
+  /// Worker fan-out of this call: shots are sharded over a thread pool in
+  /// chunks of at least `shots_per_chunk`.
+  ///   - 0 (default): auto — use the full width of the resolved pool;
+  ///   - 1: run serially on the calling thread;
+  ///   - N: use at most N workers (the caller plus N-1 pool helpers).
+  /// Any value produces bit-identical `Counts` (see `sample`).
+  unsigned threads = 0;
+
+  /// Pool the helper tasks are submitted to. nullptr resolves to the pool
+  /// whose worker is executing this call (`ThreadPool::current()`) so a
+  /// sampler inside a `service::Service` flow job shares the service pool
+  /// instead of oversubscribing, and to `ThreadPool::global()` on
+  /// non-worker threads.
+  runtime::ThreadPool* pool = nullptr;
+
+  /// Minimum shots per shard chunk; runs with fewer than twice this many
+  /// shots stay serial (scheduling a pool task costs more than a small
+  /// chunk). Purely a performance knob — chunk boundaries never change the
+  /// counts.
+  std::size_t shots_per_chunk = 256;
 };
 
-/// Samples measurement outcomes of `circuit` under `noise`.
+/// \brief Samples measurement outcomes of `circuit` under `noise`.
 ///
 /// Ideal (noise-free) parts are served from a single state-vector run; shots
 /// on which at least one gate error fires are re-simulated as individual
 /// Pauli trajectories. Readout errors are applied per shot.
+///
+/// **Determinism contract.** The call consumes exactly one 64-bit draw from
+/// `rng` — the base of a SplitMix64 stream family — and trajectory `i` then
+/// runs on its own generator `Rng::for_stream(base, i)`. A shot's randomness
+/// therefore depends only on (rng state at entry, shot index): the returned
+/// `Counts` are bit-identical at any `threads`, `pool`, or `shots_per_chunk`
+/// value, and the caller's `rng` advances by the same single draw whatever
+/// `shots` is. Chunks are merged in index order onto an ordered map, so even
+/// the in-memory representation is identical.
+///
+/// **Pool sharing.** When executed on a worker of a thread pool (e.g. inside
+/// a `service::Service` flow job), helper tasks are enqueued on that same
+/// pool and the calling worker participates via a shared chunk cursor. Busy
+/// pools simply never get to the helpers — they find the cursor exhausted
+/// and return — so a saturated batch run degrades to serial per-job sampling
+/// instead of oversubscribing the machine, while a lone job fans out over
+/// the idle workers.
+///
+/// \param circuit circuit to sample (its width sets the register size)
+/// \param noise   stochastic Pauli noise model (see noise.h)
+/// \param rng     seed source; consumes exactly one draw
+/// \param options shots, measured qubits, and sharding knobs
+/// \return histogram over measured-qubit outcomes with `options.shots` shots
+/// \throws InvalidArgument when a measured qubit is out of range
 Counts sample(const qir::Circuit& circuit, const NoiseModel& noise, Rng& rng,
               const SampleOptions& options = {});
 
-/// Exact noise-free outcome distribution over the measured qubits
+/// \brief Exact noise-free outcome distribution over the measured qubits
 /// (marginalized if `measured` is a strict subset).
 std::map<std::string, double> ideal_distribution(
     const qir::Circuit& circuit, const std::vector<int>& measured = {});
 
-/// The single deterministic outcome of a classical (reversible) circuit on
-/// |0...0>, restricted to `measured` (all qubits when empty). Throws
-/// InvalidArgument if the circuit is not classical.
+/// \brief The single deterministic outcome of a classical (reversible)
+/// circuit on |0...0>, restricted to `measured` (all qubits when empty).
+/// \throws InvalidArgument if the circuit is not classical.
 std::string classical_outcome(const qir::Circuit& circuit,
                               const std::vector<int>& measured = {});
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/error.h"
 #include "compiler/compiler.h"
 #include "compiler/target.h"
@@ -52,6 +54,47 @@ TEST(Estimate, Validation) {
   EXPECT_THROW(estimate_accuracy(c, NoiseModel::ideal(), -1), InvalidArgument);
   EXPECT_THROW(estimate_accuracy(c, NoiseModel::ideal(), 1, 1.5),
                InvalidArgument);
+}
+
+TEST(ShotSizing, StandardErrorMatchesBinomialFormula) {
+  EXPECT_NEAR(accuracy_standard_error(0.5, 1000),
+              std::sqrt(0.25 / 1000.0), 1e-15);
+  EXPECT_NEAR(accuracy_standard_error(0.9, 4000),
+              std::sqrt(0.09 / 4000.0), 1e-15);
+  // Degenerate accuracies have no sampling variance at all.
+  EXPECT_DOUBLE_EQ(accuracy_standard_error(0.0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(accuracy_standard_error(1.0, 100), 0.0);
+  // Quadrupling the shots halves the error bar.
+  EXPECT_NEAR(accuracy_standard_error(0.7, 4000),
+              accuracy_standard_error(0.7, 1000) / 2.0, 1e-15);
+}
+
+TEST(ShotSizing, ShotsForTargetInvertsTheFormula) {
+  EXPECT_EQ(shots_for_standard_error(0.5, 0.01), 2500u);
+  EXPECT_EQ(shots_for_standard_error(0.5, 0.5), 1u);
+  // Round-trip: the returned count actually achieves the target.
+  for (double accuracy : {0.3, 0.5, 0.95}) {
+    for (double target : {0.02, 0.005}) {
+      std::size_t shots = shots_for_standard_error(accuracy, target);
+      EXPECT_LE(accuracy_standard_error(accuracy, shots), target);
+      // ...and it is minimal: one shot fewer misses it (unless already 1).
+      if (shots > 1) {
+        EXPECT_GT(accuracy_standard_error(accuracy, shots - 1), target);
+      }
+    }
+  }
+}
+
+TEST(ShotSizing, Validation) {
+  EXPECT_THROW(accuracy_standard_error(-0.1, 100), InvalidArgument);
+  EXPECT_THROW(accuracy_standard_error(1.1, 100), InvalidArgument);
+  EXPECT_THROW(accuracy_standard_error(0.5, 0), InvalidArgument);
+  EXPECT_THROW(shots_for_standard_error(2.0, 0.1), InvalidArgument);
+  EXPECT_THROW(shots_for_standard_error(0.5, 0.0), InvalidArgument);
+  EXPECT_THROW(shots_for_standard_error(0.5, -1.0), InvalidArgument);
+  // Targets needing more shots than a size_t can hold are rejected, not
+  // silently wrapped through a float-to-integer overflow.
+  EXPECT_THROW(shots_for_standard_error(0.5, 1e-10), InvalidArgument);
 }
 
 /// The estimator must track the sampled accuracy on the real compiled

@@ -12,6 +12,7 @@
 #include "lock/pipeline.h"
 #include "revlib/benchmarks.h"
 #include "runtime/batch_runner.h"
+#include "runtime/shard.h"
 #include "sim/statevector.h"
 
 namespace tetris::runtime {
@@ -123,6 +124,53 @@ TEST(ParallelFor, PropagatesBodyException) {
           },
           options),
       InvalidArgument);
+}
+
+// --------------------------------------------------------------- run_chunked
+
+TEST(RunChunked, VisitsEveryChunkExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kChunks = 37;
+  std::vector<std::atomic<int>> visits(kChunks);
+  run_chunked(pool, kChunks, 4, [&](std::size_t c) { ++visits[c]; });
+  for (std::size_t c = 0; c < kChunks; ++c) EXPECT_EQ(visits[c].load(), 1);
+}
+
+TEST(RunChunked, SerialWidthAndEmptyRange) {
+  ThreadPool pool(2);
+  int calls = 0;
+  run_chunked(pool, 0, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  run_chunked(pool, 5, 1, [&](std::size_t) { ++calls; });  // width 1: serial
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(RunChunked, PropagatesFirstExceptionAndSkipsRemainingWork) {
+  // One worker + the caller: after chunk 0 throws, chunks claimed later are
+  // counted but not executed, so a failing run does not pay for the tail.
+  ThreadPool pool(1);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(run_chunked(pool, 64, 1u + pool.size(),
+                           [&](std::size_t c) {
+                             if (c == 0) throw InvalidArgument("boom");
+                             ++executed;
+                           }),
+               InvalidArgument);
+  // At most the chunks already in flight when the failure landed ran; with
+  // two participants that is far below the full 63 remaining chunks.
+  EXPECT_LT(executed.load(), 63);
+}
+
+TEST(RunChunked, NestedInsideWorkerDoesNotDeadlock) {
+  // run_chunked from a pool task fans out over that same pool: the calling
+  // worker participates, helpers queue behind it, nothing blocks.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  auto future = pool.submit([&] {
+    run_chunked(pool, 16, 8, [&](std::size_t) { ++total; });
+  });
+  future.get();
+  EXPECT_EQ(total.load(), 16);
 }
 
 TEST(ParallelFor, NestedCallRunsSerially) {

@@ -183,6 +183,41 @@ TEST(Service, OversizedCircuitFailsWithoutDisturbingSiblings) {
   EXPECT_EQ(svc.cache_stats().entries, 2u);
 }
 
+TEST(Service, OutcomeCarriesSamplerSettings) {
+  Service svc;
+  auto job = benchmark_job("4mod5");
+  job.config.sample_threads = 2;
+  auto outcome = svc.submit(std::move(job)).wait();
+  ASSERT_EQ(outcome.state, JobState::kDone);
+  EXPECT_EQ(outcome.shots, 64u);
+  EXPECT_EQ(outcome.sample_threads, 2u);
+  // The JSON document echoes the sampler settings the job ran with.
+  std::string doc = to_json(outcome, /*include_timing=*/false, 0);
+  EXPECT_NE(doc.find("\"sampler\":{\"shots\":64,\"threads\":2}"),
+            std::string::npos)
+      << doc;
+}
+
+TEST(Service, SamplerFanOutDoesNotChangeResults) {
+  // sample_threads is a pure performance knob: flows configured serial and
+  // sharded must serialize identically (minus the echoed setting itself),
+  // and it is excluded from the cache fingerprint.
+  auto serial_job = benchmark_job("rd53");
+  serial_job.config.sample_threads = 1;
+  auto sharded_job = benchmark_job("rd53");
+  sharded_job.config.sample_threads = 8;
+  EXPECT_EQ(flow_fingerprint(serial_job), flow_fingerprint(sharded_job));
+
+  ServiceConfig config;
+  config.num_threads = 4;
+  Service svc(config);
+  auto serial = svc.submit(serial_job, /*seed=*/77).wait();
+  auto sharded = svc.submit(sharded_job, /*seed=*/77).wait();
+  ASSERT_EQ(serial.state, JobState::kDone);
+  ASSERT_EQ(sharded.state, JobState::kDone);
+  EXPECT_EQ(to_json(serial.result), to_json(sharded.result));
+}
+
 TEST(Service, FailedOutcomeSerializesStatusNotResult) {
   Service svc;
   auto outcome = svc.submit(oversized_job()).wait();

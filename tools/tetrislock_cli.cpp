@@ -11,13 +11,18 @@
 //              interlock-split; emits one .qasm per segment + the
 //              designer-side qubit maps on stdout
 //   protect    --benchmark NAME | --in FILE | --batch DIR  [--seed N]
-//              [--shots N] [--cache] [--out-json FILE]
+//              [--shots N] [--sample-jobs N] [--cache] [--out-json FILE]
 //              full flow through the service facade: obfuscate, split,
 //              split-compile, recombine, verify on the noisy simulated
 //              device; prints a Table-I row. --batch DIR runs the flow over
 //              every .real/.qasm file in DIR concurrently, streaming one row
 //              per circuit as it completes plus a throughput summary;
 //              --batch revlib uses the built-in Table-I RevLib suite.
+//              --shots N sets the trajectory count of the noisy
+//              verification (>= 1; error bars shrink as 1/sqrt(shots)) and
+//              --sample-jobs N caps each sampler's worker fan-out (default
+//              0 = share the service pool; 1 = serial samplers). Counts are
+//              bit-identical at any --sample-jobs/--jobs value.
 //              --cache enables the service result cache (hit/miss counters
 //              in the summary); --out-json writes the machine-readable
 //              outcome document.
@@ -115,8 +120,8 @@ const std::set<std::string>* allowed_flags(const std::string& cmd) {
        {"benchmark", "in", "seed", "max-gates", "alphabet", "gap",
         "out-prefix"}},
       {"protect",
-       {"benchmark", "in", "batch", "seed", "shots", "max-gates", "alphabet",
-        "gap", "cache", "out-json"}},
+       {"benchmark", "in", "batch", "seed", "shots", "sample-jobs",
+        "max-gates", "alphabet", "gap", "cache", "out-json"}},
       {"complexity", {"n", "nmax", "k"}},
   };
   auto it = kAllowed.find(cmd);
@@ -198,6 +203,19 @@ void write_or_print(const std::string& text, const std::string& path) {
   std::cout << "wrote " << path << "\n";
 }
 
+/// Flow knobs from the shared protect flags. --shots 0 is rejected with a
+/// named-flag error (a 0-shot verification would silently report accuracy
+/// and TVD over an empty histogram); --sample-jobs 0 is the "share the
+/// service pool" default.
+lock::FlowConfig flow_config(const Options& o) {
+  lock::FlowConfig cfg;
+  cfg.insertion = insertion_config(o);
+  cfg.shots = static_cast<std::size_t>(o.get_long("shots", 1000, 1));
+  cfg.sample_threads =
+      static_cast<unsigned>(o.get_long("sample-jobs", 0, 0));
+  return cfg;
+}
+
 /// Service configured from the shared protect flags.
 service::ServiceConfig service_config(const Options& o, std::size_t jobs) {
   service::ServiceConfig cfg;
@@ -273,9 +291,7 @@ int cmd_split(const Options& o) {
 /// RevLib suite for DIR == "revlib") through the service facade,
 /// concurrently; rows stream out in submission order as jobs complete.
 int cmd_protect_batch(const Options& o) {
-  lock::FlowConfig cfg;
-  cfg.insertion = insertion_config(o);
-  cfg.shots = static_cast<std::size_t>(o.get_long("shots", 1000, 1));
+  lock::FlowConfig cfg = flow_config(o);
 
   std::vector<lock::FlowJob> jobs;
   const std::string dir = o.get("batch");
@@ -368,9 +384,7 @@ int cmd_protect(const Options& o) {
   auto circuit = load_circuit(o, &measured);
   const auto seed = static_cast<std::uint64_t>(o.get_long("seed", 2025, 0));
   auto target = compiler::device_for(circuit.num_qubits());
-  lock::FlowConfig cfg;
-  cfg.insertion = insertion_config(o);
-  cfg.shots = static_cast<std::size_t>(o.get_long("shots", 1000, 1));
+  lock::FlowConfig cfg = flow_config(o);
 
   lock::FlowJob job;
   job.name = circuit.name().empty() ? o.get("benchmark", "circuit")
@@ -431,6 +445,8 @@ int usage() {
   std::cerr << "usage: tetrislock_cli "
                "{info|obfuscate|split|protect|complexity} [--flags]\n"
                "       global: --jobs N   (worker threads; also TETRIS_THREADS)\n"
+               "       protect: --shots N --sample-jobs N  (trajectory count "
+               "+ sampler fan-out)\n"
                "       protect: --cache --out-json FILE  (service result "
                "cache + JSON output)\n"
                "see the header of tools/tetrislock_cli.cpp for details\n";
