@@ -1,0 +1,219 @@
+// Gate-fusion throughput: fused vs unfused statevector execution across a
+// register-width sweep, on fusion-friendly layered circuits (dense 1q rows
+// + repeated same-pair 2q runs — the shape deep locked circuits compile to).
+//
+// Every gate of the unfused path costs one full amplitude sweep; the fusion
+// pass (sim/fusion.h) merges same-qubit runs, gangs of distinct-qubit 1q
+// gates, and same-pair 2q runs so each sweep does more arithmetic per byte.
+// The win is memory-bandwidth-bound and grows with width: at 4 qubits the
+// whole register lives in L1 and fusion only saves loop overhead; at 16-18
+// qubits (1-4M amplitudes) every saved sweep is a saved pass over a
+// multi-megabyte array.
+//
+// Flags (bench_util.h): --shots N sets the gate count per circuit (yes,
+// "shots" — the shared flag set keeps the CI smoke invocation uniform
+// across benches), --iterations N the timed repetitions per width, --seed,
+// --threads A[,B,...] sizes the global pool for the parallel kernels (first
+// value only), --out the JSON path (default BENCH_fusion.json).
+//
+// The harness is also a correctness gate: for every width the fused and
+// unfused final states must agree within --tolerance (fixed 1e-9); any
+// violation makes the exit status non-zero, which is what CI checks. The
+// speedup numbers are reported but NOT gated — the checked-in JSON comes
+// from the 1-core dev container, so regenerate on multicore hardware for
+// real ratios (acceptance: fused >= 1.0x unfused at width >= 16).
+//
+// CI runs `bench_fusion_throughput --shots 64 --iterations 2` as a smoke
+// check and validates the JSON with `python -m json.tool`.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/json.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "qir/circuit.h"
+#include "runtime/thread_pool.h"
+#include "sim/fusion.h"
+#include "sim/statevector.h"
+
+namespace {
+
+using namespace tetris;
+
+/// Fusion-friendly workload: rows of per-qubit 1q rotations (gang-fusible),
+/// then a few repeated same-pair 2q gates (4x4-fusible), then a Toffoli
+/// every few layers (passthrough) so the plan is never trivially one op.
+qir::Circuit layered_circuit(int n, int gates, Rng& rng) {
+  qir::Circuit c(n, "fusion_bench");
+  int layer = 0;
+  while (static_cast<int>(c.size()) < gates) {
+    for (int q = 0; q < n && static_cast<int>(c.size()) < gates; ++q) {
+      switch (rng.uniform_int(0, 3)) {
+        case 0: c.h(q); break;
+        case 1: c.t(q); break;
+        case 2: c.rz(rng.uniform() * 3.1, q); break;
+        default: c.rx(rng.uniform() * 3.1, q); break;
+      }
+    }
+    for (int q = 0; q + 1 < n && static_cast<int>(c.size()) < gates; q += 2) {
+      c.cx(q, q + 1);
+      if (static_cast<int>(c.size()) < gates) c.cz(q, q + 1);
+    }
+    if (n >= 3 && ++layer % 3 == 0 && static_cast<int>(c.size()) < gates) {
+      c.ccx(0, 1, 2);
+    }
+  }
+  return c;
+}
+
+struct WidthPoint {
+  int qubits = 0;
+  std::size_t gates = 0;
+  std::size_t sweeps_unfused = 0;
+  std::size_t sweeps_fused = 0;
+  double sweep_reduction = 0.0;
+  double plan_seconds = 0.0;
+  double unfused_seconds = 0.0;
+  double fused_seconds = 0.0;
+  double speedup = 0.0;
+  double max_abs_diff = 0.0;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void write_json(const std::string& path, const benchutil::Args& args,
+                unsigned pool_threads, double tolerance, bool tolerance_ok,
+                const std::vector<WidthPoint>& sweep) {
+  json::Writer w;
+  w.begin_object();
+  w.key("bench").value("fusion_throughput");
+  w.key("gates_per_circuit").value(args.shots);
+  w.key("iterations").value(args.iterations);
+  w.key("seed").value(args.seed);
+  w.key("pool_threads").value(pool_threads);
+  w.key("tolerance").value(tolerance);
+  w.key("tolerance_ok").value(tolerance_ok);
+  w.key("results").begin_array();
+  for (const WidthPoint& p : sweep) {
+    w.begin_object();
+    w.key("qubits").value(p.qubits);
+    w.key("gates").value(p.gates);
+    w.key("sweeps_unfused").value(p.sweeps_unfused);
+    w.key("sweeps_fused").value(p.sweeps_fused);
+    w.key("sweep_reduction").value(p.sweep_reduction);
+    w.key("plan_seconds").value(p.plan_seconds);
+    w.key("unfused_seconds").value(p.unfused_seconds);
+    w.key("fused_seconds").value(p.fused_seconds);
+    w.key("speedup_fused_vs_unfused").value(p.speedup);
+    w.key("max_abs_diff").value(p.max_abs_diff);
+    w.end_object();
+  }
+  w.end_array();
+  // The acceptance-relevant number: best fused-vs-unfused ratio at >= 16
+  // qubits (0 when the sweep never reaches that width).
+  double wide_speedup = 0.0;
+  for (const WidthPoint& p : sweep) {
+    if (p.qubits >= 16) wide_speedup = std::max(wide_speedup, p.speedup);
+  }
+  w.key("speedup_at_width_16_plus").value(wide_speedup);
+  w.end_object();
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    std::exit(1);
+  }
+  out << w.str() << "\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = benchutil::parse_args(argc, argv);
+  const std::string out_path = args.out.empty() ? "BENCH_fusion.json" : args.out;
+  const int gates = static_cast<int>(std::max<std::size_t>(8, args.shots));
+  const int iterations = std::max(1, args.iterations);
+  constexpr double kTolerance = 1e-9;
+  if (!args.threads.empty()) {
+    runtime::ThreadPool::set_global_threads(args.threads.front());
+  }
+  const unsigned pool_threads = runtime::ThreadPool::global().size();
+
+  // 20 qubits = 16 MiB of amplitudes — past typical L3, the memory-bound
+  // regime gate fusion targets.
+  const std::vector<int> widths = {4, 8, 12, 16, 18, 20};
+  std::cout << "workload: layered fusion-friendly circuits, " << gates
+            << " gates x " << iterations << " iterations, pool "
+            << pool_threads << " threads\n\n";
+  benchutil::Table table({"qubits", "sweeps", "unfused (s)", "fused (s)",
+                          "speedup", "max|diff|"},
+                         {7, 12, 12, 10, 8, 10});
+  table.print_header();
+
+  std::vector<WidthPoint> sweep;
+  bool tolerance_ok = true;
+  for (int n : widths) {
+    Rng rng(args.seed + static_cast<std::uint64_t>(n));
+    auto circuit = layered_circuit(n, gates, rng);
+
+    auto plan_start = std::chrono::steady_clock::now();
+    auto plan = sim::FusionPlan::build(circuit);
+    WidthPoint point;
+    point.plan_seconds = seconds_since(plan_start);
+    point.qubits = n;
+    point.gates = circuit.gate_count();
+    point.sweeps_unfused = plan.stats().gates_in;
+    point.sweeps_fused = plan.stats().ops_out;
+    point.sweep_reduction = plan.stats().sweep_reduction();
+
+    sim::StateVector unfused(n);
+    auto start = std::chrono::steady_clock::now();
+    for (int it = 0; it < iterations; ++it) {
+      unfused.reset();
+      unfused.apply_circuit(circuit);
+    }
+    point.unfused_seconds = seconds_since(start) / iterations;
+
+    sim::StateVector fused(n);
+    start = std::chrono::steady_clock::now();
+    for (int it = 0; it < iterations; ++it) {
+      fused.reset();
+      fused.apply_fused(plan);
+    }
+    point.fused_seconds = seconds_since(start) / iterations;
+
+    point.speedup = point.fused_seconds > 0.0
+                        ? point.unfused_seconds / point.fused_seconds
+                        : 0.0;
+    point.max_abs_diff = fused.max_abs_diff(unfused);
+    if (!(point.max_abs_diff < kTolerance)) tolerance_ok = false;
+
+    table.print_row(
+        {std::to_string(n),
+         std::to_string(point.sweeps_unfused) + "->" +
+             std::to_string(point.sweeps_fused),
+         fmt_double(point.unfused_seconds, 4), fmt_double(point.fused_seconds, 4),
+         fmt_double(point.speedup, 2) + "x",
+         fmt_double(point.max_abs_diff, 12)});
+    sweep.push_back(point);
+  }
+
+  std::cout << "\nfused state within " << kTolerance
+            << " of unfused at every width: "
+            << (tolerance_ok ? "yes" : "NO — FUSION CORRECTNESS BUG") << "\n";
+  write_json(out_path, args, pool_threads, kTolerance, tolerance_ok, sweep);
+  return tolerance_ok ? 0 : 1;
+}

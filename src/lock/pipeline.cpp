@@ -76,6 +76,9 @@ FlowResult run_flow(const qir::Circuit& circuit,
   // Shots shard over the pool this flow executes on (see SampleOptions);
   // the counts are bit-identical at any fan-out.
   opts.threads = config.sample_threads;
+  // Gate fusion applies only to the sampled runs; the ideal reference
+  // distribution above stays unfused so the exact reference never moves.
+  opts.fuse = config.fusion;
 
   // Obfuscated view: the masked circuit R.C an adversary would run, compiled
   // on the same backend (paper Sec. V-C).

@@ -47,6 +47,9 @@ void job_outcome_object(json::Writer& w, const JobOutcome& outcome,
   w.key("sampler").begin_object();
   w.key("shots").value(outcome.shots);
   w.key("threads").value(outcome.sample_threads);
+  // Emitted only when on: documents with fusion off stay byte-identical to
+  // the pre-fusion schema.
+  if (outcome.fusion) w.key("fusion").value(true);
   w.end_object();
   if (include_timing) w.key("seconds").value(outcome.seconds);
   if (outcome.state == JobState::kDone) {

@@ -100,6 +100,10 @@ std::uint64_t flow_fingerprint(const lock::FlowJob& job) {
   f.mix(split.interlock_fraction);
   f.mix(split.max_cut_depth_fraction);
   f.mix(static_cast<std::uint64_t>(job.config.shots));
+  // Gate fusion IS mixed: fused kernels reorder floating-point arithmetic,
+  // so a fused run's metrics are only tolerance-equal to unfused ones — a
+  // cached unfused result must not answer a fused request or vice versa.
+  f.mix(static_cast<std::uint64_t>(job.config.fusion ? 1 : 0));
   // config.sample_threads is deliberately NOT mixed: the sharded sampler is
   // bit-identical at any fan-out, so it cannot change the cached result.
   return f.digest();
@@ -288,6 +292,7 @@ JobOutcome Service::outcome_locked(const JobRecord& record) const {
   out.seconds = record.seconds;
   out.shots = record.job.config.shots;
   out.sample_threads = record.job.config.sample_threads;
+  out.fusion = record.job.config.fusion;
   return out;
 }
 

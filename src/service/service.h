@@ -74,10 +74,12 @@ struct JobOutcome {
   bool cache_hit = false;     ///< result was served from the result cache
   double seconds = 0.0;       ///< execution wall time (≈0 for cache hits)
   /// Sampler settings the job was configured with (FlowConfig::shots /
-  /// ::sample_threads), echoed so JSON consumers can judge the statistical
-  /// resolution of the fidelity metrics without the submitting code.
+  /// ::sample_threads / ::fusion), echoed so JSON consumers can judge the
+  /// statistical resolution of the fidelity metrics without the submitting
+  /// code.
   std::size_t shots = 0;
   unsigned sample_threads = 0;  ///< 0 = shared the service pool
+  bool fusion = false;          ///< gate fusion in the sampled runs
   lock::FlowResult result;    ///< valid only when state == kDone
 };
 

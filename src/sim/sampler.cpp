@@ -7,6 +7,7 @@
 #include "common/error.h"
 #include "runtime/shard.h"
 #include "runtime/thread_pool.h"
+#include "sim/fusion.h"
 #include "sim/statevector.h"
 
 namespace tetris::sim {
@@ -191,9 +192,17 @@ Counts sample(const qir::Circuit& circuit, const NoiseModel& noise, Rng& rng,
   if (options.shots == 0) return counts;
 
   // One ideal run serves every error-free shot, shared read-only by all
-  // shard workers (StateVector::sample is const).
+  // shard workers (StateVector::sample is const). With options.fuse this one
+  // run goes through the fused kernels; errored trajectories below always
+  // run gate-by-gate — their per-shot noise-injection sites are fusion
+  // fences, and a fresh plan per (shot, error set) would cost more than the
+  // sweeps it saves.
   StateVector ideal(circuit.num_qubits());
-  ideal.apply_circuit(circuit);
+  if (options.fuse) {
+    ideal.apply_fused(FusionPlan::build(circuit));
+  } else {
+    ideal.apply_circuit(circuit);
+  }
 
   const auto& gates = circuit.gates();
   std::vector<double> error_probs(gates.size());

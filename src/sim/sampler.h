@@ -80,6 +80,17 @@ struct SampleOptions {
   /// chunk). Purely a performance knob — chunk boundaries never change the
   /// counts.
   std::size_t shots_per_chunk = 256;
+
+  /// Fuse adjacent gates of the ideal (noise-free) run into combined
+  /// kernels (sim/fusion.h) so each amplitude sweep does more arithmetic
+  /// per byte. Errored trajectories always re-simulate unfused: a shot's
+  /// noise-injection sites are fences a fused kernel must not cross.
+  /// Fused sweeps reorder floating-point arithmetic, so fused counts are
+  /// tolerance-equal — NOT bit-identical — to unfused ones; the knob is
+  /// therefore off by default and, unlike `threads`, part of
+  /// `service::flow_fingerprint`. With `fuse` fixed, counts remain
+  /// bit-identical at any threads/pool/chunk setting as documented below.
+  bool fuse = false;
 };
 
 /// \brief Samples measurement outcomes of `circuit` under `noise`.

@@ -10,6 +10,15 @@ namespace tetris::sim {
 
 using cplx = std::complex<double>;
 
+class FusionPlan;  // sim/fusion.h
+
+/// One 2x2 matrix bound to one qubit — the unit of a fused gang sweep
+/// (StateVector::apply_gang) and of the fusion pass (sim/fusion.h).
+struct SingleQubitOp {
+  cplx m[2][2] = {};
+  int qubit = 0;
+};
+
 /// Dense state-vector simulator.
 ///
 /// Holds 2^n complex amplitudes in little-endian qubit order: basis index
@@ -53,6 +62,39 @@ class StateVector {
   /// Applies every gate of the circuit in order. The circuit width must not
   /// exceed the register width.
   void apply_circuit(const qir::Circuit& circuit);
+
+  /// Applies every op of a fusion plan (sim/fusion.h) in order — the fused
+  /// equivalent of apply_circuit on the plan's source circuit. The plan width
+  /// must not exceed the register width. Fused kernels reorder floating-point
+  /// arithmetic relative to the gate-by-gate sweeps, so the result is
+  /// tolerance-equal — not bit-identical — to apply_circuit (a plan built
+  /// with a fence before every gate degenerates to apply_gate calls and IS
+  /// bit-identical). Serial-vs-parallel execution of the SAME plan is
+  /// bit-identical, like every other kernel here.
+  void apply_fused(const FusionPlan& plan);
+
+  /// Applies an arbitrary 2x2 matrix to qubit q in one amplitude sweep (the
+  /// public face of the single-qubit kernel; apply_gate routes named kinds
+  /// through the same loop).
+  void apply_matrix(const cplx m[2][2], int q);
+
+  /// Applies each op's 2x2 to its qubit in ONE amplitude sweep. Qubits must
+  /// be distinct, in range, and at most kMaxGangQubits many; ops are applied
+  /// in vector order (they commute exactly — all on distinct qubits). Each
+  /// 2^k-amplitude block is gathered once, transformed in cache, and
+  /// scattered back: k gates for the memory traffic of one.
+  void apply_gang(const std::vector<SingleQubitOp>& ops);
+
+  /// Applies an arbitrary 4x4 matrix to the qubit pair (a, b), a != b, in
+  /// one amplitude sweep. The local basis index of the 4-dim subspace is
+  /// `(bit_b << 1) | bit_a` — qubit `a` is the LOW local bit, whatever the
+  /// relative wire order of a and b. `sim::two_qubit_matrix` (fusion.h)
+  /// builds matrices in this convention.
+  void apply_two_qubit(const cplx m[4][4], int a, int b);
+
+  /// Largest gang sweep apply_gang accepts (2^6 = 64 amplitudes of scratch
+  /// per block — comfortably in L1).
+  static constexpr int kMaxGangQubits = 6;
 
   /// Applies a single Pauli ('I', 'X', 'Y' or 'Z') to qubit q — the noise
   /// channel injection primitive for trajectory simulation.

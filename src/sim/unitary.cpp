@@ -3,9 +3,36 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "sim/fusion.h"
 #include "sim/statevector.h"
 
 namespace tetris::sim {
+
+namespace {
+
+/// Shared column loop of the two build_unitary flavours.
+template <typename ApplyFn>
+Unitary build_unitary_impl(int num_qubits, const ApplyFn& apply) {
+  TETRIS_REQUIRE(num_qubits <= 12,
+                 "build_unitary: register too wide for dense unitary");
+  Unitary u;
+  u.num_qubits = num_qubits;
+  std::size_t dim = u.dim();
+  u.data.assign(dim * dim, {0.0, 0.0});
+
+  StateVector sv(num_qubits);
+  for (std::size_t col = 0; col < dim; ++col) {
+    sv.set_basis_state(col);
+    apply(sv);
+    const auto& amps = sv.amplitudes();
+    for (std::size_t row = 0; row < dim; ++row) {
+      u.data[col * dim + row] = amps[row];
+    }
+  }
+  return u;
+}
+
+}  // namespace
 
 std::complex<double>& Unitary::at(std::size_t row, std::size_t col) {
   return data.at(col * dim() + row);
@@ -16,23 +43,16 @@ const std::complex<double>& Unitary::at(std::size_t row, std::size_t col) const 
 }
 
 Unitary build_unitary(const qir::Circuit& circuit) {
-  TETRIS_REQUIRE(circuit.num_qubits() <= 12,
-                 "build_unitary: register too wide for dense unitary");
-  Unitary u;
-  u.num_qubits = circuit.num_qubits();
-  std::size_t dim = u.dim();
-  u.data.assign(dim * dim, {0.0, 0.0});
+  return build_unitary_impl(circuit.num_qubits(),
+                            [&](StateVector& sv) { sv.apply_circuit(circuit); });
+}
 
-  StateVector sv(circuit.num_qubits());
-  for (std::size_t col = 0; col < dim; ++col) {
-    sv.set_basis_state(col);
-    sv.apply_circuit(circuit);
-    const auto& amps = sv.amplitudes();
-    for (std::size_t row = 0; row < dim; ++row) {
-      u.data[col * dim + row] = amps[row];
-    }
-  }
-  return u;
+Unitary build_unitary_fused(const qir::Circuit& circuit,
+                            const FusionPlan& plan) {
+  TETRIS_REQUIRE(plan.num_qubits() == circuit.num_qubits(),
+                 "build_unitary_fused: plan/circuit width mismatch");
+  return build_unitary_impl(circuit.num_qubits(),
+                            [&](StateVector& sv) { sv.apply_fused(plan); });
 }
 
 bool equal_up_to_phase(const Unitary& a, const Unitary& b, double atol) {

@@ -7,6 +7,8 @@
 
 namespace tetris::sim {
 
+class FusionPlan;  // sim/fusion.h
+
 /// Dense unitary of a circuit, stored column-major: column j is the image of
 /// basis state |j>. Intended for verification on small registers (<= 10
 /// qubits keeps it under 16 MiB); throws beyond 12 qubits.
@@ -21,6 +23,14 @@ struct Unitary {
 
 /// Computes the unitary by applying the circuit to every basis state.
 Unitary build_unitary(const qir::Circuit& circuit);
+
+/// As build_unitary, but executes `plan` — a fused compilation of `circuit`
+/// (sim/fusion.h) — for every basis column. The differential-testing entry
+/// point: comparing this against build_unitary(circuit) bounds the fusion
+/// pass's floating-point reordering error over the whole operator, not just
+/// one state. The plan width must match the circuit width.
+Unitary build_unitary_fused(const qir::Circuit& circuit,
+                            const FusionPlan& plan);
 
 /// True if |a - e^{i phi} b| < atol element-wise for the best global phase —
 /// the equivalence the compiler must preserve (global phase is unobservable).

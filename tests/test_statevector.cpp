@@ -5,6 +5,9 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/rng.h"
+#include "runtime/thread_pool.h"
+#include "sim/fusion.h"
 
 namespace tetris::sim {
 namespace {
@@ -229,6 +232,131 @@ TEST(StateVector, ApplyCircuitWidthGuard) {
   qir::Circuit wide(3);
   wide.x(2);
   EXPECT_THROW(sv.apply_circuit(wide), InvalidArgument);
+}
+
+// ------------------------------------------------------- apply_two_qubit
+
+/// Prepares a non-trivial product+entangled state on `n` qubits.
+StateVector scrambled_state(int n, std::uint64_t seed) {
+  StateVector sv(n);
+  Rng rng(seed);
+  for (int q = 0; q < n; ++q) {
+    sv.apply_gate(qir::make_h(q));
+    sv.apply_gate(qir::make_rz(rng.uniform() * 3.0, q));
+  }
+  for (int q = 0; q + 1 < n; ++q) sv.apply_gate(qir::make_cx(q, q + 1));
+  return sv;
+}
+
+/// out = lhs * rhs for the 4x4 local matrices of apply_two_qubit.
+void matmul4(const cplx lhs[4][4], const cplx rhs[4][4], cplx out[4][4]) {
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      cplx acc(0.0, 0.0);
+      for (int k = 0; k < 4; ++k) acc += lhs[r][k] * rhs[k][c];
+      out[r][c] = acc;
+    }
+  }
+}
+
+TEST(ApplyTwoQubit, MatchesGateKernelsOnAdjacentAndNonAdjacentPairs) {
+  // Every 2q kind, on an adjacent pair, a non-adjacent pair, and with the
+  // (a, b) roles swapped — the matrix convention must track the argument
+  // order, not the wire order.
+  const std::vector<qir::Gate> gates = {
+      qir::make_cx(0, 1),       qir::make_cx(1, 0),
+      qir::make_cz(0, 2),       qir::make_cy(2, 0),
+      qir::make_ch(1, 3),       qir::make_cp(0.8, 3, 1),
+      qir::make_crz(1.1, 0, 3), qir::make_swap(1, 2)};
+  for (const auto& g : gates) {
+    const int a = g.qubits[0];
+    const int b = g.qubits[1];
+    cplx m[4][4];
+    two_qubit_matrix(g, a, b, m);
+
+    StateVector via_matrix = scrambled_state(4, 5);
+    StateVector via_gate = scrambled_state(4, 5);
+    via_matrix.apply_two_qubit(m, a, b);
+    via_gate.apply_gate(g);
+    EXPECT_LT(via_matrix.max_abs_diff(via_gate), 1e-12) << g.to_string();
+
+    // Same matrix addressed with swapped (a, b) arguments must equal the
+    // gate embedded with swapped roles.
+    cplx swapped[4][4];
+    two_qubit_matrix(g, b, a, swapped);
+    StateVector via_swapped = scrambled_state(4, 5);
+    via_swapped.apply_two_qubit(swapped, b, a);
+    EXPECT_LT(via_swapped.max_abs_diff(via_gate), 1e-12) << g.to_string();
+  }
+}
+
+TEST(ApplyTwoQubit, HighAndLowBitOrderings) {
+  // a above b and b above a, including the top wire, on a 5-qubit register.
+  for (auto [a, b] : std::vector<std::pair<int, int>>{{4, 0}, {0, 4}, {3, 1}}) {
+    auto g = qir::make_cx(a, b);
+    cplx m[4][4];
+    two_qubit_matrix(g, a, b, m);
+    StateVector via_matrix = scrambled_state(5, 9);
+    StateVector via_gate = scrambled_state(5, 9);
+    via_matrix.apply_two_qubit(m, a, b);
+    via_gate.apply_gate(g);
+    EXPECT_LT(via_matrix.max_abs_diff(via_gate), 1e-12)
+        << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(ApplyTwoQubit, ProductMatrixEqualsTwoGateDecomposition) {
+  // m = U_h(b) * U_cz: one fused 4x4 application == cz then h(b), the
+  // textbook two-gate decomposition check.
+  const int a = 2, b = 0;
+  cplx m_cz[4][4], m_h[4][4], m[4][4];
+  two_qubit_matrix(qir::make_cz(a, b), a, b, m_cz);
+  two_qubit_matrix(qir::make_h(b), a, b, m_h);
+  matmul4(m_h, m_cz, m);
+
+  StateVector fused = scrambled_state(3, 21);
+  StateVector stepwise = scrambled_state(3, 21);
+  fused.apply_two_qubit(m, a, b);
+  stepwise.apply_gate(qir::make_cz(a, b));
+  stepwise.apply_gate(qir::make_h(b));
+  EXPECT_LT(fused.max_abs_diff(stepwise), 1e-12);
+}
+
+TEST(ApplyTwoQubit, ParallelMatchesSerialAboveThreshold) {
+  cplx m[4][4];
+  two_qubit_matrix(qir::make_cx(6, 2), 6, 2, m);
+
+  StateVector serial = scrambled_state(9, 33);
+  serial.set_parallel_threshold(10);  // pin serial
+  StateVector parallel = scrambled_state(9, 33);
+  runtime::ThreadPool::set_global_threads(4);
+  parallel.set_parallel_threshold(0);  // force parallel kernels
+  parallel.set_parallel_grain(8);      // force real multi-chunk sweeps
+
+  serial.apply_two_qubit(m, 6, 2);
+  parallel.apply_two_qubit(m, 6, 2);
+  EXPECT_EQ(parallel.max_abs_diff(serial), 0.0);  // bit-identical
+  runtime::ThreadPool::set_global_threads(0);
+}
+
+TEST(ApplyTwoQubit, ValidatesItsArguments) {
+  StateVector sv(3);
+  cplx m[4][4] = {};
+  for (int i = 0; i < 4; ++i) m[i][i] = 1.0;
+  EXPECT_THROW(sv.apply_two_qubit(m, 1, 1), InvalidArgument);
+  EXPECT_THROW(sv.apply_two_qubit(m, 0, 3), InvalidArgument);
+  EXPECT_THROW(sv.apply_two_qubit(m, -1, 2), InvalidArgument);
+  EXPECT_NO_THROW(sv.apply_two_qubit(m, 2, 0));
+}
+
+TEST(ApplyMatrix, MatchesNamedKind) {
+  cplx m[2][2];
+  single_qubit_matrix(qir::GateKind::H, {}, m);
+  StateVector via_matrix(2), via_gate(2);
+  via_matrix.apply_matrix(m, 1);
+  via_gate.apply_gate(qir::make_h(1));
+  EXPECT_EQ(via_matrix.max_abs_diff(via_gate), 0.0);
+  EXPECT_THROW(via_matrix.apply_matrix(m, 2), InvalidArgument);
 }
 
 }  // namespace

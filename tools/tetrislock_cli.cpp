@@ -11,7 +11,8 @@
 //              interlock-split; emits one .qasm per segment + the
 //              designer-side qubit maps on stdout
 //   protect    --benchmark NAME | --in FILE | --batch DIR  [--seed N]
-//              [--shots N] [--sample-jobs N] [--cache] [--out-json FILE]
+//              [--shots N] [--sample-jobs N] [--fuse] [--cache]
+//              [--out-json FILE]
 //              full flow through the service facade: obfuscate, split,
 //              split-compile, recombine, verify on the noisy simulated
 //              device; prints a Table-I row. --batch DIR runs the flow over
@@ -23,6 +24,12 @@
 //              --sample-jobs N caps each sampler's worker fan-out (default
 //              0 = share the service pool; 1 = serial samplers). Counts are
 //              bit-identical at any --sample-jobs/--jobs value.
+//              --fuse turns on gate fusion in the noisy verification's
+//              ideal statevector runs (sim/fusion.h): adjacent gates merge
+//              into combined kernels, cutting amplitude sweeps on wide
+//              registers. Off by default — fused kernels reorder floating
+//              point, so sampled metrics shift within shot noise and the
+//              flag is part of the result-cache fingerprint.
 //              --cache enables the service result cache (hit/miss counters
 //              in the summary); --out-json writes the machine-readable
 //              outcome document.
@@ -106,7 +113,7 @@ struct Options {
 
 /// Flags that take no value.
 const std::set<std::string>& boolean_flags() {
-  static const std::set<std::string> kFlags = {"gap", "cache"};
+  static const std::set<std::string> kFlags = {"gap", "cache", "fuse"};
   return kFlags;
 }
 
@@ -120,7 +127,7 @@ const std::set<std::string>* allowed_flags(const std::string& cmd) {
        {"benchmark", "in", "seed", "max-gates", "alphabet", "gap",
         "out-prefix"}},
       {"protect",
-       {"benchmark", "in", "batch", "seed", "shots", "sample-jobs",
+       {"benchmark", "in", "batch", "seed", "shots", "sample-jobs", "fuse",
         "max-gates", "alphabet", "gap", "cache", "out-json"}},
       {"complexity", {"n", "nmax", "k"}},
   };
@@ -213,6 +220,7 @@ lock::FlowConfig flow_config(const Options& o) {
   cfg.shots = static_cast<std::size_t>(o.get_long("shots", 1000, 1));
   cfg.sample_threads =
       static_cast<unsigned>(o.get_long("sample-jobs", 0, 0));
+  cfg.fusion = o.has("fuse");
   return cfg;
 }
 
@@ -447,6 +455,8 @@ int usage() {
                "       global: --jobs N   (worker threads; also TETRIS_THREADS)\n"
                "       protect: --shots N --sample-jobs N  (trajectory count "
                "+ sampler fan-out)\n"
+               "       protect: --fuse  (gate-fused statevector kernels in "
+               "the sampled runs)\n"
                "       protect: --cache --out-json FILE  (service result "
                "cache + JSON output)\n"
                "see the header of tools/tetrislock_cli.cpp for details\n";
