@@ -22,6 +22,10 @@ namespace tetris::benchutil {
 ///   --out PATH       (where JSON-emitting benches write their result)
 struct Args {
   int iterations = 20;
+  /// True when --iterations appeared on the command line, for benches whose
+  /// natural default differs from 20 (they must not mistake an explicit
+  /// "--iterations 20" for "use your own default").
+  bool iterations_set = false;
   std::size_t shots = 1000;
   std::uint64_t seed = 2025;
   std::vector<unsigned> threads;
@@ -42,6 +46,7 @@ inline Args parse_args(int argc, char** argv) {
     auto next = [&]() -> long { return std::strtol(next_str().c_str(), nullptr, 10); };
     if (flag == "--iterations") {
       args.iterations = static_cast<int>(next());
+      args.iterations_set = true;
     } else if (flag == "--shots") {
       args.shots = static_cast<std::size_t>(next());
     } else if (flag == "--seed") {

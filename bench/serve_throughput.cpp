@@ -1,0 +1,211 @@
+// REST front-end throughput: requests/second against the embedded server
+// (src/net/) over loopback, swept across concurrent-connection counts, plus
+// one full submit->poll->result round trip that is byte-compared against
+// the in-process facade (the determinism gate — the process exits non-zero
+// if the wire result diverges).
+//
+//   bench_serve_throughput [--iterations N] [--threads C1,C2,...]
+//                          [--shots N] [--seed N] [--out BENCH_serve.json]
+//
+// --iterations is the number of GET /v1/status requests PER connection
+// thread (default 100); --threads lists the concurrent client counts
+// (default 1,2,4,8). Each request opens its own connection — the server
+// speaks Connection: close — so "requests" and "connections" coincide, and
+// the sweep measures the full accept/parse/route/respond cycle.
+//
+// Checked-in BENCH_serve.json numbers come from the 1-core dev container;
+// regenerate on real multicore hardware for meaningful scaling curves.
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/json.h"
+#include "common/strings.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "revlib/benchmarks.h"
+#include "service/serialize.h"
+#include "service/service.h"
+
+namespace {
+
+using namespace tetris;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct SweepPoint {
+  unsigned connections = 0;
+  std::size_t requests = 0;
+  std::size_t errors = 0;
+  double seconds = 0.0;
+  double requests_per_second = 0.0;
+};
+
+std::string submit_body(std::uint64_t seed, std::size_t shots) {
+  json::Writer w(0);
+  w.begin_object();
+  w.key("benchmark").value("4mod5");
+  w.key("seed").value(seed);
+  w.key("config").begin_object().key("shots").value(shots).end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::Args args = benchutil::parse_args(argc, argv);
+  if (!args.iterations_set) args.iterations = 100;  // bench-specific default
+  std::vector<unsigned> connection_counts =
+      args.threads.empty() ? std::vector<unsigned>{1, 2, 4, 8} : args.threads;
+
+  unsigned max_connections = 1;
+  for (unsigned c : connection_counts) max_connections = std::max(max_connections, c);
+
+  service::ServiceConfig scfg;
+  scfg.num_threads = 1;  // compute is not what this bench measures
+  scfg.base_seed = args.seed;
+  service::Service svc(scfg);
+
+  net::ServerConfig ncfg;
+  ncfg.port = 0;
+  ncfg.connection_threads = std::min(max_connections, 8u);
+  net::Server server(svc, ncfg);
+  server.start();
+  std::cout << "serving on " << server.base_url() << " with "
+            << ncfg.connection_threads << " connection workers\n\n";
+
+  // ------------------------------------------------- status-request sweep
+  benchutil::Table table({"connections", "requests", "errors", "seconds",
+                          "req/s"},
+                         {11, 9, 7, 9, 10});
+  table.print_header();
+
+  std::vector<SweepPoint> sweep;
+  for (unsigned connections : connection_counts) {
+    SweepPoint point;
+    point.connections = connections;
+    point.requests =
+        static_cast<std::size_t>(args.iterations) * connections;
+    std::vector<std::size_t> errors(connections, 0);
+    const auto start = Clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(connections);
+    for (unsigned t = 0; t < connections; ++t) {
+      clients.emplace_back([&, t] {
+        net::Client client("127.0.0.1", server.port());
+        for (int i = 0; i < args.iterations; ++i) {
+          try {
+            if (client.get("/v1/status").status != 200) ++errors[t];
+          } catch (const std::exception&) {
+            ++errors[t];
+          }
+        }
+      });
+    }
+    for (auto& c : clients) c.join();
+    point.seconds = seconds_since(start);
+    for (std::size_t e : errors) point.errors += e;
+    point.requests_per_second =
+        point.seconds > 0.0
+            ? static_cast<double>(point.requests) / point.seconds
+            : 0.0;
+    sweep.push_back(point);
+    table.print_row({std::to_string(point.connections),
+                     std::to_string(point.requests),
+                     std::to_string(point.errors),
+                     fmt_double(point.seconds, 3),
+                     fmt_double(point.requests_per_second, 1)});
+  }
+
+  // ------------------------------------- submit round trip + determinism
+  net::Client client("127.0.0.1", server.port());
+  const auto submit_start = Clock::now();
+  auto posted = client.post("/v1/jobs", submit_body(args.seed, args.shots));
+  if (posted.status != 202) {
+    std::cerr << "submit failed: HTTP " << posted.status << ": "
+              << posted.body << "\n";
+    return 1;
+  }
+  const std::string id =
+      std::to_string(json::parse(posted.body).at("id").as_int());
+  const auto poll_deadline = Clock::now() + std::chrono::seconds(120);
+  std::string state;
+  do {
+    if (Clock::now() >= poll_deadline) {
+      std::cerr << "submit round trip timed out (job still '" << state
+                << "')\n";
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    state = json::parse(client.get("/v1/jobs/" + id).body)
+                .at("state")
+                .as_string();
+  } while (state != "done" && state != "failed" && state != "cancelled");
+  const double submit_seconds = seconds_since(submit_start);
+  const std::string wire_result =
+      client.get("/v1/jobs/" + id + "?timing=0").body;
+
+  // The same job through the facade directly, for the byte-compare gate.
+  const auto& b = revlib::get_benchmark("4mod5");
+  lock::FlowConfig cfg;
+  cfg.shots = args.shots;
+  service::Service reference({1, args.seed, 0});
+  auto outcome =
+      reference.submit(lock::make_flow_job(b.name, b.circuit, b.measured, cfg),
+                       args.seed)
+          .wait();
+  const bool byte_identical =
+      state == "done" &&
+      wire_result == service::to_json(outcome, /*include_timing=*/false);
+
+  std::cout << "\nsubmit round trip : " << fmt_double(submit_seconds, 3)
+            << "s (" << state << ")\n";
+  std::cout << "wire vs facade    : "
+            << (byte_identical ? "byte-identical" : "MISMATCH") << "\n";
+
+  server.stop();
+
+  if (!args.out.empty()) {
+    json::Writer w;
+    w.begin_object();
+    w.key("schema").value("tetrislock.bench_serve.v1");
+    w.key("benchmark").value("serve_throughput");
+    w.key("requests_per_connection").value(args.iterations);
+    w.key("connection_workers").value(ncfg.connection_threads);
+    w.key("sweep").begin_array();
+    for (const SweepPoint& p : sweep) {
+      w.begin_object();
+      w.key("connections").value(p.connections);
+      w.key("requests").value(p.requests);
+      w.key("errors").value(p.errors);
+      w.key("seconds").value(p.seconds);
+      w.key("requests_per_second").value(p.requests_per_second);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("submit_round_trip").begin_object();
+    w.key("shots").value(args.shots);
+    w.key("seconds").value(submit_seconds);
+    w.key("state").value(state);
+    w.key("byte_identical").value(byte_identical);
+    w.end_object();
+    w.end_object();
+    std::ofstream out(args.out);
+    out << w.str() << "\n";
+    std::cout << "wrote " << args.out << "\n";
+  }
+
+  // Exit status doubles as the determinism gate (mirrors bench_fusion).
+  std::size_t total_errors = 0;
+  for (const SweepPoint& p : sweep) total_errors += p.errors;
+  return (byte_identical && total_errors == 0) ? 0 : 1;
+}

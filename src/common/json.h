@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <variant>
 #include <vector>
 
 namespace tetris::json {
@@ -85,5 +87,97 @@ std::string escape(std::string_view s);
 /// Deterministic shortest round-trip formatting for finite doubles
 /// (always contains a '.', an 'e', or is an integer literal).
 std::string format_double(double v);
+
+// --------------------------------------------------------------------- reader
+
+/// Parsed JSON document node — the read-side counterpart of Writer.
+///
+/// A Value is a tagged union over the six JSON types. Accessors are strict:
+/// asking an object for its array elements (or any other type mismatch)
+/// throws InvalidArgument instead of returning a default, because every
+/// caller of the parser is handling untrusted input and a silently-defaulted
+/// field is how a malformed request turns into a wrong answer.
+///
+/// Objects preserve insertion order (they are stored as key/value vectors,
+/// not maps) so a parsed document can be compared field-for-field against
+/// what a Writer emitted. Duplicate keys are kept; `find`/`at` return the
+/// first occurrence, matching the "first wins" reading of RFC 8259.
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<Value>;
+  using Object = std::vector<std::pair<std::string, Value>>;
+
+  Value() = default;  // null
+
+  Type type() const { return static_cast<Type>(data_.index()); }
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_number() const { return type() == Type::kNumber; }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+
+  bool as_bool() const;
+  /// Any JSON number as a double (integers included).
+  double as_number() const;
+  /// Numbers written without a fraction or exponent, range-checked into
+  /// int64; "1.0", "1e3", and out-of-range literals throw InvalidArgument.
+  std::int64_t as_int() const;
+  /// True when as_int() would succeed.
+  bool is_integer() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup (first occurrence); nullptr when absent.
+  /// Throws InvalidArgument when this value is not an object.
+  const Value* find(std::string_view key) const;
+  /// Like find, but a missing key throws InvalidArgument naming it.
+  const Value& at(std::string_view key) const;
+  /// Array / object element count (0 for scalars).
+  std::size_t size() const;
+
+ private:
+  friend class Parser;
+
+  /// Number payload: the double view plus the exact-int64 classification.
+  struct Number {
+    double value = 0.0;
+    std::int64_t int_value = 0;
+    bool integral = false;  // literal had no fraction/exponent, fits int64
+  };
+
+  /// One alternative per JSON type, in Type order (so type() is just the
+  /// variant index). A single active alternative — instead of every
+  /// container inline per node — is what keeps a million-element untrusted
+  /// array at vector-of-Value cost rather than ~120 bytes per scalar.
+  std::variant<std::monostate, bool, Number, std::string, Array, Object>
+      data_;
+};
+
+/// Hard limits applied while parsing untrusted input.
+struct ParseOptions {
+  /// Maximum container nesting ({ and [ combined). Deep nesting is the
+  /// classic stack-exhaustion attack on recursive-descent parsers.
+  std::size_t max_depth = 64;
+  /// Maximum document size in bytes, checked before parsing starts.
+  std::size_t max_bytes = std::size_t{16} << 20;
+};
+
+/// Strict RFC 8259 recursive-descent parser.
+///
+/// Accepts exactly one top-level value (any type) and rejects everything the
+/// grammar does: trailing characters, comments, unquoted keys, trailing
+/// commas, leading zeros, control characters inside strings, bad `\u`
+/// escapes (including lone surrogates — pairs decode to UTF-8). Documents
+/// over `options.max_bytes` or nested deeper than `options.max_depth` are
+/// rejected up front / mid-parse. All rejections throw ParseError with the
+/// byte offset; type errors on the returned tree throw InvalidArgument.
+///
+/// Raw non-ASCII bytes inside strings are passed through verbatim (the
+/// writer never emits them escaped either); `\uXXXX` escapes are decoded to
+/// UTF-8, so `parse(w.str())` round-trips any document a Writer produced.
+Value parse(std::string_view text, const ParseOptions& options = {});
 
 }  // namespace tetris::json

@@ -6,6 +6,15 @@
 
 namespace tetris::lock {
 
+InsertionAlphabet parse_insertion_alphabet(const std::string& name) {
+  if (name == "x") return InsertionAlphabet::XOnly;
+  if (name == "cx") return InsertionAlphabet::CXOnly;
+  if (name == "h") return InsertionAlphabet::Hadamard;
+  if (name == "mixed") return InsertionAlphabet::Mixed;
+  throw InvalidArgument("unknown alphabet '" + name +
+                        "' (expected x, cx, h, or mixed)");
+}
+
 bool prefix_fits(const std::vector<qir::Gate>& prefix,
                  const std::vector<int>& first_use,
                  std::vector<int>* layers_out) {

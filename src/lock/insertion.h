@@ -1,5 +1,6 @@
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -11,6 +12,12 @@ namespace tetris::lock {
 /// Insertion alphabets. The paper uses X/CX for the arithmetic-style RevLib
 /// benchmarks and H for interference-style circuits (Grover etc.).
 enum class InsertionAlphabet { XOnly, CXOnly, Mixed, Hadamard };
+
+/// The user-facing spelling of an alphabet ("x", "cx", "h", "mixed"), as
+/// accepted by the CLI's --alphabet flag and the REST API's config object.
+/// One shared parser so the two front doors cannot drift apart; throws
+/// InvalidArgument naming the accepted spellings otherwise.
+InsertionAlphabet parse_insertion_alphabet(const std::string& name);
 
 /// Configuration of Algorithm 1 (random gate insertion into empty positions).
 struct InsertionConfig {

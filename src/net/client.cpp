@@ -1,0 +1,90 @@
+#include "net/client.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "net/socket.h"
+
+namespace tetris::net {
+
+Url parse_url(const std::string& url) {
+  const std::string scheme = "http://";
+  if (url.rfind(scheme, 0) != 0) {
+    throw InvalidArgument("net: url must start with http:// : " + url);
+  }
+  std::string rest = url.substr(scheme.size());
+  // Strip a path suffix; the embedded server only has one root.
+  std::size_t slash = rest.find('/');
+  if (slash != std::string::npos) {
+    if (rest.substr(slash) != "/") {
+      throw InvalidArgument("net: url must not carry a path: " + url);
+    }
+    rest = rest.substr(0, slash);
+  }
+  Url out;
+  std::size_t colon = rest.rfind(':');
+  if (colon == std::string::npos) {
+    out.host = rest;
+  } else {
+    out.host = rest.substr(0, colon);
+    const std::string port_text = rest.substr(colon + 1);
+    if (port_text.empty() || port_text.size() > 5 ||
+        port_text.find_first_not_of("0123456789") != std::string::npos) {
+      throw InvalidArgument("net: invalid port in url: " + url);
+    }
+    out.port = std::stoi(port_text);
+    if (out.port < 1 || out.port > 65535) {
+      throw InvalidArgument("net: invalid port in url: " + url);
+    }
+  }
+  if (out.host.empty()) {
+    throw InvalidArgument("net: missing host in url: " + url);
+  }
+  return out;
+}
+
+Client::Client(std::string host, int port, int timeout_ms)
+    : host_(std::move(host)), port_(port), timeout_ms_(timeout_ms) {}
+
+std::string Client::raw_exchange(const std::string& bytes) {
+  Socket socket = Socket::connect(host_, port_, timeout_ms_);
+  socket.send_all(bytes);
+  std::string response;
+  char chunk[4096];
+  while (true) {
+    std::size_t n = socket.recv_some(chunk, sizeof(chunk));
+    if (n == 0) break;
+    response.append(chunk, n);
+  }
+  return response;
+}
+
+http::Response Client::request(const std::string& method,
+                               const std::string& target,
+                               const std::string& body,
+                               const std::string& content_type) {
+  const std::string wire = raw_exchange(http::format_request(
+      method, target, host_ + ":" + std::to_string(port_), body,
+      content_type));
+
+  std::size_t head_end = wire.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    throw http::HttpError(400, "bad_response",
+                          "no header terminator in response");
+  }
+  http::Response response = http::parse_response_head(
+      std::string_view(wire).substr(0, head_end + 4));
+  std::string payload = wire.substr(head_end + 4);
+  if (const std::string* cl = response.header("content-length")) {
+    // The connection-close framing already delimited the body; the header
+    // is cross-checked so a truncated read cannot pass silently.
+    if (std::to_string(payload.size()) != *cl) {
+      throw http::HttpError(400, "bad_response",
+                            "body size does not match Content-Length");
+    }
+  }
+  response.body = std::move(payload);
+  return response;
+}
+
+}  // namespace tetris::net

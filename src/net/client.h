@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+
+#include "net/http.h"
+
+namespace tetris::net {
+
+/// Split "http://host:port[/]" into its pieces. Only the plain-HTTP
+/// host:port shape the embedded server answers on is accepted.
+struct Url {
+  std::string host;
+  int port = 80;
+};
+Url parse_url(const std::string& url);
+
+/// Minimal blocking HTTP/1.1 client for the embedded REST server: one
+/// connection per request ("Connection: close" both ways), JSON bodies,
+/// IPv4 only. This is what `tetrislock_cli submit --url` and the end-to-end
+/// tests drive the server with — it deliberately shares the wire-format
+/// code (net/http.h) but nothing else with the server, so a bug cannot
+/// cancel itself out across the two sides.
+class Client {
+ public:
+  Client(std::string host, int port, int timeout_ms = 30000);
+
+  /// One round trip. `target` is the path (+ optional query), e.g.
+  /// "/v1/jobs/1?timing=0". Throws tetris::Error on transport failure and
+  /// HttpError on an unparseable response; HTTP-level error statuses are
+  /// returned, not thrown.
+  http::Response request(const std::string& method, const std::string& target,
+                         const std::string& body = "",
+                         const std::string& content_type = "application/json");
+
+  http::Response get(const std::string& target) {
+    return request("GET", target);
+  }
+  http::Response post(const std::string& target, const std::string& body) {
+    return request("POST", target, body);
+  }
+  http::Response del(const std::string& target) {
+    return request("DELETE", target);
+  }
+
+  /// Sends raw bytes and returns everything the peer answers until it
+  /// closes — the hook the protocol-hardening tests use to speak broken
+  /// HTTP at the server on purpose.
+  std::string raw_exchange(const std::string& bytes);
+
+ private:
+  std::string host_;
+  int port_;
+  int timeout_ms_;
+};
+
+}  // namespace tetris::net

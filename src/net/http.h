@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+
+namespace tetris::net::http {
+
+/// Minimal HTTP/1.1 message layer: pure parse/format functions over strings,
+/// shared by the server and the loopback client and unit-testable without a
+/// socket. The dialect is deliberately small — requests must carry a
+/// Content-Length when they have a body (chunked transfer encoding is
+/// rejected with 411), and every response closes the connection — which is
+/// all a REST front-end over loopback/infra-LAN traffic needs, with none of
+/// the parsing ambiguity general proxies have to cope with.
+
+/// Protocol-level rejection: carries the HTTP status to answer with and a
+/// stable machine-readable code for the JSON error body.
+class HttpError : public Error {
+ public:
+  HttpError(int status, std::string code, const std::string& message)
+      : Error(message), status_(status), code_(std::move(code)) {}
+
+  int status() const { return status_; }
+  const std::string& code() const { return code_; }
+
+ private:
+  int status_;
+  std::string code_;
+};
+
+/// One parsed request. Header names are lowercased; the path and query
+/// parameters are percent-decoded ('+' decodes to space in query values).
+struct Request {
+  std::string method;   ///< verbatim, e.g. "GET" (method names are
+                        ///< case-sensitive per RFC 9110)
+  std::string target;   ///< raw request target, e.g. "/v1/jobs/3?timing=0"
+  std::string path;     ///< decoded path, e.g. "/v1/jobs/3"
+  std::vector<std::pair<std::string, std::string>> query;  ///< decoded pairs
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header with this (case-insensitive) name, nullptr when absent.
+  const std::string* header(std::string_view name) const;
+  /// First query parameter with this name, nullptr when absent.
+  const std::string* query_param(std::string_view name) const;
+};
+
+/// One response. The server fills status/content_type/body; the client
+/// parses status/headers/body out of the wire format.
+struct Response {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::vector<std::pair<std::string, std::string>> headers;  ///< extras
+  std::string body;
+
+  const std::string* header(std::string_view name) const;
+};
+
+/// Canonical reason phrase ("OK", "Not Found", ...; "Unknown" otherwise).
+const char* status_reason(int status);
+
+/// Parses everything before the body: request line + header block. `head`
+/// must end with the blank line ("\r\n\r\n"). Throws HttpError(400/501/...)
+/// on anything malformed; Request::body is left empty.
+Request parse_request_head(std::string_view head);
+
+/// Parses a response status line + header block (client side).
+Response parse_response_head(std::string_view head);
+
+/// Content-Length of a parsed head: 0 when absent, HttpError(400) when
+/// non-numeric or duplicated inconsistently, HttpError(411) when a chunked
+/// Transfer-Encoding is announced instead, HttpError(413) when above
+/// `max_body`.
+std::size_t body_length(const Request& request, std::size_t max_body);
+
+/// Serializes a response with Content-Length and "Connection: close".
+std::string format_response(const Response& response);
+
+/// Serializes a request line + headers + body for the client.
+std::string format_request(const std::string& method, const std::string& target,
+                           const std::string& host,
+                           const std::string& body,
+                           const std::string& content_type);
+
+/// Percent-decoding; `plus_to_space` additionally maps '+' (query dialect).
+/// Throws HttpError(400) on truncated or non-hex escapes.
+std::string url_decode(std::string_view text, bool plus_to_space);
+
+}  // namespace tetris::net::http

@@ -1,0 +1,545 @@
+#include "net/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <initializer_list>
+#include <limits>
+#include <utility>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "lock/pipeline.h"
+#include "qir/qasm.h"
+#include "revlib/benchmarks.h"
+#include "service/serialize.h"
+
+namespace tetris::net {
+
+namespace {
+
+/// HTTP status for a service-layer failure class.
+int http_status_for(service::StatusCode code) {
+  switch (code) {
+    case service::StatusCode::kOk: return 200;
+    case service::StatusCode::kInvalidArgument: return 400;
+    case service::StatusCode::kParseError: return 400;
+    case service::StatusCode::kCompileError: return 422;
+    case service::StatusCode::kLockError: return 422;
+    case service::StatusCode::kCancelled: return 409;
+    case service::StatusCode::kInternalError: return 500;
+  }
+  return 500;
+}
+
+http::Response json_response(int status, const std::string& body) {
+  http::Response res;
+  res.status = status;
+  res.body = body;
+  return res;
+}
+
+http::Response error_response(int status, const std::string& code,
+                              const std::string& message) {
+  json::Writer w;
+  w.begin_object();
+  w.key("error").begin_object();
+  w.key("code").value(code);
+  w.key("message").value(message);
+  w.end_object();
+  w.end_object();
+  return json_response(status, w.str());
+}
+
+/// Maps the in-flight exception onto an HttpError carrying the service
+/// status-code name; call only inside a catch block.
+[[noreturn]] void rethrow_as_http() {
+  try {
+    throw;
+  } catch (const http::HttpError&) {
+    throw;
+  } catch (...) {
+    service::ServiceStatus status =
+        service::ServiceStatus::from_current_exception();
+    throw http::HttpError(http_status_for(status.code),
+                          service::status_code_name(status.code),
+                          status.message);
+  }
+}
+
+/// The submit body may only carry these keys; anything else is a client bug
+/// worth rejecting loudly (a typoed "shot" silently running 1000 shots is
+/// the failure mode strictness prevents).
+void require_known_keys(const json::Value& object,
+                        std::initializer_list<std::string_view> known,
+                        const char* where) {
+  for (const auto& [key, value] : object.as_object()) {
+    (void)value;
+    bool ok = false;
+    for (std::string_view k : known) {
+      if (key == k) ok = true;
+    }
+    if (!ok) {
+      throw http::HttpError(400, "invalid_argument",
+                            std::string("unknown field '") + key + "' in " +
+                                where);
+    }
+  }
+}
+
+/// Range-checked integer from an untrusted body. The explicit upper bound
+/// matters: these values are narrowed into int/unsigned/size_t config
+/// fields, and an unchecked 2^32+2 would silently truncate into a *valid
+/// but different* config instead of a 400.
+std::int64_t int_field(const json::Value& v, const char* name,
+                       std::int64_t min_value, std::int64_t max_value) {
+  if (!v.is_integer()) {
+    throw http::HttpError(400, "invalid_argument",
+                          std::string("'") + name + "' must be an integer");
+  }
+  std::int64_t value = v.as_int();
+  if (value < min_value || value > max_value) {
+    throw http::HttpError(400, "invalid_argument",
+                          std::string("'") + name + "' must be in [" +
+                              std::to_string(min_value) + ", " +
+                              std::to_string(max_value) + "]");
+  }
+  return value;
+}
+
+bool bool_field(const json::Value& v, const char* name) {
+  if (!v.is_bool()) {
+    throw http::HttpError(400, "invalid_argument",
+                          std::string("'") + name + "' must be a boolean");
+  }
+  return v.as_bool();
+}
+
+/// FlowConfig from the optional "config" object of a submit body. Field
+/// names and defaults mirror the CLI's protect flags; upper bounds keep an
+/// unauthenticated client from pinning a job worker on an absurd request
+/// (a 10^12-shot sampling run cannot be cancelled once it starts).
+lock::FlowConfig parse_flow_config(const json::Value* config) {
+  lock::FlowConfig cfg;
+  if (config == nullptr) return cfg;
+  if (!config->is_object()) {
+    throw http::HttpError(400, "invalid_argument",
+                          "'config' must be a JSON object");
+  }
+  require_known_keys(*config,
+                     {"shots", "max_gates", "alphabet", "gap", "fuse",
+                      "sample_jobs"},
+                     "config");
+  if (const json::Value* v = config->find("shots")) {
+    cfg.shots =
+        static_cast<std::size_t>(int_field(*v, "shots", 1, 100'000'000));
+  }
+  if (const json::Value* v = config->find("max_gates")) {
+    cfg.insertion.max_random_gates =
+        static_cast<int>(int_field(*v, "max_gates", 0, 1'000'000));
+  }
+  if (const json::Value* v = config->find("alphabet")) {
+    if (!v->is_string()) {
+      throw http::HttpError(400, "invalid_argument",
+                            "'alphabet' must be a string");
+    }
+    cfg.insertion.alphabet = lock::parse_insertion_alphabet(v->as_string());
+  }
+  if (const json::Value* v = config->find("gap")) {
+    cfg.insertion.allow_gap_insertion = bool_field(*v, "gap");
+  }
+  if (const json::Value* v = config->find("fuse")) {
+    cfg.fusion = bool_field(*v, "fuse");
+  }
+  if (const json::Value* v = config->find("sample_jobs")) {
+    cfg.sample_threads =
+        static_cast<unsigned>(int_field(*v, "sample_jobs", 0, 65'536));
+  }
+  return cfg;
+}
+
+}  // namespace
+
+Server::Server(service::Service& service, ServerConfig config)
+    : service_(service),
+      config_(std::move(config)),
+      listener_(config_.host, config_.port, config_.backlog) {
+  if (config_.connection_threads > 0) {
+    private_pool_ =
+        std::make_unique<runtime::ThreadPool>(config_.connection_threads);
+  }
+}
+
+Server::~Server() { stop(); }
+
+runtime::ThreadPool& Server::connection_pool() {
+  return private_pool_ ? *private_pool_ : runtime::ThreadPool::global();
+}
+
+void Server::start() {
+  TETRIS_REQUIRE(!running_.load() && !stopping_.load(),
+                 "net::Server: start() on a running or stopped server");
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+  listener_.shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // In-flight connection tasks may still be talking to the service; wait for
+  // the last one before returning (the pool itself may be the shared global
+  // pool, which must not be drained here).
+  std::unique_lock<std::mutex> lk(mutex_);
+  idle_cv_.wait(lk, [this] { return active_connections_ == 0; });
+}
+
+std::string Server::base_url() const {
+  return "http://" + config_.host + ":" + std::to_string(port());
+}
+
+ServerCounters Server::counters() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return counters_;
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load()) {
+    Socket socket = listener_.accept(/*timeout_ms=*/100);
+    if (!socket.valid()) continue;  // poll timeout or shutdown wake-up
+    auto shared = std::make_shared<Socket>(std::move(socket));
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      ++counters_.connections;
+      ++active_connections_;
+    }
+    try {
+      connection_pool().submit(
+          [this, shared] { serve_connection(std::move(*shared)); });
+    } catch (...) {
+      // Pool shutting down under us: undo the bookkeeping and bail out.
+      std::lock_guard<std::mutex> lk(mutex_);
+      --active_connections_;
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+void Server::serve_connection(Socket socket) {
+  http::Response response;
+  bool respond = true;
+  std::uint64_t requests_bump = 0;
+  try {
+    // The whole request read runs against a wall-clock deadline on top of
+    // the per-recv idle timeout: each recv waits at most the *remaining*
+    // budget, so a byte-dribbling peer is answered 408 instead of holding
+    // this worker for as long as it keeps trickling.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(config_.request_deadline_ms);
+    auto recv_within_deadline = [&](char* data, std::size_t capacity) {
+      const auto remaining_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now())
+              .count();
+      if (remaining_ms <= 0) {
+        throw http::HttpError(408, "request_timeout",
+                              "request not received within " +
+                                  std::to_string(config_.request_deadline_ms) +
+                                  " ms");
+      }
+      socket.set_timeout_ms(static_cast<int>(std::min<long long>(
+          remaining_ms, config_.io_timeout_ms)));
+      try {
+        return socket.recv_some(data, capacity);
+      } catch (const http::HttpError&) {
+        throw;
+      } catch (const std::exception&) {
+        // Idle timeout or reset while we still owe the peer an answer.
+        throw http::HttpError(408, "request_timeout",
+                              "timed out reading the request");
+      }
+    };
+
+    // Read the head: everything up to the blank line, capped.
+    std::string buffer;
+    char chunk[4096];
+    std::size_t head_end;
+    while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+      if (buffer.size() > config_.max_header_bytes) {
+        throw http::HttpError(431, "headers_too_large",
+                              "header block exceeds " +
+                                  std::to_string(config_.max_header_bytes) +
+                                  " bytes");
+      }
+      std::size_t n = recv_within_deadline(chunk, sizeof(chunk));
+      if (n == 0) {
+        respond = false;  // peer closed before a full request arrived
+        break;
+      }
+      buffer.append(chunk, n);
+    }
+
+    if (respond) {
+      http::Request request =
+          http::parse_request_head(std::string_view(buffer).substr(
+              0, head_end + 4));
+      requests_bump = 1;
+      const std::size_t body_size =
+          http::body_length(request, config_.max_body_bytes);
+      std::string body = buffer.substr(head_end + 4);
+      while (body.size() < body_size) {
+        std::size_t n = recv_within_deadline(chunk, sizeof(chunk));
+        if (n == 0) {
+          throw http::HttpError(400, "bad_request",
+                                "connection closed mid-body");
+        }
+        body.append(chunk, n);
+      }
+      body.resize(body_size);  // ignore bytes past Content-Length
+      request.body = std::move(body);
+      response = handle(request);
+    }
+  } catch (const http::HttpError& e) {
+    response = error_response(e.status(), e.code(), e.what());
+  } catch (const std::exception&) {
+    // Transport-level failure (timeout, reset): nothing sane to answer.
+    respond = false;
+  }
+
+  if (respond) {
+    try {
+      // The read path may have left a tiny remaining-deadline timeout on
+      // the socket; the write gets the full configured budget again.
+      socket.set_timeout_ms(config_.io_timeout_ms);
+      socket.send_all(http::format_response(response));
+    } catch (const std::exception&) {
+      // Peer went away while we wrote; only the counters care.
+    }
+  }
+
+  std::lock_guard<std::mutex> lk(mutex_);
+  counters_.requests += requests_bump;
+  if (respond) {
+    if (response.status < 300) ++counters_.responses_2xx;
+    else if (response.status < 500) ++counters_.responses_4xx;
+    else ++counters_.responses_5xx;
+  }
+  --active_connections_;
+  idle_cv_.notify_all();
+}
+
+http::Response Server::handle(const http::Request& request) {
+  try {
+    const std::string& path = request.path;
+    if (path == "/v1/jobs") {
+      if (request.method == "POST") return handle_submit(request);
+      throw http::HttpError(405, "method_not_allowed",
+                            "use POST on /v1/jobs");
+    }
+    const std::string_view jobs_prefix = "/v1/jobs/";
+    if (std::string_view(path).substr(0, jobs_prefix.size()) == jobs_prefix) {
+      std::string_view tail = std::string_view(path).substr(jobs_prefix.size());
+      if (tail.empty() || tail.size() > 18 ||
+          tail.find_first_not_of("0123456789") != std::string_view::npos) {
+        throw http::HttpError(404, "not_found",
+                              "job ids are decimal integers");
+      }
+      std::uint64_t id = 0;
+      for (char c : tail) id = id * 10 + static_cast<std::uint64_t>(c - '0');
+      if (request.method == "GET") return handle_job_get(id, request);
+      if (request.method == "DELETE") return handle_job_delete(id);
+      throw http::HttpError(405, "method_not_allowed",
+                            "use GET or DELETE on /v1/jobs/{id}");
+    }
+    if (path == "/v1/status") {
+      if (request.method == "GET") return handle_status();
+      throw http::HttpError(405, "method_not_allowed",
+                            "use GET on /v1/status");
+    }
+    throw http::HttpError(404, "not_found", "no route for " + path);
+  } catch (const http::HttpError& e) {
+    return error_response(e.status(), e.code(), e.what());
+  } catch (...) {
+    service::ServiceStatus status =
+        service::ServiceStatus::from_current_exception();
+    return error_response(http_status_for(status.code),
+                          service::status_code_name(status.code),
+                          status.message);
+  }
+}
+
+http::Response Server::handle_submit(const http::Request& request) {
+  json::ParseOptions parse_options;
+  parse_options.max_depth = 32;
+  parse_options.max_bytes = config_.max_body_bytes;
+  json::Value doc;
+  try {
+    doc = json::parse(request.body, parse_options);
+  } catch (const ParseError& e) {
+    throw http::HttpError(400, "parse_error", e.what());
+  }
+  if (!doc.is_object()) {
+    throw http::HttpError(400, "invalid_argument",
+                          "request body must be a JSON object");
+  }
+  require_known_keys(
+      doc, {"name", "qasm", "benchmark", "seed", "measured", "config"},
+      "job");
+
+  try {
+    const json::Value* qasm = doc.find("qasm");
+    const json::Value* benchmark = doc.find("benchmark");
+    if ((qasm == nullptr) == (benchmark == nullptr)) {
+      throw http::HttpError(400, "invalid_argument",
+                            "provide exactly one of 'qasm' or 'benchmark'");
+    }
+
+    qir::Circuit circuit;
+    std::vector<int> measured;
+    std::string name;
+    if (benchmark != nullptr) {
+      if (!benchmark->is_string()) {
+        throw http::HttpError(400, "invalid_argument",
+                              "'benchmark' must be a string");
+      }
+      const auto& b = revlib::get_benchmark(benchmark->as_string());
+      circuit = b.circuit;
+      measured = b.measured;
+      name = b.name;
+    } else {
+      if (!qasm->is_string()) {
+        throw http::HttpError(400, "invalid_argument",
+                              "'qasm' must be a string");
+      }
+      circuit = qir::from_qasm(qasm->as_string());
+      name = circuit.name();
+    }
+
+    if (const json::Value* m = doc.find("measured")) {
+      measured.clear();
+      for (const json::Value& q : m->as_array()) {
+        std::int64_t qubit =
+            int_field(q, "measured[]", 0, std::numeric_limits<int>::max());
+        if (qubit >= circuit.num_qubits()) {
+          throw http::HttpError(400, "invalid_argument",
+                                "'measured' qubit " + std::to_string(qubit) +
+                                    " out of range for a " +
+                                    std::to_string(circuit.num_qubits()) +
+                                    "-qubit circuit");
+        }
+        measured.push_back(static_cast<int>(qubit));
+      }
+    }
+    if (const json::Value* n = doc.find("name")) {
+      if (!n->is_string()) {
+        throw http::HttpError(400, "invalid_argument",
+                              "'name' must be a string");
+      }
+      name = n->as_string();
+    }
+    if (name.empty()) name = "circuit";
+
+    std::uint64_t seed = 2025;  // the CLI's default --seed
+    if (const json::Value* s = doc.find("seed")) {
+      seed = static_cast<std::uint64_t>(int_field(
+          *s, "seed", 0, std::numeric_limits<std::int64_t>::max()));
+    }
+    lock::FlowConfig cfg = parse_flow_config(doc.find("config"));
+
+    service::JobHandle handle = service_.submit(
+        lock::make_flow_job(name, std::move(circuit), std::move(measured),
+                            cfg),
+        seed);
+
+    json::Writer w;
+    w.begin_object();
+    w.key("id").value(handle.id());
+    w.key("state").value(service::job_state_name(handle.poll()));
+    w.key("url").value("/v1/jobs/" + std::to_string(handle.id()));
+    w.end_object();
+    return json_response(202, w.str());
+  } catch (...) {
+    rethrow_as_http();
+  }
+}
+
+http::Response Server::handle_job_get(std::uint64_t id,
+                                      const http::Request& request) {
+  service::JobHandle handle;
+  try {
+    handle = service_.handle(id);
+  } catch (const InvalidArgument&) {
+    throw http::HttpError(404, "not_found",
+                          "unknown job id " + std::to_string(id));
+  }
+  service::JobOutcome outcome = service_.outcome(handle);
+  if (service::is_terminal(outcome.state)) {
+    bool include_timing = true;
+    if (const std::string* t = request.query_param("timing")) {
+      include_timing = !(*t == "0" || *t == "false");
+    }
+    return json_response(200, service::to_json(outcome, include_timing));
+  }
+  json::Writer w;
+  w.begin_object();
+  w.key("id").value(outcome.id);
+  w.key("name").value(outcome.name);
+  w.key("state").value(service::job_state_name(outcome.state));
+  w.end_object();
+  return json_response(200, w.str());
+}
+
+http::Response Server::handle_job_delete(std::uint64_t id) {
+  service::JobHandle handle;
+  try {
+    handle = service_.handle(id);
+  } catch (const InvalidArgument&) {
+    throw http::HttpError(404, "not_found",
+                          "unknown job id " + std::to_string(id));
+  }
+  const bool cancelled = service_.cancel(handle);
+  json::Writer w;
+  w.begin_object();
+  w.key("id").value(id);
+  w.key("cancelled").value(cancelled);
+  w.key("state").value(service::job_state_name(service_.poll(handle)));
+  w.end_object();
+  return json_response(200, w.str());
+}
+
+http::Response Server::handle_status() {
+  const service::CacheStats cache = service_.cache_stats();
+  const ServerCounters server = counters();
+  runtime::ThreadPool& pool = connection_pool();
+
+  json::Writer w;
+  w.begin_object();
+  w.key("schema").value("tetrislock.status.v1");
+  w.key("service").begin_object();
+  w.key("jobs_submitted").value(service_.jobs_submitted());
+  w.key("threads").value(service_.threads());
+  w.end_object();
+  w.key("cache").begin_object();
+  w.key("hits").value(cache.hits);
+  w.key("misses").value(cache.misses);
+  w.key("evictions").value(cache.evictions);
+  w.key("entries").value(cache.entries);
+  w.key("capacity").value(cache.capacity);
+  w.end_object();
+  w.key("server").begin_object();
+  w.key("connections").value(server.connections);
+  w.key("requests").value(server.requests);
+  w.key("responses_2xx").value(server.responses_2xx);
+  w.key("responses_4xx").value(server.responses_4xx);
+  w.key("responses_5xx").value(server.responses_5xx);
+  w.end_object();
+  w.key("connection_pool").begin_object();
+  w.key("threads").value(pool.size());
+  w.key("queued").value(pool.queued());
+  w.end_object();
+  w.end_object();
+  return json_response(200, w.str());
+}
+
+}  // namespace tetris::net

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/http.h"
+#include "net/socket.h"
+#include "runtime/thread_pool.h"
+#include "service/service.h"
+
+namespace tetris::net {
+
+/// Server knobs.
+struct ServerConfig {
+  std::string host = "127.0.0.1";  ///< bind address (loopback by default)
+  int port = 0;                    ///< 0 = ephemeral; see Server::port()
+  int backlog = 64;
+  /// Connection workers: 0 shares the runtime's global ThreadPool, a
+  /// positive value gives the server a private pool of that size. A private
+  /// pool isolates socket I/O from compute when the global pool is narrow.
+  unsigned connection_threads = 0;
+  /// Per-socket receive/send timeout; a peer silent for longer drops.
+  int io_timeout_ms = 10000;
+  /// Wall-clock budget for reading one whole request (head + body). The
+  /// per-recv io_timeout resets on every byte, so without this cap a peer
+  /// dribbling one byte per few seconds would hold a connection worker
+  /// indefinitely (slow-loris); past the deadline the server answers 408.
+  int request_deadline_ms = 30000;
+  /// Header-block cap; requests with larger heads are answered 431.
+  std::size_t max_header_bytes = std::size_t{16} << 10;
+  /// Body cap (also the json::parse max_bytes); larger bodies answer 413.
+  std::size_t max_body_bytes = std::size_t{1} << 20;
+};
+
+/// Monotonic traffic counters, readable while serving (GET /v1/status).
+struct ServerCounters {
+  std::uint64_t connections = 0;   ///< accepted sockets
+  std::uint64_t requests = 0;      ///< requests parsed far enough to route
+  std::uint64_t responses_2xx = 0;
+  std::uint64_t responses_4xx = 0;
+  std::uint64_t responses_5xx = 0;
+};
+
+/// Embedded REST front-end over a service::Service.
+///
+/// Endpoints (all request/response bodies are JSON):
+///
+///   POST   /v1/jobs        submit a job; body carries the circuit (inline
+///                          OpenQASM under "qasm" or a built-in RevLib name
+///                          under "benchmark"), optional "name", "seed",
+///                          "measured" and "config" {shots, max_gates,
+///                          alphabet, gap, fuse, sample_jobs}; answers 202
+///                          {"id", "state", "url"}
+///   GET    /v1/jobs/{id}   job outcome. Terminal jobs answer the full
+///                          serialize.h JobOutcome document (append
+///                          ?timing=0 to omit the wall-time fields and make
+///                          the body byte-identical across runs); queued/
+///                          running jobs answer {"id", "state"} . Repeatable:
+///                          served via Service::outcome, which never touches
+///                          drain's once-only cursor
+///   DELETE /v1/jobs/{id}   cancel-if-queued; answers {"id", "cancelled",
+///                          "state"}
+///   GET    /v1/status      service/cache/pool/server counters
+///
+/// Errors are structured: {"error": {"code", "message"}} with the HTTP
+/// status mapped from the service::StatusCode family (invalid_argument and
+/// parse_error are 400, compile/lock errors 422, internals 500) plus the
+/// transport-level codes (not_found, method_not_allowed, payload_too_large,
+/// length_required, request_timeout, bad_request).
+///
+/// Threading: `start()` spawns one dedicated accept thread; each accepted
+/// connection is handled as one task (read one request, answer, close) on
+/// the connection pool (ServerConfig::connection_threads). Job compute runs
+/// wherever the Service puts it — give the Service a private pool
+/// (ServiceConfig::num_threads > 0) so POST /v1/jobs stays asynchronous even
+/// when connection tasks execute on runtime pool workers (a Service sharing
+/// the global pool runs worker-thread submissions inline by design).
+///
+/// Determinism over the wire: a job's outcome is a pure function of
+/// (circuit, seed, flow fingerprint), so GET /v1/jobs/{id}?timing=0 is
+/// byte-identical to service::to_json(outcome, /*include_timing=*/false) of
+/// the same submission in-process — the contract tests/test_net.cpp pins.
+class Server {
+ public:
+  /// Binds and listens immediately (so port() is valid), but serves nothing
+  /// until start(). Throws on bind failure.
+  Server(service::Service& service, ServerConfig config = {});
+  /// stop()s if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Spawns the accept loop. start() after stop() is not supported.
+  void start();
+
+  /// Stops accepting, waits for in-flight connection tasks, joins the
+  /// accept thread. Idempotent. Jobs already submitted keep running in the
+  /// Service (its destructor waits for them).
+  void stop();
+
+  int port() const { return listener_.port(); }
+  std::string base_url() const;
+  const ServerConfig& config() const { return config_; }
+  ServerCounters counters() const;
+
+  /// Routes one parsed request to a response — the pure core of the server,
+  /// also exercised directly by unit tests (no sockets involved).
+  http::Response handle(const http::Request& request);
+
+ private:
+  runtime::ThreadPool& connection_pool();
+  void accept_loop();
+  void serve_connection(Socket socket);
+
+  http::Response handle_submit(const http::Request& request);
+  http::Response handle_job_get(std::uint64_t id, const http::Request& request);
+  http::Response handle_job_delete(std::uint64_t id);
+  http::Response handle_status();
+
+  service::Service& service_;
+  ServerConfig config_;
+  Listener listener_;
+  std::unique_ptr<runtime::ThreadPool> private_pool_;
+
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex mutex_;           // guards counters_ + active_ below
+  std::condition_variable idle_cv_;    // signalled when active_ hits zero
+  std::size_t active_connections_ = 0;
+  ServerCounters counters_;
+};
+
+}  // namespace tetris::net

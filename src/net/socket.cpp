@@ -1,0 +1,147 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace tetris::net {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_address(const std::string& host, int port) {
+  TETRIS_REQUIRE(port >= 0 && port <= 65535,
+                 "net: port out of range: " + std::to_string(port));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  const std::string numeric = (host == "localhost") ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    throw InvalidArgument("net: not an IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::set_timeout_ms(int timeout_ms) {
+  TETRIS_REQUIRE(timeout_ms > 0, "net: timeout must be positive");
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    fail_errno("net: setsockopt timeout");
+  }
+}
+
+Socket Socket::connect(const std::string& host, int port, int timeout_ms) {
+  sockaddr_in addr = make_address(host, port);
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) fail_errno("net: socket");
+  s.set_timeout_ms(timeout_ms);
+  if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    fail_errno("net: connect to " + host + ":" + std::to_string(port));
+  }
+  return s;
+}
+
+std::size_t Socket::recv_some(char* buffer, std::size_t capacity) {
+  while (true) {
+    ssize_t n = ::recv(fd_, buffer, capacity, 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw Error("net: receive timed out");
+    }
+    fail_errno("net: recv");
+  }
+}
+
+void Socket::send_all(const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw Error("net: send timed out");
+      }
+      fail_errno("net: send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+Listener::Listener(const std::string& host, int port, int backlog) {
+  sockaddr_in addr = make_address(host, port);
+  fd_ = Socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd_.valid()) fail_errno("net: socket");
+  int on = 1;
+  ::setsockopt(fd_.fd(), SOL_SOCKET, SO_REUSEADDR, &on, sizeof(on));
+  if (::bind(fd_.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    fail_errno("net: bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd_.fd(), backlog) != 0) fail_errno("net: listen");
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_.fd(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    fail_errno("net: getsockname");
+  }
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+}
+
+Socket Listener::accept(int timeout_ms) {
+  pollfd p{};
+  p.fd = fd_.fd();
+  p.events = POLLIN;
+  int ready = ::poll(&p, 1, timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return Socket();
+    fail_errno("net: poll");
+  }
+  if (ready == 0) return Socket();  // timeout: let the caller re-check flags
+  int fd = ::accept(fd_.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    // After shutdown() (or under fd pressure) accept fails; report "no
+    // connection" and let the accept loop decide whether it is stopping.
+    return Socket();
+  }
+  return Socket(fd);
+}
+
+void Listener::shutdown() { ::shutdown(fd_.fd(), SHUT_RDWR); }
+
+}  // namespace tetris::net

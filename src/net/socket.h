@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace tetris::net {
+
+/// Thin RAII layer over POSIX TCP sockets — everything src/net needs and
+/// nothing more. IPv4 only (the front-end binds loopback by default), and
+/// every socket carries send/receive timeouts so a stalled peer can never
+/// wedge a connection worker forever.
+///
+/// All failures throw tetris::Error subclasses with errno text; none of
+/// these calls ever raise SIGPIPE (writes use MSG_NOSIGNAL).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// SO_RCVTIMEO / SO_SNDTIMEO, applied to both directions.
+  void set_timeout_ms(int timeout_ms);
+
+  /// Blocking connect to `host:port` (numeric IPv4 or "localhost").
+  static Socket connect(const std::string& host, int port, int timeout_ms);
+
+  /// Receives at most `capacity` bytes. Returns 0 on orderly shutdown.
+  /// Throws on error, including a receive-timeout expiring.
+  std::size_t recv_some(char* buffer, std::size_t capacity);
+
+  /// Sends the whole buffer (looping over short writes).
+  void send_all(const char* data, std::size_t size);
+  void send_all(const std::string& data) { send_all(data.data(), data.size()); }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening IPv4 socket bound to `host:port`. Port 0 binds an ephemeral
+/// port; `port()` reports the one the kernel picked.
+class Listener {
+ public:
+  Listener(const std::string& host, int port, int backlog);
+  int port() const { return port_; }
+
+  /// Waits up to `timeout_ms` for a connection. Returns an invalid Socket on
+  /// timeout (so an accept loop can poll a stop flag); throws on hard error.
+  Socket accept(int timeout_ms);
+
+  /// Unblocks pending and future accepts; they return invalid Sockets.
+  void shutdown();
+
+ private:
+  Socket fd_;
+  int port_ = 0;
+};
+
+}  // namespace tetris::net

@@ -116,6 +116,11 @@ JobState JobHandle::poll() const {
   return service_->poll(*this);
 }
 
+JobOutcome JobHandle::outcome() const {
+  TETRIS_REQUIRE(valid(), "JobHandle::outcome on invalid handle");
+  return service_->outcome(*this);
+}
+
 JobOutcome JobHandle::wait() const {
   TETRIS_REQUIRE(valid(), "JobHandle::wait on invalid handle");
   return service_->wait(*this);
@@ -308,10 +313,23 @@ JobOutcome Service::make_outcome(const std::shared_ptr<JobRecord>& record,
   return out;
 }
 
+JobHandle Service::handle(std::uint64_t id) {
+  find(id);  // validates the id (throws InvalidArgument when unknown)
+  return JobHandle(this, id);
+}
+
 JobState Service::poll(const JobHandle& handle) const {
   auto record = find(handle.id());
   std::lock_guard<std::mutex> lk(mutex_);
   return record->state;
+}
+
+JobOutcome Service::outcome(const JobHandle& handle) const {
+  auto record = find(handle.id());
+  std::unique_lock<std::mutex> lk(mutex_);
+  // make_outcome copies the result only for terminal (kDone) records, where
+  // the result pointer is immutable; the drain cursor is never consulted.
+  return make_outcome(record, lk);
 }
 
 JobOutcome Service::wait(const JobHandle& handle) const {

@@ -117,6 +117,8 @@ class JobHandle {
 
   /// Non-blocking state query.
   JobState poll() const;
+  /// Non-blocking outcome snapshot (see Service::outcome).
+  JobOutcome outcome() const;
   /// Blocks until the job is terminal and returns its full outcome.
   JobOutcome wait() const;
   /// Cancels the job if it has not started; returns true on success. A job
@@ -185,7 +187,18 @@ class Service {
   /// in job order.
   std::vector<JobHandle> submit_all(std::vector<lock::FlowJob> jobs);
 
+  /// Re-creates the handle of an already-submitted job from its id — the
+  /// lookup a network front-end needs, where the caller holds only the id it
+  /// was given at submission. Throws InvalidArgument for ids never issued.
+  JobHandle handle(std::uint64_t id);
+
   JobState poll(const JobHandle& handle) const;
+  /// Non-blocking snapshot of a job's current outcome. For a terminal job
+  /// this is the same document `wait` returns; for a queued/running job the
+  /// state is reported and the result fields are empty. Unlike `drain` this
+  /// is repeatable — it never touches the once-only drain cursor, so a
+  /// front-end can serve `GET /v1/jobs/{id}` any number of times.
+  JobOutcome outcome(const JobHandle& handle) const;
   JobOutcome wait(const JobHandle& handle) const;
   bool cancel(const JobHandle& handle);
 

@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "baselines/das_insertion.h"
 #include "baselines/saki_split.h"
+#include "common/json.h"
 #include "compiler/compiler.h"
 #include "compiler/optimize.h"
 #include "compiler/routing.h"
@@ -108,6 +111,138 @@ TEST_P(FuzzSeed, QasmRoundTripOnRandomCircuits) {
   auto circuit = qir::library::random_universal(5, 25, rng);
   auto back = qir::from_qasm(qir::to_qasm(circuit));
   EXPECT_TRUE(back.approx_equal(circuit, 1e-12));
+}
+
+// ------------------------------------------------------- JSON parser fuzz
+
+/// Emits a random JSON value of bounded depth through the Writer — the
+/// generator side of the writer->parser round-trip property.
+void random_json_value(json::Writer& w, Rng& rng, int depth) {
+  const int kind = rng.uniform_int(0, depth > 0 ? 6 : 4);
+  switch (kind) {
+    case 0: w.null_value(); break;
+    case 1: w.value(rng.bernoulli(0.5)); break;
+    case 2: w.value(static_cast<long long>(rng.next_u64())); break;
+    case 3: w.value(rng.uniform() * 1e6 - 5e5); break;
+    case 4: {
+      // Strings mixing printable ASCII, escapes, and raw UTF-8.
+      std::string s;
+      const int len = rng.uniform_int(0, 12);
+      for (int i = 0; i < len; ++i) {
+        switch (rng.uniform_int(0, 5)) {
+          case 0: s += static_cast<char>(rng.uniform_int(0x20, 0x7e)); break;
+          case 1: s += '"'; break;
+          case 2: s += '\\'; break;
+          case 3: s += '\n'; break;
+          case 4: s += static_cast<char>(rng.uniform_int(0, 0x1f)); break;
+          default: s += "\xc3\xa9"; break;  // é as raw UTF-8
+        }
+      }
+      w.value(s);
+      break;
+    }
+    case 5: {
+      w.begin_array();
+      const int items = rng.uniform_int(0, 4);
+      for (int i = 0; i < items; ++i) random_json_value(w, rng, depth - 1);
+      w.end_array();
+      break;
+    }
+    default: {
+      w.begin_object();
+      const int items = rng.uniform_int(0, 4);
+      for (int i = 0; i < items; ++i) {
+        w.key("k" + std::to_string(i));
+        random_json_value(w, rng, depth - 1);
+      }
+      w.end_object();
+      break;
+    }
+  }
+}
+
+/// Re-serializes a parsed tree with the same Writer settings. Because the
+/// parser preserves object order and number classification, this must
+/// reproduce the original document byte for byte.
+void rewrite_json(json::Writer& w, const json::Value& v) {
+  switch (v.type()) {
+    case json::Value::Type::kNull: w.null_value(); break;
+    case json::Value::Type::kBool: w.value(v.as_bool()); break;
+    case json::Value::Type::kNumber:
+      if (v.is_integer()) w.value(static_cast<long long>(v.as_int()));
+      else w.value(v.as_number());
+      break;
+    case json::Value::Type::kString: w.value(v.as_string()); break;
+    case json::Value::Type::kArray:
+      w.begin_array();
+      for (const json::Value& item : v.as_array()) rewrite_json(w, item);
+      w.end_array();
+      break;
+    case json::Value::Type::kObject:
+      w.begin_object();
+      for (const auto& [key, value] : v.as_object()) {
+        w.key(key);
+        rewrite_json(w, value);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+TEST_P(FuzzSeed, JsonWriterParserRoundTripOnRandomDocuments) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 8000);
+  for (int iteration = 0; iteration < 25; ++iteration) {
+    for (int indent : {0, 2}) {
+      json::Writer w(indent);
+      random_json_value(w, rng, 5);
+      const std::string text = w.str();
+      json::Value parsed = json::parse(text);
+      json::Writer back(indent);
+      rewrite_json(back, parsed);
+      ASSERT_EQ(back.str(), text);
+    }
+  }
+}
+
+TEST_P(FuzzSeed, JsonParserSurvivesMutatedDocuments) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 9000);
+  // Seed corpus: a writer document plus handcrafted edge shapes.
+  json::Writer w(0);
+  random_json_value(w, rng, 4);
+  const std::string corpus[] = {
+      w.str(),
+      R"({"a": [1, -2.5e3, "é😀"], "b": {"c": [true, null]}})",
+      R"([{"k": 0.1}, "x", 1e-8, [[[]]]])",
+  };
+  // Mutated documents must parse or throw ParseError — never crash, hang,
+  // or trip the sanitizers (this suite runs under ASan/UBSan in CI).
+  for (const std::string& seed_doc : corpus) {
+    for (int iteration = 0; iteration < 300; ++iteration) {
+      std::string doc = seed_doc;
+      const int mutations = rng.uniform_int(1, 4);
+      for (int m = 0; m < mutations && !doc.empty(); ++m) {
+        const std::size_t at = rng.index(doc.size());
+        switch (rng.uniform_int(0, 3)) {
+          case 0:
+            doc[at] = static_cast<char>(rng.uniform_int(0, 255));
+            break;
+          case 1: doc.erase(at, 1); break;
+          case 2:
+            doc.insert(at, 1, static_cast<char>(rng.uniform_int(0, 255)));
+            break;
+          default:
+            doc[at] = "{}[],:\"\\0123456789.eE+-"[rng.index(23)];
+            break;
+        }
+      }
+      try {
+        json::Value v = json::parse(doc);
+        (void)v.size();  // touching the result must be safe too
+      } catch (const ParseError&) {
+        // Expected for most mutations.
+      }
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed, ::testing::Range(1, 13));

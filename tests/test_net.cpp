@@ -1,0 +1,495 @@
+// End-to-end tests of the REST front-end (src/net/): a real server on an
+// ephemeral loopback port driven by the real blocking client, plus direct
+// unit tests of the HTTP message layer and the router. The key contract —
+// a job submitted over the wire serializes byte-identically to the same
+// job submitted in-process — is pinned here.
+
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "net/client.h"
+#include "net/http.h"
+#include "qir/qasm.h"
+#include "revlib/benchmarks.h"
+#include "service/serialize.h"
+#include "service/service.h"
+
+namespace tetris::net {
+namespace {
+
+/// Small submit body for the built-in benchmark `name`.
+std::string submit_body(const std::string& name, std::uint64_t seed = 2025,
+                        std::size_t shots = 64) {
+  json::Writer w(0);
+  w.begin_object();
+  w.key("benchmark").value(name);
+  w.key("seed").value(seed);
+  w.key("config").begin_object();
+  w.key("shots").value(shots);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+/// The same job built in-process, for facade-vs-wire comparisons.
+lock::FlowJob facade_job(const std::string& name, std::size_t shots = 64) {
+  const auto& b = revlib::get_benchmark(name);
+  lock::FlowConfig cfg;
+  cfg.shots = shots;
+  return lock::make_flow_job(b.name, b.circuit, b.measured, cfg);
+}
+
+/// A service (private 2-thread pool, so POSTs stay async) plus a started
+/// server on an ephemeral port and a client pointed at it.
+class ServerFixture {
+ public:
+  explicit ServerFixture(ServerConfig config = {},
+                         service::ServiceConfig service_config = {2, 2025, 0})
+      : service_(service_config), server_(service_, with_port0(config)) {
+    server_.start();
+  }
+
+  ~ServerFixture() { server_.stop(); }
+
+  Client client() { return Client("127.0.0.1", server_.port()); }
+
+  service::Service& service() { return service_; }
+  Server& server() { return server_; }
+
+ private:
+  static ServerConfig with_port0(ServerConfig config) {
+    config.port = 0;
+    return config;
+  }
+
+  service::Service service_;
+  Server server_;
+};
+
+std::string poll_until_terminal(Client& client, std::uint64_t id) {
+  for (int i = 0; i < 600; ++i) {
+    auto res = client.get("/v1/jobs/" + std::to_string(id));
+    EXPECT_EQ(res.status, 200);
+    std::string state = json::parse(res.body).at("state").as_string();
+    if (state == "done" || state == "failed" || state == "cancelled") {
+      return state;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ADD_FAILURE() << "job " << id << " never became terminal";
+  return "timeout";
+}
+
+// ----------------------------------------------------------- message layer
+
+TEST(HttpMessages, ParsesRequestLineHeadersAndQuery) {
+  auto req = http::parse_request_head(
+      "GET /v1/jobs/7?timing=0&x=a%20b HTTP/1.1\r\n"
+      "Host: localhost:8080\r\n"
+      "X-Custom:  spaced value \r\n"
+      "\r\n");
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/v1/jobs/7");
+  ASSERT_NE(req.query_param("timing"), nullptr);
+  EXPECT_EQ(*req.query_param("timing"), "0");
+  ASSERT_NE(req.query_param("x"), nullptr);
+  EXPECT_EQ(*req.query_param("x"), "a b");
+  ASSERT_NE(req.header("x-custom"), nullptr);
+  EXPECT_EQ(*req.header("x-custom"), "spaced value");
+  EXPECT_EQ(req.header("absent"), nullptr);
+}
+
+TEST(HttpMessages, RejectsMalformedRequests) {
+  EXPECT_THROW(http::parse_request_head("GARBAGE\r\n\r\n"), http::HttpError);
+  EXPECT_THROW(http::parse_request_head("GET /a b HTTP/1.1\r\n\r\n"),
+               http::HttpError);
+  EXPECT_THROW(http::parse_request_head("GET /x HTTP/2\r\n\r\n"),
+               http::HttpError);
+  EXPECT_THROW(http::parse_request_head("GET noslash HTTP/1.1\r\n\r\n"),
+               http::HttpError);
+  EXPECT_THROW(
+      http::parse_request_head("GET /x HTTP/1.1\r\nNoColonHere\r\n\r\n"),
+      http::HttpError);
+  EXPECT_THROW(http::parse_request_head("GET /%zz HTTP/1.1\r\n\r\n"),
+               http::HttpError);
+}
+
+TEST(HttpMessages, BodyLengthEnforcesLimitsAndChunkRejection) {
+  auto with_headers = [](const std::string& lines) {
+    return http::parse_request_head("POST /v1/jobs HTTP/1.1\r\n" + lines +
+                                    "\r\n");
+  };
+  EXPECT_EQ(http::body_length(with_headers(""), 100), 0u);
+  EXPECT_EQ(http::body_length(with_headers("Content-Length: 42\r\n"), 100),
+            42u);
+  try {
+    http::body_length(with_headers("Content-Length: 101\r\n"), 100);
+    FAIL() << "oversized body accepted";
+  } catch (const http::HttpError& e) {
+    EXPECT_EQ(e.status(), 413);
+  }
+  try {
+    http::body_length(with_headers("Transfer-Encoding: chunked\r\n"), 100);
+    FAIL() << "chunked encoding accepted";
+  } catch (const http::HttpError& e) {
+    EXPECT_EQ(e.status(), 411);
+  }
+  EXPECT_THROW(http::body_length(with_headers("Content-Length: nope\r\n"), 100),
+               http::HttpError);
+  EXPECT_THROW(
+      http::body_length(with_headers("Content-Length: 1\r\n"
+                                     "Content-Length: 2\r\n"),
+                        100),
+      http::HttpError);
+}
+
+TEST(HttpMessages, ResponseRoundTrip) {
+  http::Response out;
+  out.status = 404;
+  out.body = "{\"error\":{}}";
+  std::string wire = http::format_response(out);
+  std::size_t head_end = wire.find("\r\n\r\n");
+  ASSERT_NE(head_end, std::string::npos);
+  auto parsed = http::parse_response_head(wire.substr(0, head_end + 4));
+  EXPECT_EQ(parsed.status, 404);
+  ASSERT_NE(parsed.header("content-length"), nullptr);
+  EXPECT_EQ(*parsed.header("content-length"),
+            std::to_string(out.body.size()));
+  EXPECT_EQ(wire.substr(head_end + 4), out.body);
+}
+
+TEST(UrlParsing, AcceptsHostPortShapes) {
+  auto url = parse_url("http://127.0.0.1:8080");
+  EXPECT_EQ(url.host, "127.0.0.1");
+  EXPECT_EQ(url.port, 8080);
+  EXPECT_EQ(parse_url("http://localhost:1/").port, 1);
+  EXPECT_EQ(parse_url("http://10.0.0.1").port, 80);
+  EXPECT_THROW(parse_url("https://127.0.0.1:1"), InvalidArgument);
+  EXPECT_THROW(parse_url("http://127.0.0.1:0"), InvalidArgument);
+  EXPECT_THROW(parse_url("http://127.0.0.1:x"), InvalidArgument);
+  EXPECT_THROW(parse_url("http://host:1/v1/jobs"), InvalidArgument);
+}
+
+// ------------------------------------------------------------- end to end
+
+TEST(NetServer, StatusEndpointReportsCounters) {
+  ServerFixture fx;
+  auto client = fx.client();
+  auto res = client.get("/v1/status");
+  ASSERT_EQ(res.status, 200);
+  auto doc = json::parse(res.body);
+  EXPECT_EQ(doc.at("schema").as_string(), "tetrislock.status.v1");
+  EXPECT_EQ(doc.at("service").at("jobs_submitted").as_int(), 0);
+  EXPECT_EQ(doc.at("service").at("threads").as_int(), 2);
+  EXPECT_EQ(doc.at("cache").at("capacity").as_int(), 0);
+
+  // A second status call sees the first one in the counters.
+  auto doc2 = json::parse(client.get("/v1/status").body);
+  EXPECT_GE(doc2.at("server").at("requests").as_int(), 1);
+  EXPECT_GE(doc2.at("server").at("responses_2xx").as_int(), 1);
+}
+
+TEST(NetServer, SubmitPollResultRoundTrip) {
+  ServerFixture fx;
+  auto client = fx.client();
+
+  auto posted = client.post("/v1/jobs", submit_body("4mod5"));
+  ASSERT_EQ(posted.status, 202) << posted.body;
+  auto accepted = json::parse(posted.body);
+  EXPECT_EQ(accepted.at("id").as_int(), 1);
+  EXPECT_EQ(accepted.at("url").as_string(), "/v1/jobs/1");
+
+  EXPECT_EQ(poll_until_terminal(client, 1), "done");
+
+  auto res = client.get("/v1/jobs/1");
+  ASSERT_EQ(res.status, 200);
+  auto doc = json::parse(res.body);
+  EXPECT_EQ(doc.at("state").as_string(), "done");
+  EXPECT_EQ(doc.at("seed").as_int(), 2025);
+  EXPECT_EQ(doc.at("status").at("code").as_string(), "ok");
+  const auto& result = doc.at("result");
+  EXPECT_EQ(result.at("depth_original").as_int(),
+            result.at("depth_obfuscated").as_int());
+  EXPECT_GT(result.at("gates_obfuscated").as_int(),
+            result.at("gates_original").as_int());
+}
+
+TEST(NetServer, ResultJsonByteIdenticalToInProcessFacade) {
+  ServerFixture fx;
+  auto client = fx.client();
+  ASSERT_EQ(client.post("/v1/jobs", submit_body("4mod5")).status, 202);
+  ASSERT_EQ(poll_until_terminal(client, 1), "done");
+  auto res = client.get("/v1/jobs/1?timing=0");
+  ASSERT_EQ(res.status, 200);
+
+  // The same circuit, seed, and flow config through the in-process facade.
+  service::Service svc({2, 2025, 0});
+  auto outcome = svc.submit(facade_job("4mod5"), 2025).wait();
+  ASSERT_EQ(outcome.state, service::JobState::kDone);
+  EXPECT_EQ(res.body, service::to_json(outcome, /*include_timing=*/false));
+}
+
+TEST(NetServer, QasmSubmissionMatchesBenchmarkSubmission) {
+  // An inline-QASM body with explicit measured qubits must behave exactly
+  // like the equivalent benchmark submission.
+  const auto& b = revlib::get_benchmark("4mod5");
+  json::Writer w(0);
+  w.begin_object();
+  w.key("qasm").value(qir::to_qasm(b.circuit));
+  w.key("name").value(b.name);
+  w.key("measured").begin_array();
+  for (int q : b.measured) w.value(q);
+  w.end_array();
+  w.key("seed").value(2025);
+  w.key("config").begin_object().key("shots").value(64).end_object();
+  w.end_object();
+
+  ServerFixture fx;
+  auto client = fx.client();
+  ASSERT_EQ(client.post("/v1/jobs", w.str()).status, 202);
+  ASSERT_EQ(client.post("/v1/jobs", submit_body("4mod5")).status, 202);
+  ASSERT_EQ(poll_until_terminal(client, 1), "done");
+  ASSERT_EQ(poll_until_terminal(client, 2), "done");
+
+  // Ids differ, so compare the result objects field by field.
+  auto qasm_doc = json::parse(client.get("/v1/jobs/1?timing=0").body);
+  auto bench_doc = json::parse(client.get("/v1/jobs/2?timing=0").body);
+  EXPECT_EQ(qasm_doc.at("result").size(), bench_doc.at("result").size());
+  for (const auto& [key, value] : qasm_doc.at("result").as_object()) {
+    const json::Value& other = bench_doc.at("result").at(key);
+    if (value.is_number()) {
+      EXPECT_EQ(value.as_number(), other.as_number()) << key;
+    }
+  }
+}
+
+TEST(NetServer, RepeatedGetIsStableAndDoesNotDisturbDrain) {
+  ServerFixture fx;
+  auto client = fx.client();
+  ASSERT_EQ(client.post("/v1/jobs", submit_body("4mod5")).status, 202);
+  ASSERT_EQ(poll_until_terminal(client, 1), "done");
+
+  const std::string first = client.get("/v1/jobs/1?timing=0").body;
+  const std::string second = client.get("/v1/jobs/1?timing=0").body;
+  EXPECT_EQ(first, second);
+
+  // The HTTP reads above must not have consumed the drain cursor.
+  std::size_t drained = fx.service().drain([](const service::JobOutcome&) {});
+  EXPECT_EQ(drained, 1u);
+  EXPECT_EQ(client.get("/v1/jobs/1?timing=0").body, first);
+}
+
+TEST(NetServer, ConcurrentClientsGetUniqueIdsAndAnswers) {
+  ServerConfig config;
+  config.connection_threads = 4;  // genuine connection parallelism
+  ServerFixture fx(config);
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 3;
+  std::vector<std::thread> threads;
+  std::mutex mutex;
+  std::set<std::int64_t> ids;
+  std::atomic<int> status_ok{0};
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&] {
+      auto client = fx.client();
+      for (int i = 0; i < kPerClient; ++i) {
+        auto posted = client.post("/v1/jobs", submit_body("4mod5"));
+        ASSERT_EQ(posted.status, 202) << posted.body;
+        auto id = json::parse(posted.body).at("id").as_int();
+        {
+          std::lock_guard<std::mutex> lk(mutex);
+          ids.insert(id);
+        }
+        if (client.get("/v1/status").status == 200) ++status_ok;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kClients * kPerClient));
+  EXPECT_EQ(*ids.begin(), 1);
+  EXPECT_EQ(*ids.rbegin(), kClients * kPerClient);
+  EXPECT_EQ(status_ok.load(), kClients * kPerClient);
+  auto client = fx.client();
+  for (int id = 1; id <= kClients * kPerClient; ++id) {
+    EXPECT_EQ(poll_until_terminal(client, static_cast<std::uint64_t>(id)),
+              "done");
+  }
+}
+
+TEST(NetServer, DeleteCancelsQueuedJobs) {
+  // One service worker: job 1 occupies it, job 2 sits queued and is
+  // cancellable through the REST surface.
+  ServerFixture fx({}, service::ServiceConfig{1, 2025, 0});
+  auto client = fx.client();
+  ASSERT_EQ(
+      client.post("/v1/jobs", submit_body("4mod5", 2025, /*shots=*/20000))
+          .status,
+      202);
+  ASSERT_EQ(client.post("/v1/jobs", submit_body("4mod5")).status, 202);
+
+  auto res = client.del("/v1/jobs/2");
+  ASSERT_EQ(res.status, 200);
+  auto doc = json::parse(res.body);
+  if (doc.at("cancelled").as_bool()) {
+    EXPECT_EQ(doc.at("state").as_string(), "cancelled");
+    auto out = json::parse(client.get("/v1/jobs/2").body);
+    EXPECT_EQ(out.at("state").as_string(), "cancelled");
+    EXPECT_EQ(out.at("status").at("code").as_string(), "cancelled");
+  } else {
+    // The worker raced us and already picked the job up; it must finish.
+    EXPECT_NE(poll_until_terminal(client, 2), "timeout");
+  }
+  EXPECT_EQ(poll_until_terminal(client, 1), "done");
+
+  // Cancelling a finished job is a no-op reported as such.
+  auto again = json::parse(client.del("/v1/jobs/1").body);
+  EXPECT_FALSE(again.at("cancelled").as_bool());
+  EXPECT_EQ(again.at("state").as_string(), "done");
+}
+
+// -------------------------------------------------------------- error paths
+
+TEST(NetServer, BadJsonIs400WithParseErrorCode) {
+  ServerFixture fx;
+  auto client = fx.client();
+  auto res = client.post("/v1/jobs", "{not json");
+  EXPECT_EQ(res.status, 400);
+  auto doc = json::parse(res.body);
+  EXPECT_EQ(doc.at("error").at("code").as_string(), "parse_error");
+}
+
+TEST(NetServer, BadQasmIs400WithParseErrorCode) {
+  ServerFixture fx;
+  auto client = fx.client();
+  auto res = client.post(
+      "/v1/jobs",
+      R"({"qasm": "OPENQASM 2.0;\nqreg q[2];\nbogus q[0];\n"})");
+  EXPECT_EQ(res.status, 400);
+  EXPECT_EQ(json::parse(res.body).at("error").at("code").as_string(),
+            "parse_error");
+  // An unsupported QASM version is an invalid argument, still a 400.
+  res = client.post("/v1/jobs", R"({"qasm": "OPENQASM 9.9; bogus"})");
+  EXPECT_EQ(res.status, 400);
+  EXPECT_EQ(json::parse(res.body).at("error").at("code").as_string(),
+            "invalid_argument");
+}
+
+TEST(NetServer, SubmitValidationRejections) {
+  ServerFixture fx;
+  auto client = fx.client();
+  // Neither qasm nor benchmark.
+  EXPECT_EQ(client.post("/v1/jobs", R"({"seed": 1})").status, 400);
+  // Unknown top-level field.
+  EXPECT_EQ(
+      client.post("/v1/jobs", R"({"benchmark": "4mod5", "shot": 1})").status,
+      400);
+  // Unknown config field (typo of shots).
+  EXPECT_EQ(client
+                .post("/v1/jobs",
+                      R"({"benchmark": "4mod5", "config": {"shot": 1}})")
+                .status,
+            400);
+  // Zero shots.
+  EXPECT_EQ(client
+                .post("/v1/jobs",
+                      R"({"benchmark": "4mod5", "config": {"shots": 0}})")
+                .status,
+            400);
+  // Unknown benchmark.
+  EXPECT_EQ(client.post("/v1/jobs", R"({"benchmark": "nope"})").status, 400);
+  // Integer fields that would truncate into a *different* valid config
+  // (2^32 + 2 cast to int is 2) must be rejected, not narrowed.
+  EXPECT_EQ(client
+                .post("/v1/jobs", R"({"benchmark": "4mod5",
+                                      "config": {"max_gates": 4294967298}})")
+                .status,
+            400);
+  EXPECT_EQ(client
+                .post("/v1/jobs", R"({"benchmark": "4mod5",
+                                      "config": {"sample_jobs": 4294967296}})")
+                .status,
+            400);
+  // An absurd shot count would pin a job worker on an uncancellable run.
+  EXPECT_EQ(client
+                .post("/v1/jobs", R"({"benchmark": "4mod5",
+                                      "config": {"shots": 1000000000000}})")
+                .status,
+            400);
+  // Measured qubit out of range.
+  EXPECT_EQ(
+      client.post("/v1/jobs", R"({"benchmark": "4mod5", "measured": [99]})")
+          .status,
+      400);
+  // Non-object body.
+  EXPECT_EQ(client.post("/v1/jobs", "[1,2]").status, 400);
+  // Nothing was actually submitted.
+  EXPECT_EQ(fx.service().jobs_submitted(), 0u);
+}
+
+TEST(NetServer, UnknownRoutesAndMethods) {
+  ServerFixture fx;
+  auto client = fx.client();
+  EXPECT_EQ(client.get("/nope").status, 404);
+  EXPECT_EQ(client.get("/v1/jobs/999").status, 404);
+  EXPECT_EQ(client.get("/v1/jobs/abc").status, 404);
+  EXPECT_EQ(client.del("/v1/jobs/7").status, 404);
+  EXPECT_EQ(client.get("/v1/jobs").status, 405);
+  EXPECT_EQ(client.del("/v1/status").status, 405);
+  EXPECT_EQ(client.request("PATCH", "/v1/jobs/1").status, 405);
+  auto doc = json::parse(client.get("/nope").body);
+  EXPECT_EQ(doc.at("error").at("code").as_string(), "not_found");
+}
+
+TEST(NetServer, OversizedBodyIs413) {
+  ServerConfig config;
+  config.max_body_bytes = 512;
+  ServerFixture fx(config);
+  auto client = fx.client();
+  auto res = client.post("/v1/jobs", std::string(1024, 'x'));
+  EXPECT_EQ(res.status, 413);
+  EXPECT_EQ(json::parse(res.body).at("error").at("code").as_string(),
+            "payload_too_large");
+}
+
+TEST(NetServer, SlowRequestHits408Deadline) {
+  // A peer that sends a partial head and then goes silent must be answered
+  // 408 when the whole-request deadline expires — it cannot hold a
+  // connection worker for the full (much longer) idle timeout.
+  ServerConfig config;
+  config.request_deadline_ms = 200;
+  config.io_timeout_ms = 30000;
+  ServerFixture fx(config);
+  auto client = fx.client();
+  const auto start = std::chrono::steady_clock::now();
+  std::string wire = client.raw_exchange("GET /v1/status HTTP/1.1\r\n");
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(wire.rfind("HTTP/1.1 408", 0), 0u) << wire;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000);
+}
+
+TEST(NetServer, RawProtocolGarbageGets400) {
+  ServerFixture fx;
+  auto client = fx.client();
+  std::string wire = client.raw_exchange("THIS IS NOT HTTP\r\n\r\n");
+  EXPECT_EQ(wire.rfind("HTTP/1.1 400", 0), 0u) << wire;
+  // Chunked upload announcement is answered 411 before any body is read.
+  wire = client.raw_exchange(
+      "POST /v1/jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  EXPECT_EQ(wire.rfind("HTTP/1.1 411", 0), 0u) << wire;
+}
+
+}  // namespace
+}  // namespace tetris::net

@@ -148,6 +148,60 @@ TEST(Service, UnknownJobIdThrows) {
   EXPECT_THROW(svc.poll(JobHandle()), InvalidArgument);
 }
 
+TEST(Service, HandleLookupRebuildsHandlesFromIds) {
+  ServiceConfig config;
+  config.num_threads = 2;
+  Service svc(config);
+  auto submitted = svc.submit(benchmark_job("4mod5"));
+  JobHandle looked_up = svc.handle(submitted.id());
+  EXPECT_EQ(looked_up.id(), submitted.id());
+  EXPECT_EQ(looked_up.wait().state, JobState::kDone);
+  EXPECT_THROW(svc.handle(99), InvalidArgument);
+  EXPECT_THROW(svc.handle(0), InvalidArgument);
+}
+
+TEST(Service, OutcomeIsRepeatableAndLeavesDrainCursorAlone) {
+  // The regression the network front-end depends on: GET /v1/jobs/{id} maps
+  // to outcome(), which must be callable any number of times — before and
+  // after drain — without consuming drain's once-only delivery.
+  ServiceConfig config;
+  config.num_threads = 2;
+  Service svc(config);
+  auto handle = svc.submit(benchmark_job("4mod5"));
+
+  // Non-terminal snapshots carry the metadata but never a result; whatever
+  // state the job is in when sampled, the call must not block or throw.
+  JobOutcome early = svc.outcome(handle);
+  EXPECT_EQ(early.id, handle.id());
+  EXPECT_EQ(early.name, "4mod5");
+  if (!is_terminal(early.state)) {
+    EXPECT_EQ(early.result.gates_obfuscated, 0u);
+  }
+
+  JobOutcome waited = handle.wait();
+  ASSERT_EQ(waited.state, JobState::kDone);
+
+  // Repeatable, and identical to wait()'s view of the job.
+  JobOutcome first = svc.outcome(handle);
+  JobOutcome second = handle.outcome();
+  for (const JobOutcome* out : {&first, &second}) {
+    EXPECT_EQ(out->state, JobState::kDone);
+    EXPECT_EQ(out->seed, waited.seed);
+    EXPECT_EQ(out->result.tvd_restored, waited.result.tvd_restored);
+    EXPECT_EQ(out->result.gates_obfuscated, waited.result.gates_obfuscated);
+  }
+  EXPECT_EQ(to_json(first, false), to_json(second, false));
+
+  // outcome() reads above must not have consumed the drain delivery...
+  std::size_t drained = svc.drain([&](const JobOutcome& out) {
+    EXPECT_EQ(out.id, handle.id());
+  });
+  EXPECT_EQ(drained, 1u);
+  // ...and draining must not break later outcome() reads either.
+  EXPECT_EQ(to_json(svc.outcome(handle), false), to_json(first, false));
+  EXPECT_EQ(svc.drain([](const JobOutcome&) { FAIL(); }), 0u);
+}
+
 TEST(Service, SubmitFromWorkerThreadRunsInline) {
   // A service call from inside a global-pool worker must not deadlock the
   // fixed pool; the job executes inline and the handle is already terminal.

@@ -35,6 +35,26 @@
 //              outcome document.
 //   complexity --n N --nmax M [--k K]
 //              Eq. 1 attack-complexity numbers vs the cascade baseline
+//   serve      [--port N] [--jobs N] [--cache] [--max-body BYTES]
+//              embedded REST server (src/net/) over the service facade on
+//              127.0.0.1. Prints "listening on http://127.0.0.1:PORT"
+//              (--port 0 binds an ephemeral port) and serves until SIGINT/
+//              SIGTERM, then shuts down cleanly. Endpoints: POST /v1/jobs,
+//              GET /v1/jobs/{id}[?timing=0], DELETE /v1/jobs/{id},
+//              GET /v1/status — see src/net/server.h for the full API.
+//              --jobs sizes the service's private worker pool (so job
+//              compute never blocks connection handling); --cache enables
+//              the result cache; --max-body caps request bodies.
+//   submit     --url http://HOST:PORT (--benchmark NAME | --in FILE)
+//              [--seed N] [--shots N] [--sample-jobs N] [--fuse]
+//              [--max-gates N] [--alphabet ...] [--gap] [--poll-ms N]
+//              [--wait-s N] [--out-json FILE]
+//              network counterpart of `protect`: POSTs the circuit to a
+//              running `serve` instance, polls GET /v1/jobs/{id} until the
+//              job is terminal, prints the Table-I row, and optionally
+//              writes the result document. Same seed + flags produce a
+//              JobOutcome JSON byte-identical (modulo wall-time fields) to
+//              `protect --out-json` run in-process.
 //
 // Every subcommand additionally accepts --jobs N, which sizes the shared
 // worker pool used by the service and the parallel statevector kernels
@@ -45,8 +65,12 @@
 // Exit status is non-zero on any validation failure, so the tool can anchor
 // shell pipelines and CI checks.
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -55,14 +79,18 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "common/combinatorics.h"
 #include "common/error.h"
+#include "common/json.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "compiler/target.h"
 #include "lock/complexity.h"
 #include "lock/pipeline.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "qir/qasm.h"
 #include "qir/render.h"
 #include "revlib/benchmarks.h"
@@ -130,6 +158,10 @@ const std::set<std::string>* allowed_flags(const std::string& cmd) {
        {"benchmark", "in", "batch", "seed", "shots", "sample-jobs", "fuse",
         "max-gates", "alphabet", "gap", "cache", "out-json"}},
       {"complexity", {"n", "nmax", "k"}},
+      {"serve", {"port", "cache", "max-body"}},
+      {"submit",
+       {"url", "benchmark", "in", "seed", "shots", "sample-jobs", "fuse",
+        "max-gates", "alphabet", "gap", "poll-ms", "wait-s", "out-json"}},
   };
   auto it = kAllowed.find(cmd);
   return it == kAllowed.end() ? nullptr : &it->second;
@@ -190,12 +222,7 @@ lock::InsertionConfig insertion_config(const Options& o) {
   lock::InsertionConfig cfg;
   cfg.max_random_gates = static_cast<int>(o.get_long("max-gates", 2, 0));
   cfg.allow_gap_insertion = o.has("gap");
-  std::string alphabet = o.get("alphabet", "mixed");
-  if (alphabet == "x") cfg.alphabet = lock::InsertionAlphabet::XOnly;
-  else if (alphabet == "cx") cfg.alphabet = lock::InsertionAlphabet::CXOnly;
-  else if (alphabet == "h") cfg.alphabet = lock::InsertionAlphabet::Hadamard;
-  else if (alphabet == "mixed") cfg.alphabet = lock::InsertionAlphabet::Mixed;
-  else throw InvalidArgument("unknown alphabet: " + alphabet);
+  cfg.alphabet = lock::parse_insertion_alphabet(o.get("alphabet", "mixed"));
   return cfg;
 }
 
@@ -449,9 +476,167 @@ int cmd_complexity(const Options& o) {
   return 0;
 }
 
+// Self-pipe shutdown for `serve`: the signal handler only writes one byte,
+// the main thread blocks on the read end and runs the orderly stop.
+int g_stop_pipe[2] = {-1, -1};
+
+extern "C" void serve_stop_handler(int) {
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = write(g_stop_pipe[1], &byte, 1);
+}
+
+int cmd_serve(const Options& o) {
+  service::ServiceConfig scfg;
+  scfg.base_seed = 2025;  // unused: every HTTP submission carries its seed
+  // A private job pool: connection tasks run on the shared runtime pool, so
+  // a Service sharing that pool would execute POSTed jobs inline in the
+  // handler (worker-thread submissions run inline by design) and submission
+  // would stop being asynchronous.
+  scfg.num_threads = static_cast<unsigned>(
+      o.has("jobs") ? o.get_long("jobs", 0, 1)
+                    : runtime::ThreadPool::default_global_threads());
+  scfg.cache_capacity = o.has("cache") ? 128 : 0;
+
+  net::ServerConfig ncfg;
+  ncfg.port = static_cast<int>(o.get_long("port", 8080, 0));
+  ncfg.max_body_bytes =
+      static_cast<std::size_t>(o.get_long("max-body", 1 << 20, 1024));
+
+  service::Service svc(scfg);
+  net::Server server(svc, ncfg);
+
+  if (pipe(g_stop_pipe) != 0) throw Error("serve: cannot create stop pipe");
+  std::signal(SIGINT, serve_stop_handler);
+  std::signal(SIGTERM, serve_stop_handler);
+
+  server.start();
+  std::cout << "listening on " << server.base_url() << "\n" << std::flush;
+
+  char byte = 0;
+  while (read(g_stop_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::cout << "shutting down\n";
+  server.stop();
+  const auto counters = server.counters();
+  std::cout << "served " << counters.requests << " requests over "
+            << counters.connections << " connections; "
+            << svc.jobs_submitted() << " jobs submitted\n";
+  return 0;
+}
+
+int cmd_submit(const Options& o) {
+  if (!o.has("url")) {
+    throw InvalidArgument("submit needs --url http://HOST:PORT");
+  }
+  const net::Url url = net::parse_url(o.get("url"));
+  net::Client client(url.host, url.port);
+
+  // Request body: mirrors the server's submit schema; flag names and
+  // defaults match `protect` so the two paths are interchangeable.
+  json::Writer w(0);
+  w.begin_object();
+  if (o.has("benchmark")) {
+    w.key("benchmark").value(o.get("benchmark"));
+  } else if (o.has("in")) {
+    auto circuit = load_circuit_file(o.get("in"));
+    w.key("qasm").value(qir::to_qasm(circuit));
+    if (circuit.name().empty()) {
+      w.key("name").value(
+          std::filesystem::path(o.get("in")).stem().string());
+    }
+  } else {
+    throw InvalidArgument("need --benchmark NAME or --in FILE");
+  }
+  w.key("seed").value(o.get_long("seed", 2025, 0));
+  w.key("config").begin_object();
+  w.key("shots").value(o.get_long("shots", 1000, 1));
+  w.key("max_gates").value(o.get_long("max-gates", 2, 0));
+  w.key("alphabet").value(o.get("alphabet", "mixed"));
+  if (o.has("gap")) w.key("gap").value(true);
+  if (o.has("fuse")) w.key("fuse").value(true);
+  w.key("sample_jobs").value(o.get_long("sample-jobs", 0, 0));
+  w.end_object();
+  w.end_object();
+
+  auto posted = client.post("/v1/jobs", w.str());
+  if (posted.status != 202) {
+    std::cerr << "error: HTTP " << posted.status << ": " << posted.body
+              << "\n";
+    return 1;
+  }
+  const std::uint64_t id = static_cast<std::uint64_t>(
+      json::parse(posted.body).at("id").as_int());
+  std::cout << "job " << id << " submitted to " << o.get("url") << "\n";
+
+  // Poll until terminal (bounded — a wedged server must fail the command,
+  // not hang it), then keep the final (full) document.
+  const auto poll_interval =
+      std::chrono::milliseconds(o.get_long("poll-ms", 100, 1));
+  const long wait_s = o.get_long("wait-s", 600, 1);
+  const auto poll_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(wait_s);
+  net::http::Response res;
+  std::string state;
+  while (true) {
+    res = client.get("/v1/jobs/" + std::to_string(id));
+    if (res.status != 200) {
+      std::cerr << "error: HTTP " << res.status << ": " << res.body << "\n";
+      return 1;
+    }
+    state = json::parse(res.body).at("state").as_string();
+    if (state == "done" || state == "failed" || state == "cancelled") break;
+    if (std::chrono::steady_clock::now() >= poll_deadline) {
+      std::cerr << "error: job " << id << " still '" << state << "' after "
+                << wait_s << "s (--wait-s raises the budget)\n";
+      return 1;
+    }
+    std::this_thread::sleep_for(poll_interval);
+  }
+
+  const json::Value outcome = json::parse(res.body);
+  if (state != "done") {
+    const json::Value& status = outcome.at("status");
+    std::cerr << "job " << id << " " << state << " ["
+              << status.at("code").as_string() << "]";
+    if (const json::Value* message = status.find("message")) {
+      std::cerr << ": " << message->as_string();
+    }
+    std::cerr << "\n";
+    return 1;
+  }
+
+  const json::Value& r = outcome.at("result");
+  std::cout << "name              : " << outcome.at("name").as_string()
+            << "\n";
+  std::cout << "depth             : " << r.at("depth_original").as_int()
+            << " -> " << r.at("depth_obfuscated").as_int() << "\n";
+  std::cout << "gates             : " << r.at("gates_original").as_int()
+            << " -> " << r.at("gates_obfuscated").as_int() << "\n";
+  std::cout << "accuracy original : "
+            << fmt_double(r.at("accuracy_original").as_number(), 3) << "\n";
+  std::cout << "accuracy restored : "
+            << fmt_double(r.at("accuracy_restored").as_number(), 3) << "\n";
+  std::cout << "TVD obfuscated    : "
+            << fmt_double(r.at("tvd_obfuscated").as_number(), 3) << "\n";
+  std::cout << "TVD restored      : "
+            << fmt_double(r.at("tvd_restored").as_number(), 3) << "\n";
+  if (const json::Value* seconds = outcome.find("seconds")) {
+    std::cout << "server time       : " << fmt_double(seconds->as_number(), 3)
+              << "s\n";
+  }
+  if (o.has("out-json")) {
+    write_or_print(res.body, o.get("out-json"));
+  }
+  const bool ok =
+      r.at("depth_obfuscated").as_int() == r.at("depth_original").as_int();
+  std::cout << (ok ? "OK: zero depth overhead\n" : "ERROR: depth changed\n");
+  return ok ? 0 : 1;
+}
+
 int usage() {
   std::cerr << "usage: tetrislock_cli "
-               "{info|obfuscate|split|protect|complexity} [--flags]\n"
+               "{info|obfuscate|split|protect|serve|submit|complexity} "
+               "[--flags]\n"
                "       global: --jobs N   (worker threads; also TETRIS_THREADS)\n"
                "       protect: --shots N --sample-jobs N  (trajectory count "
                "+ sampler fan-out)\n"
@@ -459,6 +644,10 @@ int usage() {
                "the sampled runs)\n"
                "       protect: --cache --out-json FILE  (service result "
                "cache + JSON output)\n"
+               "       serve:   --port N --cache  (REST server; port 0 = "
+               "ephemeral)\n"
+               "       submit:  --url http://HOST:PORT --benchmark NAME  "
+               "(protect over HTTP)\n"
                "see the header of tools/tetrislock_cli.cpp for details\n";
   return 2;
 }
@@ -482,6 +671,8 @@ int main(int argc, char** argv) {
     if (cmd == "split") return cmd_split(o);
     if (cmd == "protect") return cmd_protect(o);
     if (cmd == "complexity") return cmd_complexity(o);
+    if (cmd == "serve") return cmd_serve(o);
+    if (cmd == "submit") return cmd_submit(o);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
