@@ -158,7 +158,10 @@ int main(int argc, char** argv) {
   const auto& b = revlib::get_benchmark("4mod5");
   lock::FlowConfig cfg;
   cfg.shots = args.shots;
-  service::Service reference({1, args.seed, 0});
+  service::ServiceConfig ref_cfg;
+  ref_cfg.num_threads = 1;
+  ref_cfg.base_seed = args.seed;
+  service::Service reference(ref_cfg);
   auto outcome =
       reference.submit(lock::make_flow_job(b.name, b.circuit, b.measured, cfg),
                        args.seed)

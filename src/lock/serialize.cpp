@@ -1,0 +1,179 @@
+#include "lock/serialize.h"
+
+#include <vector>
+
+#include "qir/binary.h"
+
+namespace tetris::lock {
+
+namespace {
+
+// Vector-count ceilings, matching the circuit codec's limits: qubit-indexed
+// vectors (layouts, permutations, origin-register maps) can never exceed a
+// register width, gate-indexed vectors never a gate count.
+constexpr std::uint32_t kMaxQubitVector = qir::kMaxCircuitQubits;
+constexpr std::uint32_t kMaxGateVector = qir::kMaxCircuitGates;
+
+void write_int_vector(ByteWriter& w, const std::vector<int>& v) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (int x : v) w.i64(x);
+}
+
+std::vector<int> read_int_vector(ByteReader& r, const char* what) {
+  const std::uint32_t n = r.count(what, kMaxQubitVector);
+  std::vector<int> v;
+  v.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    v.push_back(static_cast<int>(r.i64(what)));
+  }
+  return v;
+}
+
+void write_index_vector(ByteWriter& w, const std::vector<std::size_t>& v) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (std::size_t x : v) w.u64(static_cast<std::uint64_t>(x));
+}
+
+std::vector<std::size_t> read_index_vector(ByteReader& r, const char* what) {
+  const std::uint32_t n = r.count(what, kMaxGateVector);
+  std::vector<std::size_t> v;
+  v.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    v.push_back(static_cast<std::size_t>(r.u64(what)));
+  }
+  return v;
+}
+
+void write_obfuscated(ByteWriter& w, const ObfuscatedCircuit& obf) {
+  qir::write_circuit(w, obf.circuit);
+  qir::write_circuit(w, obf.original);
+  qir::write_circuit(w, obf.random);
+  w.u32(static_cast<std::uint32_t>(obf.origin.size()));
+  for (GateOrigin o : obf.origin) w.u8(static_cast<std::uint8_t>(o));
+  w.u8(obf.has_gap_pairs ? 1 : 0);
+}
+
+ObfuscatedCircuit read_obfuscated(ByteReader& r) {
+  ObfuscatedCircuit obf;
+  obf.circuit = qir::read_circuit(r);
+  obf.original = qir::read_circuit(r);
+  obf.random = qir::read_circuit(r);
+  const std::uint32_t n = r.count("origin count", kMaxGateVector);
+  obf.origin.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint8_t o = r.u8("gate origin");
+    if (o > static_cast<std::uint8_t>(GateOrigin::Original)) {
+      throw ParseError("flow codec: unknown gate origin " + std::to_string(o) +
+                       " at offset " + std::to_string(r.offset() - 1));
+    }
+    obf.origin.push_back(static_cast<GateOrigin>(o));
+  }
+  obf.has_gap_pairs = r.u8("has_gap_pairs") != 0;
+  return obf;
+}
+
+void write_split(ByteWriter& w, const Split& split) {
+  qir::write_circuit(w, split.circuit);
+  write_int_vector(w, split.local_to_orig);
+  write_index_vector(w, split.gate_indices);
+}
+
+Split read_split(ByteReader& r) {
+  Split split;
+  split.circuit = qir::read_circuit(r);
+  split.local_to_orig = read_int_vector(r, "split local_to_orig");
+  split.gate_indices = read_index_vector(r, "split gate_indices");
+  return split;
+}
+
+void write_compile_result(ByteWriter& w, const compiler::CompileResult& cr) {
+  qir::write_circuit(w, cr.circuit);
+  write_int_vector(w, cr.initial_layout);
+  write_int_vector(w, cr.final_layout);
+  write_int_vector(w, cr.wire_permutation);
+  w.u64(static_cast<std::uint64_t>(cr.stats.input_gates));
+  w.u64(static_cast<std::uint64_t>(cr.stats.output_gates));
+  w.u64(static_cast<std::uint64_t>(cr.stats.swaps_inserted));
+  w.i64(cr.stats.input_depth);
+  w.i64(cr.stats.output_depth);
+  w.u64(static_cast<std::uint64_t>(cr.stats.optimize.cancelled_pairs));
+  w.u64(static_cast<std::uint64_t>(cr.stats.optimize.merged_rotations));
+  w.u64(static_cast<std::uint64_t>(cr.stats.optimize.dropped_identities));
+}
+
+compiler::CompileResult read_compile_result(ByteReader& r) {
+  compiler::CompileResult cr;
+  cr.circuit = qir::read_circuit(r);
+  cr.initial_layout = read_int_vector(r, "compile initial_layout");
+  cr.final_layout = read_int_vector(r, "compile final_layout");
+  cr.wire_permutation = read_int_vector(r, "compile wire_permutation");
+  cr.stats.input_gates = static_cast<std::size_t>(r.u64("stats input_gates"));
+  cr.stats.output_gates = static_cast<std::size_t>(r.u64("stats output_gates"));
+  cr.stats.swaps_inserted =
+      static_cast<std::size_t>(r.u64("stats swaps_inserted"));
+  cr.stats.input_depth = static_cast<int>(r.i64("stats input_depth"));
+  cr.stats.output_depth = static_cast<int>(r.i64("stats output_depth"));
+  cr.stats.optimize.cancelled_pairs =
+      static_cast<std::size_t>(r.u64("optimize cancelled_pairs"));
+  cr.stats.optimize.merged_rotations =
+      static_cast<std::size_t>(r.u64("optimize merged_rotations"));
+  cr.stats.optimize.dropped_identities =
+      static_cast<std::size_t>(r.u64("optimize dropped_identities"));
+  return cr;
+}
+
+void write_compiled_split(ByteWriter& w, const CompiledSplit& cs) {
+  write_compile_result(w, cs.result);
+  write_int_vector(w, cs.local_to_orig);
+}
+
+CompiledSplit read_compiled_split(ByteReader& r) {
+  CompiledSplit cs;
+  cs.result = read_compile_result(r);
+  cs.local_to_orig = read_int_vector(r, "compiled split local_to_orig");
+  return cs;
+}
+
+}  // namespace
+
+void write_flow_result(ByteWriter& w, const FlowResult& result) {
+  write_obfuscated(w, result.obf);
+  write_split(w, result.splits.first);
+  write_split(w, result.splits.second);
+  qir::write_circuit(w, result.recombined.circuit);
+  write_int_vector(w, result.recombined.orig_to_phys);
+  write_compiled_split(w, result.recombined.first);
+  write_compiled_split(w, result.recombined.second);
+  write_compile_result(w, result.baseline);
+  w.i64(result.depth_original);
+  w.i64(result.depth_obfuscated);
+  w.u64(static_cast<std::uint64_t>(result.gates_original));
+  w.u64(static_cast<std::uint64_t>(result.gates_obfuscated));
+  w.f64(result.tvd_obfuscated);
+  w.f64(result.tvd_restored);
+  w.f64(result.accuracy_original);
+  w.f64(result.accuracy_restored);
+}
+
+FlowResult read_flow_result(ByteReader& r) {
+  FlowResult result;
+  result.obf = read_obfuscated(r);
+  result.splits.first = read_split(r);
+  result.splits.second = read_split(r);
+  result.recombined.circuit = qir::read_circuit(r);
+  result.recombined.orig_to_phys = read_int_vector(r, "recombined orig_to_phys");
+  result.recombined.first = read_compiled_split(r);
+  result.recombined.second = read_compiled_split(r);
+  result.baseline = read_compile_result(r);
+  result.depth_original = static_cast<int>(r.i64("depth_original"));
+  result.depth_obfuscated = static_cast<int>(r.i64("depth_obfuscated"));
+  result.gates_original = static_cast<std::size_t>(r.u64("gates_original"));
+  result.gates_obfuscated = static_cast<std::size_t>(r.u64("gates_obfuscated"));
+  result.tvd_obfuscated = r.f64("tvd_obfuscated");
+  result.tvd_restored = r.f64("tvd_restored");
+  result.accuracy_original = r.f64("accuracy_original");
+  result.accuracy_restored = r.f64("accuracy_restored");
+  return result;
+}
+
+}  // namespace tetris::lock

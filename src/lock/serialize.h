@@ -1,0 +1,36 @@
+#pragma once
+
+#include "common/binio.h"
+#include "lock/pipeline.h"
+
+namespace tetris::lock {
+
+/// Binary FlowResult codec — the payload record of the artifact format
+/// (docs/FORMATS.md §4). Serializes *everything* a flow produces, not just
+/// the reported metrics: the obfuscated circuit with its designer-side
+/// provenance (R, per-gate origins), both interlocked splits with their
+/// private qubit maps, the recombined hardware-ready circuit with the
+/// compiled-split layouts, the unlocked baseline compilation, and the
+/// Table-I / Figure-4 metric fields.
+///
+/// The codec is exact: integers are fixed-width, doubles travel by IEEE-754
+/// bit pattern, and circuits round-trip bit-identically (qir/binary.h). A
+/// decoded FlowResult compares equal — `Circuit::operator==`, exact double
+/// equality, element-wise vector equality — to the encoded one, which is
+/// what makes a disk-cache hit indistinguishable from a re-run and stored
+/// artifacts byte-stable across processes and thread counts
+/// (tests/test_artifact.cpp pins both).
+///
+/// Versioning lives one layer up, in the artifact envelope
+/// (service/artifact_store.h): this record has no header of its own and
+/// must only be parsed out of an envelope whose version it matches.
+
+/// Appends the FlowResult record to `w`. Never fails.
+void write_flow_result(ByteWriter& w, const FlowResult& result);
+
+/// Reads one FlowResult record. Throws tetris::ParseError on truncated,
+/// corrupt, or over-limit input (every embedded circuit and vector is read
+/// through the bounded primitives of common/binio.h and qir/binary.h).
+FlowResult read_flow_result(ByteReader& r);
+
+}  // namespace tetris::lock

@@ -340,6 +340,15 @@ http::Response Server::handle(const http::Request& request) {
     const std::string_view jobs_prefix = "/v1/jobs/";
     if (std::string_view(path).substr(0, jobs_prefix.size()) == jobs_prefix) {
       std::string_view tail = std::string_view(path).substr(jobs_prefix.size());
+      // Optional "/artifact" sub-resource after the id.
+      bool artifact = false;
+      const std::string_view artifact_suffix = "/artifact";
+      if (tail.size() > artifact_suffix.size() &&
+          tail.substr(tail.size() - artifact_suffix.size()) ==
+              artifact_suffix) {
+        artifact = true;
+        tail = tail.substr(0, tail.size() - artifact_suffix.size());
+      }
       if (tail.empty() || tail.size() > 18 ||
           tail.find_first_not_of("0123456789") != std::string_view::npos) {
         throw http::HttpError(404, "not_found",
@@ -347,6 +356,11 @@ http::Response Server::handle(const http::Request& request) {
       }
       std::uint64_t id = 0;
       for (char c : tail) id = id * 10 + static_cast<std::uint64_t>(c - '0');
+      if (artifact) {
+        if (request.method == "GET") return handle_job_artifact(id);
+        throw http::HttpError(405, "method_not_allowed",
+                              "use GET on /v1/jobs/{id}/artifact");
+      }
       if (request.method == "GET") return handle_job_get(id, request);
       if (request.method == "DELETE") return handle_job_delete(id);
       throw http::HttpError(405, "method_not_allowed",
@@ -490,6 +504,32 @@ http::Response Server::handle_job_get(std::uint64_t id,
   return json_response(200, w.str());
 }
 
+http::Response Server::handle_job_artifact(std::uint64_t id) {
+  service::JobHandle handle;
+  try {
+    handle = service_.handle(id);
+  } catch (const InvalidArgument&) {
+    throw http::HttpError(404, "not_found",
+                          "unknown job id " + std::to_string(id));
+  }
+  // Only kDone jobs have an artifact. Queued/running jobs are a 409 (try
+  // again later), failed/cancelled ones permanently so.
+  const service::JobState state = service_.poll(handle);
+  if (state != service::JobState::kDone) {
+    throw http::HttpError(409, "no_artifact",
+                          "job " + std::to_string(id) + " is " +
+                              service::job_state_name(state) +
+                              "; artifacts exist only for done jobs");
+  }
+  http::Response res;
+  res.status = 200;
+  res.content_type = "application/octet-stream";
+  // Byte-identical to the artifact store's file for this job (deterministic
+  // encoder), so a fetched artifact can be diffed against the store.
+  res.body = service_.artifact_bytes(handle);
+  return res;
+}
+
 http::Response Server::handle_job_delete(std::uint64_t id) {
   service::JobHandle handle;
   try {
@@ -526,6 +566,21 @@ http::Response Server::handle_status() {
   w.key("evictions").value(cache.evictions);
   w.key("entries").value(cache.entries);
   w.key("capacity").value(cache.capacity);
+  w.end_object();
+  w.key("store").begin_object();
+  if (const service::ArtifactStore* store = service_.artifact_store()) {
+    const service::ArtifactStoreStats stats = store->stats();
+    w.key("enabled").value(true);
+    w.key("dir").value(store->config().dir);
+    w.key("hits").value(stats.hits);
+    w.key("misses").value(stats.misses);
+    w.key("writes").value(stats.writes);
+    w.key("corrupt").value(stats.corrupt);
+    w.key("evictions").value(stats.evictions);
+    w.key("entries").value(stats.entries);
+  } else {
+    w.key("enabled").value(false);
+  }
   w.end_object();
   w.key("server").begin_object();
   w.key("connections").value(server.connections);

@@ -64,9 +64,18 @@ struct ServerCounters {
 ///                          running jobs answer {"id", "state"} . Repeatable:
 ///                          served via Service::outcome, which never touches
 ///                          drain's once-only cursor
+///   GET    /v1/jobs/{id}/artifact
+///                          the job's versioned binary artifact
+///                          (docs/FORMATS.md) as application/octet-stream —
+///                          byte-identical to the artifact store's file for
+///                          the same job. 409 "no_artifact" unless the job
+///                          is done
 ///   DELETE /v1/jobs/{id}   cancel-if-queued; answers {"id", "cancelled",
 ///                          "state"}
-///   GET    /v1/status      service/cache/pool/server counters
+///   GET    /v1/status      service/cache/store/pool/server counters
+///
+/// docs/API.md is the full route-by-route reference with request/response
+/// schemas and curl examples.
 ///
 /// Errors are structured: {"error": {"code", "message"}} with the HTTP
 /// status mapped from the service::StatusCode family (invalid_argument and
@@ -121,6 +130,7 @@ class Server {
 
   http::Response handle_submit(const http::Request& request);
   http::Response handle_job_get(std::uint64_t id, const http::Request& request);
+  http::Response handle_job_artifact(std::uint64_t id);
   http::Response handle_job_delete(std::uint64_t id);
   http::Response handle_status();
 

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/binio.h"
+#include "qir/circuit.h"
+
+namespace tetris::qir {
+
+/// Binary circuit codec — the Circuit record of the artifact format
+/// (docs/FORMATS.md §3). A circuit serializes as
+///
+///   num_qubits  u32
+///   name        str (u32 length + bytes)
+///   gate_count  u32
+///   gates       gate_count × { kind u8, qubit_count u32, qubits u32...,
+///                              param_count u8, params f64... }
+///
+/// Gate parameters are written by exact IEEE-754 bit pattern, so a decoded
+/// circuit is bit-identical to the encoded one: `content_hash()` (which also
+/// hashes parameter bits) is invariant under a round trip, which is what
+/// lets a stored artifact be re-keyed and re-verified without re-running
+/// anything.
+
+/// Hard limits of the reader. An input breaching any of these is rejected
+/// with ParseError *before* allocation — a corrupt count must cost an
+/// exception, not gigabytes. Generous relative to anything the pipeline
+/// produces (the widest compiled RevLib artifact is < 100 qubits and a few
+/// thousand gates).
+inline constexpr std::uint32_t kMaxCircuitQubits = 1u << 20;
+inline constexpr std::uint32_t kMaxCircuitGates = 1u << 26;
+inline constexpr std::uint32_t kMaxCircuitNameBytes = 1u << 12;
+
+/// Appends the circuit record to `w`. Never fails.
+void write_circuit(ByteWriter& w, const Circuit& circuit);
+
+/// Reads one circuit record. Throws tetris::ParseError on truncation,
+/// over-limit counts, unknown gate kinds, or any gate that violates the IR's
+/// structural invariants (arity, qubit range, distinctness — the same
+/// validation `Circuit::add` applies to programmatic input, reported as a
+/// parse error with the gate index).
+Circuit read_circuit(ByteReader& r);
+
+}  // namespace tetris::qir

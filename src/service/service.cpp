@@ -141,9 +141,13 @@ std::size_t Service::CacheKeyHash::operator()(const CacheKey& k) const {
   return static_cast<std::size_t>(combine(h, k.fingerprint));
 }
 
-Service::Service(ServiceConfig config) : config_(config) {
+Service::Service(ServiceConfig config) : config_(std::move(config)) {
   if (config_.num_threads > 0) {
     private_pool_ = std::make_unique<runtime::ThreadPool>(config_.num_threads);
+  }
+  if (!config_.store_dir.empty()) {
+    store_ = std::make_unique<ArtifactStore>(
+        ArtifactStoreConfig{config_.store_dir, config_.store_max_entries});
   }
   cache_stats_.capacity = config_.cache_capacity;
 }
@@ -213,12 +217,15 @@ void Service::execute(const std::shared_ptr<JobRecord>& record) {
 
   const auto start = Clock::now();
   const bool cache_enabled = config_.cache_capacity > 0;
+  const bool store_enabled = store_ != nullptr;
   CacheKey key;
   std::shared_ptr<const lock::FlowResult> cached;
-  if (cache_enabled) {
+  if (cache_enabled || store_enabled) {
     key.circuit_hash = record->job.circuit.content_hash();
     key.seed = record->seed;
     key.fingerprint = flow_fingerprint(record->job);
+  }
+  if (cache_enabled) {
     std::lock_guard<std::mutex> lk(mutex_);
     auto it = cache_index_.find(key);
     if (it != cache_index_.end()) {
@@ -227,6 +234,29 @@ void Service::execute(const std::shared_ptr<JobRecord>& record) {
       ++cache_stats_.hits;
     } else {
       ++cache_stats_.misses;
+    }
+  }
+
+  // Memory miss -> disk tier. The load (file read + decode) runs outside
+  // mutex_: artifact I/O must never serialize unrelated jobs. A disk hit is
+  // promoted into the memory LRU so the next repeat stops in RAM.
+  if (!cached && store_enabled) {
+    const ArtifactKey akey{key.circuit_hash, key.seed, key.fingerprint};
+    if (auto loaded = store_->load(akey)) {
+      cached = std::make_shared<const lock::FlowResult>(std::move(*loaded));
+      if (cache_enabled) {
+        std::lock_guard<std::mutex> lk(mutex_);
+        if (cache_index_.find(key) == cache_index_.end()) {
+          lru_.push_front(CacheEntry{key, cached});
+          cache_index_[key] = lru_.begin();
+          while (lru_.size() > config_.cache_capacity) {
+            cache_index_.erase(lru_.back().key);
+            lru_.pop_back();
+            ++cache_stats_.evictions;
+          }
+          cache_stats_.entries = lru_.size();
+        }
+      }
     }
   }
 
@@ -251,6 +281,14 @@ void Service::execute(const std::shared_ptr<JobRecord>& record) {
                        record->job.target, record->job.config, rng));
   } catch (...) {
     status = ServiceStatus::from_current_exception();
+  }
+
+  // Persist before publishing, still outside mutex_ (the store has its own
+  // synchronization and the write is atomic on its side). Failures are
+  // absorbed by the store — a broken disk degrades durability, not the job.
+  if (result && store_enabled) {
+    store_->store(ArtifactKey{key.circuit_hash, key.seed, key.fingerprint},
+                  *result);
   }
 
   std::lock_guard<std::mutex> lk(mutex_);
@@ -408,6 +446,21 @@ void Service::clear_cache() {
   lru_.clear();
   cache_index_.clear();
   cache_stats_.entries = 0;
+}
+
+std::string Service::artifact_bytes(const JobHandle& handle) const {
+  auto record = find(handle.id());
+  std::shared_ptr<const lock::FlowResult> result;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (record->state == JobState::kDone) result = record->result;
+  }
+  TETRIS_REQUIRE(result != nullptr,
+                 "Service: job " + std::to_string(handle.id()) +
+                     " has no artifact (only kDone jobs do)");
+  // job and seed are immutable after submit, and the encode (several circuit
+  // copies) runs without the service lock.
+  return encode_artifact(artifact_key(record->job, record->seed), *result);
 }
 
 unsigned Service::threads() const {

@@ -13,6 +13,7 @@
 #include "common/rng.h"
 #include "lock/pipeline.h"
 #include "runtime/thread_pool.h"
+#include "service/artifact_store.h"
 
 namespace tetris::service {
 
@@ -71,7 +72,10 @@ struct JobOutcome {
   std::uint64_t seed = 0;     ///< effective RNG seed of this job
   JobState state = JobState::kQueued;
   ServiceStatus status;       ///< ok() iff state == kDone
-  bool cache_hit = false;     ///< result was served from the result cache
+  /// Result was served from a cache tier — the in-memory LRU or the disk
+  /// artifact store — instead of re-running the flow. Indistinguishable from
+  /// a re-run by the determinism contract.
+  bool cache_hit = false;
   double seconds = 0.0;       ///< execution wall time (≈0 for cache hits)
   /// Sampler settings the job was configured with (FlowConfig::shots /
   /// ::sample_threads / ::fusion), echoed so JSON consumers can judge the
@@ -86,7 +90,8 @@ struct JobOutcome {
 /// Hit/miss counters of the result cache.
 struct CacheStats {
   std::size_t hits = 0;
-  std::size_t misses = 0;      ///< lookups that went on to run the flow
+  std::size_t misses = 0;      ///< lookups the memory tier could not answer
+                               ///< (the disk store may still avoid the run)
   std::size_t evictions = 0;   ///< entries dropped by the LRU capacity bound
   std::size_t entries = 0;     ///< currently resident results
   std::size_t capacity = 0;    ///< configured bound (0 = cache disabled)
@@ -102,6 +107,14 @@ struct ServiceConfig {
   std::uint64_t base_seed = 2025;
   /// Result-cache capacity in entries; 0 disables caching entirely.
   std::size_t cache_capacity = 0;
+  /// Directory of the disk-backed artifact store; empty disables it. When
+  /// set, finished flows are persisted as versioned artifacts
+  /// (service/artifact_store.h) and looked up behind the memory LRU, so a
+  /// restarted service — or a sibling process sharing the directory — warm-
+  /// starts from disk instead of recomputing.
+  std::string store_dir;
+  /// Artifact-store entry cap (oldest files evicted past it); 0 = unbounded.
+  std::size_t store_max_entries = 0;
 };
 
 class Service;
@@ -215,8 +228,22 @@ class Service {
 
   std::size_t jobs_submitted() const;
   CacheStats cache_stats() const;
-  /// Drops all cached results (counters keep accumulating).
+  /// Drops all cached results (counters keep accumulating). Disk artifacts
+  /// are untouched — clearing memory must not destroy durable state.
   void clear_cache();
+
+  /// The versioned artifact encoding of a finished job: the
+  /// docs/FORMATS.md envelope around its FlowResult, keyed with the job's
+  /// own (content hash, seed, fingerprint) triple. Encoded on the fly from
+  /// the in-memory result — available whether or not a store is configured,
+  /// and byte-identical to the store's file for the same job (the encoder is
+  /// deterministic). Throws InvalidArgument if the job is not kDone.
+  std::string artifact_bytes(const JobHandle& handle) const;
+
+  /// The disk artifact store, or nullptr when ServiceConfig::store_dir is
+  /// empty. Exposed for stats reporting (GET /v1/status) and tests.
+  ArtifactStore* artifact_store() { return store_.get(); }
+  const ArtifactStore* artifact_store() const { return store_.get(); }
 
   const ServiceConfig& config() const { return config_; }
   /// Width of the pool this service executes on.
@@ -266,6 +293,9 @@ class Service {
 
   ServiceConfig config_;
   std::unique_ptr<runtime::ThreadPool> private_pool_;
+  /// Disk tier behind the memory LRU; internally synchronized, so execute()
+  /// does its file I/O without holding mutex_.
+  std::unique_ptr<ArtifactStore> store_;
 
   mutable std::mutex mutex_;
   mutable std::condition_variable cv_;

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <mutex>
 #include <set>
 #include <string>
@@ -22,6 +23,7 @@
 #include "net/http.h"
 #include "qir/qasm.h"
 #include "revlib/benchmarks.h"
+#include "service/artifact_store.h"
 #include "service/serialize.h"
 #include "service/service.h"
 
@@ -50,12 +52,23 @@ lock::FlowJob facade_job(const std::string& name, std::size_t shots = 64) {
   return lock::make_flow_job(b.name, b.circuit, b.measured, cfg);
 }
 
+/// Service config for the fixtures: `threads` private workers, seed 2025,
+/// cache off (store fields default-empty).
+service::ServiceConfig fixture_service_config(unsigned threads) {
+  service::ServiceConfig cfg;
+  cfg.num_threads = threads;
+  cfg.base_seed = 2025;
+  cfg.cache_capacity = 0;
+  return cfg;
+}
+
 /// A service (private 2-thread pool, so POSTs stay async) plus a started
 /// server on an ephemeral port and a client pointed at it.
 class ServerFixture {
  public:
-  explicit ServerFixture(ServerConfig config = {},
-                         service::ServiceConfig service_config = {2, 2025, 0})
+  explicit ServerFixture(
+      ServerConfig config = {},
+      service::ServiceConfig service_config = fixture_service_config(2))
       : service_(service_config), server_(service_, with_port0(config)) {
     server_.start();
   }
@@ -234,7 +247,7 @@ TEST(NetServer, ResultJsonByteIdenticalToInProcessFacade) {
   ASSERT_EQ(res.status, 200);
 
   // The same circuit, seed, and flow config through the in-process facade.
-  service::Service svc({2, 2025, 0});
+  service::Service svc(fixture_service_config(2));
   auto outcome = svc.submit(facade_job("4mod5"), 2025).wait();
   ASSERT_EQ(outcome.state, service::JobState::kDone);
   EXPECT_EQ(res.body, service::to_json(outcome, /*include_timing=*/false));
@@ -290,6 +303,82 @@ TEST(NetServer, RepeatedGetIsStableAndDoesNotDisturbDrain) {
   EXPECT_EQ(client.get("/v1/jobs/1?timing=0").body, first);
 }
 
+TEST(NetServer, ArtifactEndpointServesValidatedBytes) {
+  ServerFixture fx;
+  auto client = fx.client();
+  ASSERT_EQ(client.post("/v1/jobs", submit_body("4mod5")).status, 202);
+  ASSERT_EQ(poll_until_terminal(client, 1), "done");
+
+  auto res = client.get("/v1/jobs/1/artifact");
+  ASSERT_EQ(res.status, 200);
+  ASSERT_NE(res.header("content-type"), nullptr);
+  EXPECT_EQ(*res.header("content-type"), "application/octet-stream");
+
+  // The bytes are a complete, valid artifact carrying the job's provenance.
+  const service::Artifact artifact = service::decode_artifact(res.body);
+  EXPECT_EQ(artifact.key.seed, 2025u);
+  EXPECT_EQ(artifact.result.depth_original,
+            artifact.result.depth_obfuscated);
+
+  // Byte-identical to the in-process encoding of the same job — the
+  // "fetch == store file" guarantee rides on this plus determinism.
+  EXPECT_EQ(res.body, fx.service().artifact_bytes(fx.service().handle(1)));
+  // And stable across repeated GETs.
+  EXPECT_EQ(client.get("/v1/jobs/1/artifact").body, res.body);
+}
+
+TEST(NetServer, ArtifactEndpointRejectsUnknownAndUnfinishedJobs) {
+  // One worker wedged by a slow job keeps a second submission queued long
+  // enough to cancel it — giving a deterministic non-done terminal state.
+  ServerFixture fx({}, fixture_service_config(1));
+  auto client = fx.client();
+
+  auto missing = client.get("/v1/jobs/99/artifact");
+  EXPECT_EQ(missing.status, 404);
+
+  ASSERT_EQ(
+      client.post("/v1/jobs", submit_body("4mod5", 2025, /*shots=*/20000))
+          .status,
+      202);
+  ASSERT_EQ(client.post("/v1/jobs", submit_body("4mod5")).status, 202);
+  ASSERT_EQ(client.del("/v1/jobs/2").status, 200);
+
+  auto res = client.get("/v1/jobs/2/artifact");
+  EXPECT_EQ(res.status, 409);
+  EXPECT_EQ(json::parse(res.body).at("error").at("code").as_string(),
+            "no_artifact");
+
+  EXPECT_EQ(poll_until_terminal(client, 1), "done");
+}
+
+TEST(NetServer, StatusReportsArtifactStoreCounters) {
+  const std::string dir =
+      (std::filesystem::path(testing::TempDir()) / "tetris_net_store").string();
+  std::filesystem::remove_all(dir);
+  service::ServiceConfig scfg;
+  scfg.num_threads = 2;
+  scfg.store_dir = dir;
+  ServerFixture fx({}, scfg);
+  auto client = fx.client();
+
+  auto before = json::parse(client.get("/v1/status").body);
+  EXPECT_TRUE(before.at("store").at("enabled").as_bool());
+  EXPECT_EQ(before.at("store").at("writes").as_int(), 0);
+
+  ASSERT_EQ(client.post("/v1/jobs", submit_body("4mod5")).status, 202);
+  ASSERT_EQ(poll_until_terminal(client, 1), "done");
+
+  auto after = json::parse(client.get("/v1/status").body);
+  EXPECT_EQ(after.at("store").at("writes").as_int(), 1);
+  EXPECT_EQ(after.at("store").at("entries").as_int(), 1);
+
+  // A store-less server reports the tier as disabled, not absent.
+  ServerFixture plain;
+  auto plain_client = plain.client();
+  auto doc = json::parse(plain_client.get("/v1/status").body);
+  EXPECT_FALSE(doc.at("store").at("enabled").as_bool());
+}
+
 TEST(NetServer, ConcurrentClientsGetUniqueIdsAndAnswers) {
   ServerConfig config;
   config.connection_threads = 4;  // genuine connection parallelism
@@ -330,7 +419,7 @@ TEST(NetServer, ConcurrentClientsGetUniqueIdsAndAnswers) {
 TEST(NetServer, DeleteCancelsQueuedJobs) {
   // One service worker: job 1 occupies it, job 2 sits queued and is
   // cancellable through the REST surface.
-  ServerFixture fx({}, service::ServiceConfig{1, 2025, 0});
+  ServerFixture fx({}, fixture_service_config(1));
   auto client = fx.client();
   ASSERT_EQ(
       client.post("/v1/jobs", submit_body("4mod5", 2025, /*shots=*/20000))

@@ -32,19 +32,27 @@
 //              flag is part of the result-cache fingerprint.
 //              --cache enables the service result cache (hit/miss counters
 //              in the summary); --out-json writes the machine-readable
-//              outcome document.
+//              outcome document. --store DIR adds the durable artifact tier:
+//              finished flows persist to DIR as versioned binary artifacts
+//              (docs/FORMATS.md) and later runs with the same (circuit,
+//              seed, config) answer from disk instead of recomputing — even
+//              across process restarts.
 //   complexity --n N --nmax M [--k K]
 //              Eq. 1 attack-complexity numbers vs the cascade baseline
-//   serve      [--port N] [--jobs N] [--cache] [--max-body BYTES]
+//   serve      [--port N] [--jobs N] [--cache] [--store DIR]
+//              [--store-max N] [--max-body BYTES]
 //              embedded REST server (src/net/) over the service facade on
 //              127.0.0.1. Prints "listening on http://127.0.0.1:PORT"
 //              (--port 0 binds an ephemeral port) and serves until SIGINT/
 //              SIGTERM, then shuts down cleanly. Endpoints: POST /v1/jobs,
-//              GET /v1/jobs/{id}[?timing=0], DELETE /v1/jobs/{id},
-//              GET /v1/status — see src/net/server.h for the full API.
-//              --jobs sizes the service's private worker pool (so job
-//              compute never blocks connection handling); --cache enables
-//              the result cache; --max-body caps request bodies.
+//              GET /v1/jobs/{id}[?timing=0], GET /v1/jobs/{id}/artifact,
+//              DELETE /v1/jobs/{id}, GET /v1/status — docs/API.md is the
+//              full reference. --jobs sizes the service's private worker
+//              pool (so job compute never blocks connection handling);
+//              --cache enables the result cache; --store DIR adds the disk
+//              artifact tier (a restarted server warm-starts from DIR;
+//              --store-max N caps it at N artifacts, oldest evicted);
+//              --max-body caps request bodies.
 //   submit     --url http://HOST:PORT (--benchmark NAME | --in FILE)
 //              [--seed N] [--shots N] [--sample-jobs N] [--fuse]
 //              [--max-gates N] [--alphabet ...] [--gap] [--poll-ms N]
@@ -55,6 +63,15 @@
 //              writes the result document. Same seed + flags produce a
 //              JobOutcome JSON byte-identical (modulo wall-time fields) to
 //              `protect --out-json` run in-process.
+//   fetch      --url http://HOST:PORT --id N [--out FILE] | --in FILE
+//              download (GET /v1/jobs/{id}/artifact) or read a versioned
+//              binary artifact, fully validate it (magic, version, checksum,
+//              bounded payload parse — docs/FORMATS.md), print its
+//              provenance key and Table-I metrics, and optionally write the
+//              raw bytes to FILE. The downloaded bytes are byte-identical
+//              to the server's --store file for the same job, so
+//              `fetch --out f.tla` + `cmp f.tla STORE/<key>.tla` is the
+//              end-to-end integrity check CI runs.
 //
 // Every subcommand additionally accepts --jobs N, which sizes the shared
 // worker pool used by the service and the parallel statevector kernels
@@ -73,6 +90,7 @@
 #include <csignal>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <limits>
 #include <map>
@@ -156,12 +174,13 @@ const std::set<std::string>* allowed_flags(const std::string& cmd) {
         "out-prefix"}},
       {"protect",
        {"benchmark", "in", "batch", "seed", "shots", "sample-jobs", "fuse",
-        "max-gates", "alphabet", "gap", "cache", "out-json"}},
+        "max-gates", "alphabet", "gap", "cache", "store", "out-json"}},
       {"complexity", {"n", "nmax", "k"}},
-      {"serve", {"port", "cache", "max-body"}},
+      {"serve", {"port", "cache", "store", "store-max", "max-body"}},
       {"submit",
        {"url", "benchmark", "in", "seed", "shots", "sample-jobs", "fuse",
         "max-gates", "alphabet", "gap", "poll-ms", "wait-s", "out-json"}},
+      {"fetch", {"url", "id", "in", "out"}},
   };
   auto it = kAllowed.find(cmd);
   return it == kAllowed.end() ? nullptr : &it->second;
@@ -257,6 +276,9 @@ service::ServiceConfig service_config(const Options& o, std::size_t jobs) {
   cfg.base_seed = static_cast<std::uint64_t>(o.get_long("seed", 2025, 0));
   cfg.cache_capacity =
       o.has("cache") ? std::max<std::size_t>(jobs, 64) : 0;
+  cfg.store_dir = o.get("store");
+  cfg.store_max_entries =
+      static_cast<std::size_t>(o.get_long("store-max", 0, 0));
   return cfg;
 }
 
@@ -264,6 +286,16 @@ void print_cache_stats(const service::CacheStats& stats) {
   std::cout << "cache: " << stats.hits << " hits, " << stats.misses
             << " misses, " << stats.evictions << " evictions, "
             << stats.entries << "/" << stats.capacity << " entries\n";
+}
+
+void print_store_stats(const service::Service& svc) {
+  const service::ArtifactStore* store = svc.artifact_store();
+  if (store == nullptr) return;
+  const service::ArtifactStoreStats s = store->stats();
+  std::cout << "store: " << s.hits << " hits, " << s.misses << " misses, "
+            << s.writes << " writes, " << s.corrupt << " corrupt, "
+            << s.evictions << " evictions, " << s.entries << " artifacts in "
+            << store->config().dir << "\n";
 }
 
 int cmd_info(const Options& o) {
@@ -404,6 +436,7 @@ int cmd_protect_batch(const Options& o) {
             << " circuits/s on " << svc.threads() << " threads\n";
   const auto cache = svc.cache_stats();
   if (o.has("cache")) print_cache_stats(cache);
+  print_store_stats(svc);
 
   if (o.has("out-json")) {
     write_or_print(service::batch_to_json(outcomes, svc.threads(), wall,
@@ -453,6 +486,7 @@ int cmd_protect(const Options& o) {
   std::cout << "TVD obfuscated    : " << fmt_double(r.tvd_obfuscated, 3) << "\n";
   std::cout << "TVD restored      : " << fmt_double(r.tvd_restored, 3) << "\n";
   if (o.has("cache")) print_cache_stats(svc.cache_stats());
+  print_store_stats(svc);
   if (o.has("out-json")) {
     write_or_print(service::to_json(outcome), o.get("out-json"));
   }
@@ -496,6 +530,9 @@ int cmd_serve(const Options& o) {
       o.has("jobs") ? o.get_long("jobs", 0, 1)
                     : runtime::ThreadPool::default_global_threads());
   scfg.cache_capacity = o.has("cache") ? 128 : 0;
+  scfg.store_dir = o.get("store");
+  scfg.store_max_entries =
+      static_cast<std::size_t>(o.get_long("store-max", 0, 0));
 
   net::ServerConfig ncfg;
   ncfg.port = static_cast<int>(o.get_long("port", 8080, 0));
@@ -521,6 +558,77 @@ int cmd_serve(const Options& o) {
   std::cout << "served " << counters.requests << " requests over "
             << counters.connections << " connections; "
             << svc.jobs_submitted() << " jobs submitted\n";
+  print_store_stats(svc);
+  return 0;
+}
+
+/// `fetch`: download or read one versioned binary artifact, validate it end
+/// to end, and report what it holds. Validation IS the point — a fetch that
+/// succeeds proves the bytes parse, the checksum matches, and the embedded
+/// provenance key is intact.
+int cmd_fetch(const Options& o) {
+  std::string bytes;
+  std::string origin;
+  if (o.has("in")) {
+    const std::string path = o.get("in");
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw InvalidArgument("cannot open " + path);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+    origin = path;
+  } else {
+    if (!o.has("url") || !o.has("id")) {
+      throw InvalidArgument(
+          "fetch needs --url http://HOST:PORT --id N (or --in FILE)");
+    }
+    const long id = o.get_long("id", 0, 1);
+    const net::Url url = net::parse_url(o.get("url"));
+    net::Client client(url.host, url.port);
+    auto res = client.get("/v1/jobs/" + std::to_string(id) + "/artifact");
+    if (res.status != 200) {
+      std::cerr << "error: HTTP " << res.status << ": " << res.body << "\n";
+      return 1;
+    }
+    bytes = std::move(res.body);
+    origin = o.get("url") + "/v1/jobs/" + std::to_string(id) + "/artifact";
+  }
+
+  // Full decode (not just a header peek): the summary below is only printed
+  // for artifacts that are valid end to end.
+  const service::Artifact artifact = service::decode_artifact(bytes);
+  const auto& r = artifact.result;
+  std::cout << "artifact          : " << origin << " (" << bytes.size()
+            << " bytes, format v" << service::kArtifactVersion << ")\n";
+  std::cout << "circuit hash      : " << std::hex << std::setfill('0')
+            << std::setw(16) << artifact.key.circuit_hash << std::dec
+            << std::setfill(' ') << "\n";
+  std::cout << "seed              : " << artifact.key.seed << "\n";
+  std::cout << "fingerprint       : " << std::hex << std::setfill('0')
+            << std::setw(16) << artifact.key.fingerprint << std::dec
+            << std::setfill(' ') << "\n";
+  std::cout << "name              : " << r.obf.original.name() << "\n";
+  std::cout << "depth             : " << r.depth_original << " -> "
+            << r.depth_obfuscated << "\n";
+  std::cout << "gates             : " << r.gates_original << " -> "
+            << r.gates_obfuscated << "\n";
+  std::cout << "split widths      : " << r.splits.first.circuit.num_qubits()
+            << " / " << r.splits.second.circuit.num_qubits() << "\n";
+  std::cout << "accuracy original : " << fmt_double(r.accuracy_original, 3)
+            << "\n";
+  std::cout << "accuracy restored : " << fmt_double(r.accuracy_restored, 3)
+            << "\n";
+  std::cout << "TVD obfuscated    : " << fmt_double(r.tvd_obfuscated, 3)
+            << "\n";
+  std::cout << "TVD restored      : " << fmt_double(r.tvd_restored, 3) << "\n";
+
+  if (o.has("out")) {
+    const std::string path = o.get("out");
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw InvalidArgument("cannot write " + path);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw Error("fetch: short write to " + path);
+    std::cout << "wrote " << path << "\n";
+  }
   return 0;
 }
 
@@ -635,7 +743,7 @@ int cmd_submit(const Options& o) {
 
 int usage() {
   std::cerr << "usage: tetrislock_cli "
-               "{info|obfuscate|split|protect|serve|submit|complexity} "
+               "{info|obfuscate|split|protect|serve|submit|fetch|complexity} "
                "[--flags]\n"
                "       global: --jobs N   (worker threads; also TETRIS_THREADS)\n"
                "       protect: --shots N --sample-jobs N  (trajectory count "
@@ -644,10 +752,14 @@ int usage() {
                "the sampled runs)\n"
                "       protect: --cache --out-json FILE  (service result "
                "cache + JSON output)\n"
+               "       protect/serve: --store DIR  (durable artifact store; "
+               "warm-starts across restarts)\n"
                "       serve:   --port N --cache  (REST server; port 0 = "
                "ephemeral)\n"
                "       submit:  --url http://HOST:PORT --benchmark NAME  "
                "(protect over HTTP)\n"
+               "       fetch:   --url http://HOST:PORT --id N --out FILE  "
+               "(download + validate artifact)\n"
                "see the header of tools/tetrislock_cli.cpp for details\n";
   return 2;
 }
@@ -673,6 +785,7 @@ int main(int argc, char** argv) {
     if (cmd == "complexity") return cmd_complexity(o);
     if (cmd == "serve") return cmd_serve(o);
     if (cmd == "submit") return cmd_submit(o);
+    if (cmd == "fetch") return cmd_fetch(o);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
