@@ -66,10 +66,19 @@ FlowResult run_flow(const qir::Circuit& circuit,
   result.gates_obfuscated = result.obf.circuit.gate_count();
 
   // --- Simulation metrics. ---
-  const auto reference = sim::ideal_distribution(circuit, measured);
-  const std::string correct = circuit.is_classical()
-                                  ? sim::classical_outcome(circuit, measured)
-                                  : std::string();
+  // Reference distribution. A classical circuit (every RevLib benchmark)
+  // has a point-mass reference at its deterministic outcome, computed by
+  // bit propagation — the permutation kernels keep amplitudes exactly 0/1,
+  // so this equals ideal_distribution bit for bit where both exist, and
+  // unlike it stays available at 50+ qubits where no 2^n statevector fits.
+  std::map<std::string, double> reference;
+  std::string correct;
+  if (circuit.is_classical()) {
+    correct = sim::classical_outcome(circuit, measured);
+    reference[correct] = 1.0;
+  } else {
+    reference = sim::ideal_distribution(circuit, measured);
+  }
 
   sim::SampleOptions opts;
   opts.shots = config.shots;
@@ -79,6 +88,12 @@ FlowResult run_flow(const qir::Circuit& circuit,
   // Gate fusion applies only to the sampled runs; the ideal reference
   // distribution above stays unfused so the exact reference never moves.
   opts.fuse = config.fusion;
+  // Resolve kAuto once, against the source circuit: the compiled views are
+  // Clifford exactly when the source is (the compiler's {X, SX, RZ, CX}
+  // output stays on the quarter-turn lattice and every insertion alphabet
+  // is Clifford), so one engine consistently serves all three runs below —
+  // and it is the same engine service::flow_fingerprint keys on.
+  opts.backend = sim::resolve_backend(config.backend, circuit);
 
   // Obfuscated view: the masked circuit R.C an adversary would run, compiled
   // on the same backend (paper Sec. V-C).

@@ -12,6 +12,7 @@
 #include "lock/obfuscator.h"
 #include "lock/splitter.h"
 #include "qir/circuit.h"
+#include "sim/backend/backend.h"
 
 namespace tetris::lock {
 
@@ -35,6 +36,15 @@ struct FlowConfig {
   /// unfused path. Unlike sample_threads this knob IS part of
   /// service::flow_fingerprint, because it can change the result.
   bool fusion = false;
+  /// Simulation engine of the flow's sampled runs — CLI `--backend`. kAuto
+  /// is resolved ONCE against the source circuit (sim::resolve_backend) and
+  /// the resolved engine then serves all three sampled views, so one flow
+  /// never mixes engines. The default resolves to the statevector for every
+  /// circuit it can hold (bit-identical to the pre-backend pipeline); wide
+  /// Clifford circuits resolve to the stabilizer tableau engine, the
+  /// 50+-qubit verification path. Part of service::flow_fingerprint
+  /// whenever it resolves off the statevector default.
+  sim::BackendKind backend = sim::BackendKind::kAuto;
 };
 
 /// Everything one TetrisLock iteration produces: artifacts and the metrics

@@ -127,7 +127,7 @@ lock::FlowConfig parse_flow_config(const json::Value* config) {
   }
   require_known_keys(*config,
                      {"shots", "max_gates", "alphabet", "gap", "fuse",
-                      "sample_jobs"},
+                      "sample_jobs", "backend"},
                      "config");
   if (const json::Value* v = config->find("shots")) {
     cfg.shots =
@@ -153,6 +153,15 @@ lock::FlowConfig parse_flow_config(const json::Value* config) {
   if (const json::Value* v = config->find("sample_jobs")) {
     cfg.sample_threads =
         static_cast<unsigned>(int_field(*v, "sample_jobs", 0, 65'536));
+  }
+  if (const json::Value* v = config->find("backend")) {
+    if (!v->is_string()) {
+      throw http::HttpError(400, "invalid_argument",
+                            "'backend' must be a string");
+    }
+    // Shared parser with the CLI's --backend flag; throws InvalidArgument
+    // (→ 400 via the handler wrapper) naming the accepted spellings.
+    cfg.backend = sim::parse_backend_kind(v->as_string());
   }
   return cfg;
 }
@@ -559,6 +568,22 @@ http::Response Server::handle_status() {
   w.key("service").begin_object();
   w.key("jobs_submitted").value(service_.jobs_submitted());
   w.key("threads").value(service_.threads());
+  w.end_object();
+  // Registered simulation engines (capabilities from the sim registry) plus
+  // this service's terminal-job tallies per engine.
+  const auto backend_jobs = service_.backend_counters();
+  w.key("backends").begin_object();
+  for (const sim::BackendInfo& info : sim::registered_backends()) {
+    w.key(info.name).begin_object();
+    w.key("max_qubits").value(info.caps.max_qubits);
+    w.key("clifford_only").value(info.caps.clifford_only);
+    w.key("supports_noise").value(info.caps.supports_noise);
+    auto it = backend_jobs.find(info.name);
+    w.key("jobs_done").value(it == backend_jobs.end() ? 0 : it->second.done);
+    w.key("jobs_failed")
+        .value(it == backend_jobs.end() ? 0 : it->second.failed);
+    w.end_object();
+  }
   w.end_object();
   w.key("cache").begin_object();
   w.key("hits").value(cache.hits);

@@ -159,6 +159,11 @@ bool Circuit::is_classical() const {
                      [](const Gate& g) { return g.is_classical(); });
 }
 
+bool Circuit::is_clifford() const {
+  return std::all_of(gates_.begin(), gates_.end(),
+                     [](const Gate& g) { return g.is_clifford(); });
+}
+
 Circuit Circuit::without_barriers() const {
   Circuit out(num_qubits_, name_);
   for (const Gate& g : gates_) {

@@ -107,6 +107,11 @@ class Circuit {
   /// True if every gate Gate::is_classical() (RevLib reversible class).
   bool is_classical() const;
 
+  /// True if every gate Gate::is_clifford() — the class a stabilizer
+  /// tableau simulator can execute, and the test behind the `auto` backend
+  /// selection policy (sim/backend/backend.h).
+  bool is_clifford() const;
+
   /// Removes all barriers (compilers call this first).
   Circuit without_barriers() const;
 

@@ -157,6 +157,55 @@ bool Gate::is_classical() const {
   }
 }
 
+bool quarter_turns(double theta, int* turns, double atol) {
+  const double half_pi = 1.5707963267948966;  // pi/2 rounded to double
+  const double ratio = theta / half_pi;
+  const double nearest = std::nearbyint(ratio);
+  if (std::abs(theta - nearest * half_pi) > atol) return false;
+  if (turns != nullptr) {
+    // C++ % truncates toward zero; fold negatives into [0, 3].
+    long long k = static_cast<long long>(nearest) % 4;
+    *turns = static_cast<int>(k < 0 ? k + 4 : k);
+  }
+  return true;
+}
+
+bool Gate::is_clifford() const {
+  int k = 0;
+  switch (kind) {
+    case GateKind::I:
+    case GateKind::X:
+    case GateKind::Y:
+    case GateKind::Z:
+    case GateKind::H:
+    case GateKind::S:
+    case GateKind::Sdg:
+    case GateKind::SX:
+    case GateKind::SXdg:
+    case GateKind::CX:
+    case GateKind::CY:
+    case GateKind::CZ:
+    case GateKind::SWAP:
+    case GateKind::Barrier:
+      return true;
+    case GateKind::RX:
+    case GateKind::RY:
+    case GateKind::RZ:
+    case GateKind::P:
+      return quarter_turns(params[0]);
+    case GateKind::CP:
+      // CP(k*pi) is I or CZ; odd pi/2 multiples are the T-class CS gate.
+      return quarter_turns(params[0], &k) && k % 2 == 0;
+    case GateKind::CRZ:
+      // CRZ(2*pi*m) = Z^m on the control (RZ(2*pi) = -I, and the -1 lands
+      // only on the control=1 subspace); anything finer is non-Clifford.
+      return quarter_turns(params[0], &k) && k == 0;
+    default:
+      // T/Tdg, CH, and the Toffoli family (CCX/CSWAP/MCX).
+      return false;
+  }
+}
+
 std::string Gate::name() const { return gate_kind_name(kind); }
 
 std::string Gate::to_string() const {

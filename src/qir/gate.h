@@ -74,6 +74,16 @@ struct Gate {
   /// circuit of such gates is classically reversible (the RevLib class).
   bool is_classical() const;
 
+  /// True if the gate is a Clifford operation — it maps Pauli strings to
+  /// Pauli strings under conjugation, so a stabilizer simulator
+  /// (sim/backend/stabilizer.h) can execute it in O(n) tableau updates.
+  /// Fixed kinds (I/X/Y/Z/H/S/Sdg/SX/SXdg/CX/CY/CZ/SWAP/Barrier) always
+  /// qualify; the parametric kinds qualify on the Clifford angle lattice:
+  /// RX/RY/RZ/P at multiples of pi/2, CP at multiples of pi, CRZ at
+  /// multiples of 2*pi (each within `quarter_turns`'s tolerance). T/Tdg and
+  /// the Toffoli family (CH/CCX/CSWAP/MCX) never qualify.
+  bool is_clifford() const;
+
   /// Lower-case mnemonic ("cx", "ccx", "rz", ...).
   std::string name() const;
 
@@ -94,6 +104,15 @@ int gate_param_count(GateKind kind);
 
 /// True if the kind is one of the single-qubit kinds.
 bool is_single_qubit_kind(GateKind kind);
+
+/// True if `theta` is an integer multiple of pi/2 within `atol`; when it is,
+/// `*turns` (if non-null) receives that multiple reduced mod 4, in [0, 3].
+/// This is the angle test behind Gate::is_clifford, shared with the
+/// stabilizer backend, which maps RZ(k*pi/2) to S^k etc. The tolerance
+/// absorbs the float error of compiler-accumulated angles (sums of pi/2
+/// literals drift by ~1e-16 per term) while still separating T (pi/4) by
+/// eight orders of magnitude.
+bool quarter_turns(double theta, int* turns = nullptr, double atol = 1e-9);
 
 /// Parses a mnemonic ("cx") back to a kind; throws ParseError if unknown.
 GateKind gate_kind_from_name(const std::string& name);

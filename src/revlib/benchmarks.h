@@ -26,8 +26,17 @@ const std::vector<Benchmark>& table1_benchmarks();
 /// Lookup by name; throws InvalidArgument for unknown names.
 const Benchmark& get_benchmark(const std::string& name);
 
-/// All benchmark names in Table-I order.
+/// All benchmark names in Table-I order. Deliberately Table-I only — the
+/// parametrized test suites enumerate this list, and the paper-metric
+/// expectations they pin hold for the RevLib reconstructions, not for the
+/// synthetic scale circuits below.
 std::vector<std::string> benchmark_names();
+
+/// Synthetic scale benchmarks, not part of Table I: wide circuits that
+/// exercise the non-statevector simulation engines. `get_benchmark` (and
+/// therefore the CLI's --benchmark and the REST "benchmark" field) resolves
+/// these by name exactly like the Table-I entries.
+const std::vector<Benchmark>& synthetic_benchmarks();
 
 // Individual builders (exposed for tests and examples).
 qir::Circuit build_mini_alu();    ///< 5 qubits,  9 gates, depth  8
@@ -38,5 +47,6 @@ qir::Circuit build_4gt13();       ///< 5 qubits,  4 gates, depth  4
 qir::Circuit build_rd53();        ///< 7 qubits, 19 gates, depth 16
 qir::Circuit build_rd73();        ///< 10 qubits, 23 gates, depth 13
 qir::Circuit build_rd84();        ///< 12 qubits, 32 gates, depth 15
+qir::Circuit build_cliff50();     ///< 50 qubits, 54 gates, depth 51 (synthetic)
 
 }  // namespace tetris::revlib

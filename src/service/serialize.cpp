@@ -50,6 +50,12 @@ void job_outcome_object(json::Writer& w, const JobOutcome& outcome,
   // Emitted only when on: documents with fusion off stay byte-identical to
   // the pre-fusion schema.
   if (outcome.fusion) w.key("fusion").value(true);
+  // Resolved engine, emitted only off the statevector default — same
+  // stay-byte-identical policy as fusion (and the same condition under
+  // which flow_fingerprint mixes it).
+  if (outcome.backend != sim::BackendKind::kStateVector) {
+    w.key("backend").value(sim::backend_kind_name(outcome.backend));
+  }
   w.end_object();
   if (include_timing) w.key("seconds").value(outcome.seconds);
   if (outcome.state == JobState::kDone) {

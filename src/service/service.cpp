@@ -104,6 +104,17 @@ std::uint64_t flow_fingerprint(const lock::FlowJob& job) {
   // so a fused run's metrics are only tolerance-equal to unfused ones — a
   // cached unfused result must not answer a fused request or vice versa.
   f.mix(static_cast<std::uint64_t>(job.config.fusion ? 1 : 0));
+  // The simulation engine is mixed only when it resolves off the
+  // statevector default: every fingerprint minted before engines were
+  // selectable (default/auto/explicit-statevector runs all resolve to the
+  // statevector) is preserved, so existing cached artifacts stay valid,
+  // while a non-default engine gets its own key — its counts only provably
+  // match the statevector's on the Clifford grid.
+  const sim::BackendKind resolved =
+      sim::resolve_backend(job.config.backend, job.circuit);
+  if (resolved != sim::BackendKind::kStateVector) {
+    f.mix(sim::backend_kind_name(resolved));
+  }
   // config.sample_threads is deliberately NOT mixed: the sharded sampler is
   // bit-identical at any fan-out, so it cannot change the cached result.
   return f.digest();
@@ -170,6 +181,8 @@ JobHandle Service::submit(lock::FlowJob job) {
 JobHandle Service::submit(lock::FlowJob job, std::uint64_t seed) {
   auto record = std::make_shared<JobRecord>();
   record->job = std::move(job);
+  record->resolved_backend =
+      sim::resolve_backend(record->job.config.backend, record->job.circuit);
   record->seed = seed;
   {
     std::lock_guard<std::mutex> lk(mutex_);
@@ -266,6 +279,7 @@ void Service::execute(const std::shared_ptr<JobRecord>& record) {
     record->cache_hit = true;
     record->state = JobState::kDone;
     record->seconds = seconds_since(start);
+    ++backend_counters_[sim::backend_kind_name(record->resolved_backend)].done;
     --outstanding_;
     cv_.notify_all();
     return;
@@ -309,9 +323,12 @@ void Service::execute(const std::shared_ptr<JobRecord>& record) {
     }
     record->result = std::move(result);
     record->state = JobState::kDone;
+    ++backend_counters_[sim::backend_kind_name(record->resolved_backend)].done;
   } else {
     record->status = status;
     record->state = JobState::kFailed;
+    ++backend_counters_[sim::backend_kind_name(record->resolved_backend)]
+          .failed;
   }
   --outstanding_;
   cv_.notify_all();
@@ -336,6 +353,7 @@ JobOutcome Service::outcome_locked(const JobRecord& record) const {
   out.shots = record.job.config.shots;
   out.sample_threads = record.job.config.sample_threads;
   out.fusion = record.job.config.fusion;
+  out.backend = record.resolved_backend;
   return out;
 }
 
@@ -431,6 +449,11 @@ std::vector<JobOutcome> Service::wait_all() const {
 std::size_t Service::jobs_submitted() const {
   std::lock_guard<std::mutex> lk(mutex_);
   return records_.size();
+}
+
+std::map<std::string, BackendCounters> Service::backend_counters() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return backend_counters_;
 }
 
 CacheStats Service::cache_stats() const {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -84,7 +85,17 @@ struct JobOutcome {
   std::size_t shots = 0;
   unsigned sample_threads = 0;  ///< 0 = shared the service pool
   bool fusion = false;          ///< gate fusion in the sampled runs
+  /// Simulation engine the flow's sampled runs execute on: the job's
+  /// FlowConfig::backend with kAuto already resolved against its circuit
+  /// (sim::resolve_backend), fixed at submission. Never kAuto.
+  sim::BackendKind backend = sim::BackendKind::kStateVector;
   lock::FlowResult result;    ///< valid only when state == kDone
+};
+
+/// Terminal-job tallies of one simulation engine (GET /v1/status).
+struct BackendCounters {
+  std::size_t done = 0;    ///< kDone jobs, cache hits included
+  std::size_t failed = 0;  ///< kFailed jobs
 };
 
 /// Hit/miss counters of the result cache.
@@ -153,7 +164,11 @@ class JobHandle {
 /// exactly — the triple the result cache keys on. Knobs that provably do
 /// not change the outcome (FlowConfig::sample_threads: the sampler is
 /// bit-identical at any fan-out) are excluded, so a cached result is shared
-/// across thread settings.
+/// across thread settings. FlowConfig::backend is mixed only when it
+/// *resolves* (sim::resolve_backend against the job's circuit) to a
+/// non-statevector engine: default/auto/explicit-statevector runs keep the
+/// fingerprints — and thus the cached artifacts — minted before engines
+/// were selectable.
 std::uint64_t flow_fingerprint(const lock::FlowJob& job);
 
 /// The programmatic front door of the TetrisLock stack.
@@ -227,6 +242,10 @@ class Service {
   std::vector<JobOutcome> wait_all() const;
 
   std::size_t jobs_submitted() const;
+  /// Terminal-job tallies keyed by engine name ("statevector", ...), for
+  /// every engine that has finished at least one job. Resolved (never
+  /// "auto") names; cancelled jobs are not counted — they never ran.
+  std::map<std::string, BackendCounters> backend_counters() const;
   CacheStats cache_stats() const;
   /// Drops all cached results (counters keep accumulating). Disk artifacts
   /// are untouched — clearing memory must not destroy durable state.
@@ -253,6 +272,9 @@ class Service {
   struct JobRecord {
     std::uint64_t id = 0;
     lock::FlowJob job;
+    /// FlowConfig::backend resolved against the job's circuit at submission
+    /// (one is_clifford scan there instead of one per outcome snapshot).
+    sim::BackendKind resolved_backend = sim::BackendKind::kStateVector;
     std::uint64_t seed = 0;
     JobState state = JobState::kQueued;
     ServiceStatus status;
@@ -309,6 +331,8 @@ class Service {
   std::unordered_map<CacheKey, std::list<CacheEntry>::iterator, CacheKeyHash>
       cache_index_;
   CacheStats cache_stats_;
+  /// Terminal-job tallies per resolved engine name. Guarded by mutex_.
+  std::map<std::string, BackendCounters> backend_counters_;
 };
 
 }  // namespace tetris::service

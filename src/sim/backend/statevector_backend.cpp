@@ -1,0 +1,31 @@
+#include "sim/backend/statevector_backend.h"
+
+namespace tetris::sim {
+
+double StateVectorBackend::probability(std::size_t index) const {
+  TETRIS_REQUIRE(index < sv_.dim(),
+                 "StateVectorBackend::probability: index out of range");
+  return std::norm(sv_.amplitudes()[index]);
+}
+
+std::map<std::string, double> StateVectorBackend::distribution(
+    const std::vector<int>& measured) const {
+  std::vector<int> m = measured;
+  if (m.empty()) {
+    for (int q = 0; q < sv_.num_qubits(); ++q) m.push_back(q);
+  }
+  for (int q : m) {
+    TETRIS_REQUIRE(q >= 0 && q < sv_.num_qubits(),
+                   "StateVectorBackend::distribution: qubit out of range");
+  }
+  std::map<std::string, double> out;
+  const auto& amps = sv_.amplitudes();
+  for (std::size_t i = 0; i < amps.size(); ++i) {
+    const double p = std::norm(amps[i]);
+    if (p <= 0.0) continue;
+    out[project_index(i, m)] += p;
+  }
+  return out;
+}
+
+}  // namespace tetris::sim

@@ -1,0 +1,54 @@
+#pragma once
+
+#include "sim/backend/backend.h"
+#include "sim/statevector.h"
+
+namespace tetris::sim {
+
+/// The dense amplitude engine behind the Backend interface — a thin adapter
+/// over sim::StateVector, which stays a concrete class (the sampler's
+/// statevector fast path, the fusion engine, and the tests drive it
+/// directly; this wrapper adds the virtual dispatch only where a generic
+/// engine is wanted). Executes every gate kind of the IR; width-capped at
+/// 28 qubits by the underlying register.
+class StateVectorBackend final : public Backend {
+ public:
+  static BackendCaps caps() {
+    BackendCaps c;
+    c.max_qubits = 28;
+    c.clifford_only = false;
+    c.supports_noise = true;
+    c.dense_state = true;
+    return c;
+  }
+
+  explicit StateVectorBackend(int num_qubits) : sv_(num_qubits) {}
+
+  const char* name() const override { return "statevector"; }
+  BackendCaps capabilities() const override { return caps(); }
+  int num_qubits() const override { return sv_.num_qubits(); }
+
+  void reset() override { sv_.reset(); }
+  void apply_gate(const qir::Gate& gate) override { sv_.apply_gate(gate); }
+  void apply_pauli(char pauli, int q) override { sv_.apply_pauli(pauli, q); }
+
+  double probability(std::size_t index) const override;
+  std::size_t sample_index(Rng& rng) const override { return sv_.sample(rng); }
+  std::map<std::string, double> distribution(
+      const std::vector<int>& measured = {}) const override;
+
+  /// The wrapped register, for callers that need the concrete API (fusion,
+  /// fidelity against a raw StateVector).
+  StateVector& state() { return sv_; }
+  const StateVector& state() const { return sv_; }
+
+ protected:
+  const std::vector<cplx>* dense_state() const override {
+    return &sv_.amplitudes();
+  }
+
+ private:
+  StateVector sv_;
+};
+
+}  // namespace tetris::sim

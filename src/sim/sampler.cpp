@@ -4,9 +4,12 @@
 #include <cmath>
 #include <cstdint>
 
+#include <memory>
+
 #include "common/error.h"
 #include "runtime/shard.h"
 #include "runtime/thread_pool.h"
+#include "sim/backend/backend.h"
 #include "sim/fusion.h"
 #include "sim/statevector.h"
 
@@ -17,7 +20,11 @@ namespace {
 const char kPaulis[] = {'I', 'X', 'Y', 'Z'};
 
 /// Applies a uniformly random non-identity Pauli string to `qubits`.
-void inject_depolarizing(StateVector& sv, const std::vector<int>& qubits,
+/// Templated over the register type (StateVector or sim::Backend): the draw
+/// and the per-qubit application order are part of the per-shot determinism
+/// contract, so every engine must share this exact code path.
+template <typename Register>
+void inject_depolarizing(Register& sv, const std::vector<int>& qubits,
                          Rng& rng) {
   std::size_t num_strings = 1;
   for (std::size_t i = 0; i < qubits.size(); ++i) num_strings *= 4;
@@ -126,19 +133,76 @@ void run_shot_range(const SampleContext& ctx, std::size_t begin,
   }
 }
 
+/// Runs shots [begin, end) on a generic sim::Backend engine, consuming the
+/// exact randomness sequence of run_shot_range — same error-site Bernoullis,
+/// same injection draws, one uniform for the outcome, then readout flips —
+/// so a backend swap reproduces the statevector's shots wherever the
+/// engine's arithmetic agrees with it (exactly so on the Clifford grid).
+struct BackendSampleContext {
+  const qir::Circuit* circuit = nullptr;
+  const Backend* ideal = nullptr;  ///< prepared noise-free run, shared read-only
+  BackendKind kind = BackendKind::kStateVector;  ///< for trajectory registers
+  const std::vector<int>* measured = nullptr;
+  const NoiseModel* noise = nullptr;
+  const std::vector<double>* error_probs = nullptr;  ///< per gate index
+  bool any_gate_noise = false;
+  std::uint64_t base_seed = 0;  ///< base of the per-shot stream family
+};
+
+void run_backend_shot_range(const BackendSampleContext& ctx, std::size_t begin,
+                            std::size_t end, Counts& out) {
+  const auto& gates = ctx.circuit->gates();
+  std::unique_ptr<Backend> traj;
+  if (ctx.any_gate_noise) {
+    traj = make_backend(ctx.kind, ctx.circuit->num_qubits());
+  }
+  std::vector<std::size_t> error_sites;
+  for (std::size_t shot = begin; shot < end; ++shot) {
+    Rng rng = Rng::for_stream(ctx.base_seed, shot);
+    std::size_t raw;
+    error_sites.clear();
+    if (ctx.any_gate_noise) {
+      for (std::size_t i = 0; i < gates.size(); ++i) {
+        if ((*ctx.error_probs)[i] > 0.0 &&
+            rng.bernoulli((*ctx.error_probs)[i])) {
+          error_sites.push_back(i);
+        }
+      }
+    }
+    if (error_sites.empty()) {
+      raw = ctx.ideal->sample_index(rng);
+    } else {
+      traj->reset();
+      std::size_t next_err = 0;
+      for (std::size_t i = 0; i < gates.size(); ++i) {
+        traj->apply_gate(gates[i]);
+        if (next_err < error_sites.size() && error_sites[next_err] == i) {
+          inject_depolarizing(*traj, gates[i].qubits, rng);
+          ++next_err;
+        }
+      }
+      raw = traj->sample_index(rng);
+    }
+    raw = apply_readout(raw, *ctx.measured, ctx.noise->readout, rng);
+    ++out.histogram[project_outcome(raw, *ctx.measured)];
+  }
+}
+
 /// Shards `shots` over `pool` with `width` participants via
 /// `runtime::run_chunked` (caller-participates cursor: safe from inside a
 /// pool worker, degrades to serial on a saturated pool) and merges the
 /// per-chunk histograms in index order into `total`. Chunk c writes only to
 /// partial[c] and draws only from shot-indexed RNG streams, so the merged
-/// histogram is independent of width, pool, and claim order.
-void run_sharded(const SampleContext& ctx, std::size_t shots,
-                 std::size_t chunk, std::size_t num_chunks, unsigned width,
+/// histogram is independent of width, pool, and claim order. `range` is one
+/// of the run_*_shot_range functions bound to its context.
+template <typename RangeFn>
+void run_sharded(const RangeFn& range, std::size_t shots, std::size_t chunk,
+                 std::size_t num_chunks, unsigned width,
                  runtime::ThreadPool& pool, Counts& total) {
   std::vector<Counts> partial(num_chunks);
   runtime::run_chunked(pool, num_chunks, width, [&](std::size_t c) {
     const std::size_t begin = c * chunk;
-    run_shot_range(ctx, begin, std::min(shots, begin + chunk), partial[c]);
+    range(begin, std::min(shots, begin + chunk), partial[c]);
   });
   for (Counts& p : partial) {
     for (const auto& [key, value] : p.histogram) {
@@ -191,19 +255,6 @@ Counts sample(const qir::Circuit& circuit, const NoiseModel& noise, Rng& rng,
   const std::uint64_t base_seed = rng.next_u64();
   if (options.shots == 0) return counts;
 
-  // One ideal run serves every error-free shot, shared read-only by all
-  // shard workers (StateVector::sample is const). With options.fuse this one
-  // run goes through the fused kernels; errored trajectories below always
-  // run gate-by-gate — their per-shot noise-injection sites are fusion
-  // fences, and a fresh plan per (shot, error set) would cost more than the
-  // sweeps it saves.
-  StateVector ideal(circuit.num_qubits());
-  if (options.fuse) {
-    ideal.apply_fused(FusionPlan::build(circuit));
-  } else {
-    ideal.apply_circuit(circuit);
-  }
-
   const auto& gates = circuit.gates();
   std::vector<double> error_probs(gates.size());
   bool any_gate_noise = false;
@@ -211,15 +262,6 @@ Counts sample(const qir::Circuit& circuit, const NoiseModel& noise, Rng& rng,
     error_probs[i] = gate_error_prob(gates[i], noise);
     any_gate_noise = any_gate_noise || error_probs[i] > 0.0;
   }
-
-  SampleContext ctx;
-  ctx.circuit = &circuit;
-  ctx.ideal = &ideal;
-  ctx.measured = &measured;
-  ctx.noise = &noise;
-  ctx.error_probs = &error_probs;
-  ctx.any_gate_noise = any_gate_noise;
-  ctx.base_seed = base_seed;
 
   // Shard plan. The chunk grain is a pure performance knob: results are
   // bit-identical for any partition because shot i's randomness is
@@ -238,13 +280,80 @@ Counts sample(const qir::Circuit& circuit, const NoiseModel& noise, Rng& rng,
   const std::size_t num_chunks =
       std::min<std::size_t>(by_grain, static_cast<std::size_t>(width) * 4);
 
+  const BackendKind resolved = resolve_backend(options.backend, circuit);
+  if (resolved == BackendKind::kStateVector) {
+    // The reference path, byte-for-byte the pre-backend sampler: one ideal
+    // run serves every error-free shot, shared read-only by all shard
+    // workers (StateVector::sample is const). With options.fuse this one
+    // run goes through the fused kernels; errored trajectories below always
+    // run gate-by-gate — their per-shot noise-injection sites are fusion
+    // fences, and a fresh plan per (shot, error set) would cost more than
+    // the sweeps it saves.
+    StateVector ideal(circuit.num_qubits());
+    if (options.fuse) {
+      ideal.apply_fused(FusionPlan::build(circuit));
+    } else {
+      ideal.apply_circuit(circuit);
+    }
+
+    SampleContext ctx;
+    ctx.circuit = &circuit;
+    ctx.ideal = &ideal;
+    ctx.measured = &measured;
+    ctx.noise = &noise;
+    ctx.error_probs = &error_probs;
+    ctx.any_gate_noise = any_gate_noise;
+    ctx.base_seed = base_seed;
+
+    if (width == 1 || num_chunks <= 1) {
+      run_shot_range(ctx, 0, options.shots, counts);
+      return counts;
+    }
+    const std::size_t chunk = (options.shots + num_chunks - 1) / num_chunks;
+    run_sharded(
+        [&ctx](std::size_t b, std::size_t e, Counts& out) {
+          run_shot_range(ctx, b, e, out);
+        },
+        options.shots, chunk, (options.shots + chunk - 1) / chunk, width,
+        *pool, counts);
+    return counts;
+  }
+
+  // Generic engine path (stabilizer / unitary). Same shape as above: one
+  // prepared ideal register shared read-only across shards, per-shot
+  // trajectory registers for errored shots.
+  std::unique_ptr<Backend> ideal = make_backend(resolved, circuit.num_qubits());
+  if (any_gate_noise && !ideal->capabilities().supports_noise) {
+    throw InvalidArgument(std::string(ideal->name()) +
+                          " backend cannot run gate-noise trajectories "
+                          "(supports_noise is false)");
+  }
+  ideal->apply(circuit);  // structured UnsupportedGate on an unsupported gate
+  // Cache the sampling form before the register is shared across shard
+  // workers: const queries on an unprepared engine rebuild it per call.
+  ideal->prepare();
+
+  BackendSampleContext ctx;
+  ctx.circuit = &circuit;
+  ctx.ideal = ideal.get();
+  ctx.kind = resolved;
+  ctx.measured = &measured;
+  ctx.noise = &noise;
+  ctx.error_probs = &error_probs;
+  ctx.any_gate_noise = any_gate_noise;
+  ctx.base_seed = base_seed;
+
   if (width == 1 || num_chunks <= 1) {
-    run_shot_range(ctx, 0, options.shots, counts);
+    run_backend_shot_range(ctx, 0, options.shots, counts);
     return counts;
   }
   const std::size_t chunk = (options.shots + num_chunks - 1) / num_chunks;
-  run_sharded(ctx, options.shots, chunk, (options.shots + chunk - 1) / chunk,
-              width, *pool, counts);
+  run_sharded(
+      [&ctx](std::size_t b, std::size_t e, Counts& out) {
+        run_backend_shot_range(ctx, b, e, out);
+      },
+      options.shots, chunk, (options.shots + chunk - 1) / chunk, width, *pool,
+      counts);
   return counts;
 }
 

@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "qir/circuit.h"
+#include "sim/backend/backend.h"
 #include "sim/noise.h"
 
 namespace tetris::runtime {
@@ -91,6 +92,20 @@ struct SampleOptions {
   /// `service::flow_fingerprint`. With `fuse` fixed, counts remain
   /// bit-identical at any threads/pool/chunk setting as documented below.
   bool fuse = false;
+
+  /// Simulation engine for this call (sim/backend/backend.h). kAuto keeps
+  /// the statevector unless the circuit is Clifford *and* wider than
+  /// `kAutoStateVectorCeilingQubits`, in which case the stabilizer tableau
+  /// engine takes over (the 50+-qubit verification path). Every engine
+  /// consumes the identical per-shot randomness — same base draw, same
+  /// stream family, same Bernoulli/injection order — so a backend swap
+  /// never shifts the caller's generator, and on the Clifford grid the
+  /// stabilizer's counts match the statevector's shot for shot (squared
+  /// Clifford amplitudes round to exact powers of two; see
+  /// backend/stabilizer.h). `fuse` is a statevector kernel detail and is
+  /// ignored by the other engines. Unlike `threads`, this knob is part of
+  /// `service::flow_fingerprint` whenever it resolves off the default.
+  BackendKind backend = BackendKind::kAuto;
 };
 
 /// \brief Samples measurement outcomes of `circuit` under `noise`.
@@ -121,7 +136,12 @@ struct SampleOptions {
 /// \param rng     seed source; consumes exactly one draw
 /// \param options shots, measured qubits, and sharding knobs
 /// \return histogram over measured-qubit outcomes with `options.shots` shots
-/// \throws InvalidArgument when a measured qubit is out of range
+/// \throws InvalidArgument when a measured qubit is out of range, or when
+///   the chosen backend cannot host the run (register wider than its
+///   capability, gate noise on an engine with `supports_noise == false`)
+/// \throws UnsupportedGate when the chosen backend cannot represent a gate
+///   (e.g. a T gate on the stabilizer engine); the error names the gate and
+///   its index
 Counts sample(const qir::Circuit& circuit, const NoiseModel& noise, Rng& rng,
               const SampleOptions& options = {});
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/error.h"
 
 namespace tetris::qir {
@@ -237,6 +239,31 @@ TEST(Circuit, ContentHashSeesEveryStructuralField) {
   Circuit other_order(3);
   other_order.cx(0, 1).h(0).rz(0.25, 2);
   EXPECT_NE(other_order.content_hash(), h);
+}
+
+TEST(Circuit, IsCliffordIsConjunctionOverGates) {
+  Circuit empty(3);
+  EXPECT_TRUE(empty.is_clifford());
+
+  Circuit cliff(3);
+  cliff.h(0).s(1).cx(0, 1).barrier().swap(1, 2).rz(M_PI / 2, 2);
+  EXPECT_TRUE(cliff.is_clifford());
+
+  Circuit with_t = cliff;
+  with_t.t(0);
+  EXPECT_FALSE(with_t.is_clifford());
+
+  Circuit with_offgrid = cliff;
+  with_offgrid.rz(M_PI / 4, 0);
+  EXPECT_FALSE(with_offgrid.is_clifford());
+
+  // Classical (RevLib-style) circuits with Toffolis are NOT Clifford even
+  // though they are exactly simulable classically — the two predicates are
+  // independent.
+  Circuit toffoli(3);
+  toffoli.x(0).ccx(0, 1, 2);
+  EXPECT_TRUE(toffoli.is_classical());
+  EXPECT_FALSE(toffoli.is_clifford());
 }
 
 TEST(Circuit, ContentHashMatchesEqualityOnCopies) {

@@ -118,6 +118,87 @@ TEST(Gate, ToStringFormats) {
   EXPECT_NE(s.find("q2"), std::string::npos);
 }
 
+TEST(Gate, IsCliffordFixedKinds) {
+  // Every fixed (parameter-free) kind, in enum order.
+  EXPECT_TRUE(Gate(GateKind::I, {0}).is_clifford());
+  EXPECT_TRUE(make_x(0).is_clifford());
+  EXPECT_TRUE(make_y(0).is_clifford());
+  EXPECT_TRUE(make_z(0).is_clifford());
+  EXPECT_TRUE(make_h(0).is_clifford());
+  EXPECT_TRUE(make_s(0).is_clifford());
+  EXPECT_TRUE(make_sdg(0).is_clifford());
+  EXPECT_FALSE(make_t(0).is_clifford());
+  EXPECT_FALSE(make_tdg(0).is_clifford());
+  EXPECT_TRUE(make_sx(0).is_clifford());
+  EXPECT_TRUE(make_sxdg(0).is_clifford());
+  EXPECT_TRUE(make_cx(0, 1).is_clifford());
+  EXPECT_TRUE(make_cy(0, 1).is_clifford());
+  EXPECT_TRUE(make_cz(0, 1).is_clifford());
+  EXPECT_FALSE(make_ch(0, 1).is_clifford());
+  EXPECT_TRUE(make_swap(0, 1).is_clifford());
+  EXPECT_FALSE(make_ccx(0, 1, 2).is_clifford());
+  EXPECT_FALSE(make_cswap(0, 1, 2).is_clifford());
+  EXPECT_FALSE(make_mcx({0, 1, 2}, 3).is_clifford());
+  EXPECT_TRUE(Gate(GateKind::Barrier, {}).is_clifford());
+}
+
+TEST(Gate, IsCliffordParametricOnQuarterTurnLattice) {
+  const double half_pi = M_PI / 2;
+  // RX/RY/RZ/P qualify exactly at multiples of pi/2.
+  for (double theta : {0.0, half_pi, M_PI, -half_pi, 2 * M_PI}) {
+    EXPECT_TRUE(make_rx(theta, 0).is_clifford()) << theta;
+    EXPECT_TRUE(make_ry(theta, 0).is_clifford()) << theta;
+    EXPECT_TRUE(make_rz(theta, 0).is_clifford()) << theta;
+    EXPECT_TRUE(make_p(theta, 0).is_clifford()) << theta;
+  }
+  for (double theta : {M_PI / 4, 0.3, 1.0}) {
+    EXPECT_FALSE(make_rx(theta, 0).is_clifford()) << theta;
+    EXPECT_FALSE(make_ry(theta, 0).is_clifford()) << theta;
+    EXPECT_FALSE(make_rz(theta, 0).is_clifford()) << theta;
+    EXPECT_FALSE(make_p(theta, 0).is_clifford()) << theta;
+  }
+  // CP needs a multiple of pi (CP(pi) = CZ); CP(pi/2) is the T-class CS.
+  EXPECT_TRUE(make_cp(0.0, 0, 1).is_clifford());
+  EXPECT_TRUE(make_cp(M_PI, 0, 1).is_clifford());
+  EXPECT_TRUE(make_cp(-M_PI, 0, 1).is_clifford());
+  EXPECT_FALSE(make_cp(half_pi, 0, 1).is_clifford());
+  // CRZ needs a multiple of 2*pi; CRZ(pi) is already non-Clifford.
+  EXPECT_TRUE(make_crz(0.0, 0, 1).is_clifford());
+  EXPECT_TRUE(make_crz(2 * M_PI, 0, 1).is_clifford());
+  EXPECT_FALSE(make_crz(M_PI, 0, 1).is_clifford());
+  EXPECT_FALSE(make_crz(half_pi, 0, 1).is_clifford());
+}
+
+TEST(Gate, QuarterTurnsFoldsAndTolerance) {
+  int turns = -1;
+  EXPECT_TRUE(quarter_turns(0.0, &turns));
+  EXPECT_EQ(turns, 0);
+  EXPECT_TRUE(quarter_turns(M_PI / 2, &turns));
+  EXPECT_EQ(turns, 1);
+  EXPECT_TRUE(quarter_turns(M_PI, &turns));
+  EXPECT_EQ(turns, 2);
+  EXPECT_TRUE(quarter_turns(3 * M_PI / 2, &turns));
+  EXPECT_EQ(turns, 3);
+  EXPECT_TRUE(quarter_turns(2 * M_PI, &turns));
+  EXPECT_EQ(turns, 0);
+  // Negative angles fold into [0, 3].
+  EXPECT_TRUE(quarter_turns(-M_PI / 2, &turns));
+  EXPECT_EQ(turns, 3);
+  EXPECT_TRUE(quarter_turns(-M_PI, &turns));
+  EXPECT_EQ(turns, 2);
+  // Compiler-accumulated drift (sums of pi/2 literals) stays inside the
+  // default tolerance; T's pi/4 stays far outside it.
+  double accumulated = 0.0;
+  for (int i = 0; i < 6; ++i) accumulated += M_PI / 2;
+  EXPECT_TRUE(quarter_turns(accumulated, &turns));
+  EXPECT_EQ(turns, 2);
+  EXPECT_FALSE(quarter_turns(M_PI / 4));
+  // Off-lattice beyond atol rejects; a wider explicit atol accepts.
+  EXPECT_FALSE(quarter_turns(M_PI / 2 + 1e-6, &turns));
+  EXPECT_TRUE(quarter_turns(M_PI / 2 + 1e-6, &turns, 1e-5));
+  EXPECT_EQ(turns, 1);
+}
+
 TEST(Gate, ApproxEqualTolerance) {
   auto a = make_rz(1.0, 0);
   auto b = make_rz(1.0 + 1e-14, 0);

@@ -30,15 +30,19 @@
 namespace tetris::net {
 namespace {
 
-/// Small submit body for the built-in benchmark `name`.
+/// Small submit body for the built-in benchmark `name`. A non-empty
+/// `backend` adds the config field ("auto"/"statevector"/"stabilizer"/
+/// "unitary").
 std::string submit_body(const std::string& name, std::uint64_t seed = 2025,
-                        std::size_t shots = 64) {
+                        std::size_t shots = 64,
+                        const std::string& backend = "") {
   json::Writer w(0);
   w.begin_object();
   w.key("benchmark").value(name);
   w.key("seed").value(seed);
   w.key("config").begin_object();
   w.key("shots").value(shots);
+  if (!backend.empty()) w.key("backend").value(backend);
   w.end_object();
   w.end_object();
   return w.str();
@@ -91,7 +95,9 @@ class ServerFixture {
 };
 
 std::string poll_until_terminal(Client& client, std::uint64_t id) {
-  for (int i = 0; i < 600; ++i) {
+  // 30s ceiling: heavy-shot jobs under sanitizers on an oversubscribed
+  // test host can take >10s of wall time before turning terminal.
+  for (int i = 0; i < 3000; ++i) {
     auto res = client.get("/v1/jobs/" + std::to_string(id));
     EXPECT_EQ(res.status, 200);
     std::string state = json::parse(res.body).at("state").as_string();
@@ -377,6 +383,84 @@ TEST(NetServer, StatusReportsArtifactStoreCounters) {
   auto plain_client = plain.client();
   auto doc = json::parse(plain_client.get("/v1/status").body);
   EXPECT_FALSE(doc.at("store").at("enabled").as_bool());
+}
+
+TEST(NetServer, StatusListsBackendRegistryAndPerEngineTallies) {
+  ServerFixture fx;
+  auto client = fx.client();
+
+  auto doc = json::parse(client.get("/v1/status").body);
+  const auto& backends = doc.at("backends");
+  ASSERT_EQ(backends.size(), 3u);
+  EXPECT_FALSE(backends.at("statevector").at("clifford_only").as_bool());
+  EXPECT_TRUE(backends.at("statevector").at("supports_noise").as_bool());
+  EXPECT_TRUE(backends.at("stabilizer").at("clifford_only").as_bool());
+  EXPECT_EQ(backends.at("stabilizer").at("max_qubits").as_int(), 64);
+  EXPECT_EQ(backends.at("unitary").at("max_qubits").as_int(), 12);
+  EXPECT_FALSE(backends.at("unitary").at("supports_noise").as_bool());
+  for (const auto& [name, info] : backends.as_object()) {
+    EXPECT_EQ(info.at("jobs_done").as_int(), 0) << name;
+    EXPECT_EQ(info.at("jobs_failed").as_int(), 0) << name;
+  }
+
+  // A 50-qubit Clifford job over the wire lands on the stabilizer engine
+  // and moves that engine's tally — and only that engine's.
+  auto posted =
+      client.post("/v1/jobs", submit_body("cliff50", 2025, 64, "stabilizer"));
+  ASSERT_EQ(posted.status, 202) << posted.body;
+  ASSERT_EQ(poll_until_terminal(client, 1), "done");
+  auto after = json::parse(client.get("/v1/status").body);
+  EXPECT_EQ(after.at("backends").at("stabilizer").at("jobs_done").as_int(), 1);
+  EXPECT_EQ(after.at("backends").at("statevector").at("jobs_done").as_int(), 0);
+  EXPECT_EQ(after.at("backends").at("stabilizer").at("jobs_failed").as_int(),
+            0);
+}
+
+TEST(NetServer, BackendConfigEchoAndValidation) {
+  ServerFixture fx;
+  auto client = fx.client();
+
+  // An off-default engine is echoed in the job document's sampler block;
+  // the statevector default is omitted (documents stay byte-identical to
+  // the pre-backend schema). `auto` on a wide Clifford circuit resolves to
+  // stabilizer before the echo.
+  ASSERT_EQ(client.post("/v1/jobs", submit_body("4mod5")).status, 202);
+  ASSERT_EQ(client.post("/v1/jobs", submit_body("cliff50", 2025, 64, "auto"))
+                .status,
+            202);
+  ASSERT_EQ(poll_until_terminal(client, 1), "done");
+  ASSERT_EQ(poll_until_terminal(client, 2), "done");
+  auto sv_doc = json::parse(client.get("/v1/jobs/1?timing=0").body);
+  EXPECT_EQ(sv_doc.at("sampler").find("backend"), nullptr);
+  auto stab_doc = json::parse(client.get("/v1/jobs/2?timing=0").body);
+  ASSERT_NE(stab_doc.at("sampler").find("backend"), nullptr);
+  EXPECT_EQ(stab_doc.at("sampler").at("backend").as_string(), "stabilizer");
+
+  // Unknown engine names and non-string values are submit-time 400s.
+  auto bad_name =
+      client.post("/v1/jobs", submit_body("4mod5", 2025, 64, "warp"));
+  EXPECT_EQ(bad_name.status, 400);
+  EXPECT_EQ(json::parse(bad_name.body).at("error").at("code").as_string(),
+            "invalid_argument");
+  auto bad_type = client.post(
+      "/v1/jobs",
+      R"({"benchmark":"4mod5","seed":1,"config":{"backend":7}})");
+  EXPECT_EQ(bad_type.status, 400);
+
+  // Forcing the stabilizer onto a non-Clifford benchmark is accepted at
+  // submit time but fails in the flow with the structured UnsupportedGate
+  // message naming the engine and the offending gate (the compiled view of
+  // 4mod5's Toffolis carries off-lattice rz angles).
+  ASSERT_EQ(
+      client.post("/v1/jobs", submit_body("4mod5", 2025, 64, "stabilizer"))
+          .status,
+      202);
+  ASSERT_EQ(poll_until_terminal(client, 3), "failed");
+  auto failed = json::parse(client.get("/v1/jobs/3").body);
+  EXPECT_EQ(failed.at("status").at("code").as_string(), "invalid_argument");
+  const std::string message = failed.at("status").at("message").as_string();
+  EXPECT_NE(message.find("stabilizer"), std::string::npos) << message;
+  EXPECT_NE(message.find("rz"), std::string::npos) << message;
 }
 
 TEST(NetServer, ConcurrentClientsGetUniqueIdsAndAnswers) {

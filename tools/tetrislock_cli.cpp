@@ -11,8 +11,8 @@
 //              interlock-split; emits one .qasm per segment + the
 //              designer-side qubit maps on stdout
 //   protect    --benchmark NAME | --in FILE | --batch DIR  [--seed N]
-//              [--shots N] [--sample-jobs N] [--fuse] [--cache]
-//              [--out-json FILE]
+//              [--shots N] [--sample-jobs N] [--fuse] [--backend KIND]
+//              [--cache] [--out-json FILE]
 //              full flow through the service facade: obfuscate, split,
 //              split-compile, recombine, verify on the noisy simulated
 //              device; prints a Table-I row. --batch DIR runs the flow over
@@ -30,6 +30,14 @@
 //              registers. Off by default — fused kernels reorder floating
 //              point, so sampled metrics shift within shot noise and the
 //              flag is part of the result-cache fingerprint.
+//              --backend auto|statevector|stabilizer|unitary picks the
+//              simulation engine of the sampled runs (src/sim/backend/).
+//              auto (the default) resolves to the statevector unless the
+//              circuit is Clifford and wider than the statevector's auto
+//              ceiling, where the stabilizer tableau engine takes over —
+//              the path that verifies 50+-qubit locked Clifford circuits.
+//              Resolved non-statevector engines join the cache fingerprint
+//              and are echoed in the JSON sampler block.
 //              --cache enables the service result cache (hit/miss counters
 //              in the summary); --out-json writes the machine-readable
 //              outcome document. --store DIR adds the durable artifact tier:
@@ -55,7 +63,8 @@
 //              --max-body caps request bodies.
 //   submit     --url http://HOST:PORT (--benchmark NAME | --in FILE)
 //              [--seed N] [--shots N] [--sample-jobs N] [--fuse]
-//              [--max-gates N] [--alphabet ...] [--gap] [--poll-ms N]
+//              [--backend KIND] [--max-gates N] [--alphabet ...]
+//              [--gap] [--poll-ms N]
 //              [--wait-s N] [--out-json FILE]
 //              network counterpart of `protect`: POSTs the circuit to a
 //              running `serve` instance, polls GET /v1/jobs/{id} until the
@@ -174,12 +183,14 @@ const std::set<std::string>* allowed_flags(const std::string& cmd) {
         "out-prefix"}},
       {"protect",
        {"benchmark", "in", "batch", "seed", "shots", "sample-jobs", "fuse",
-        "max-gates", "alphabet", "gap", "cache", "store", "out-json"}},
+        "backend", "max-gates", "alphabet", "gap", "cache", "store",
+        "out-json"}},
       {"complexity", {"n", "nmax", "k"}},
       {"serve", {"port", "cache", "store", "store-max", "max-body"}},
       {"submit",
        {"url", "benchmark", "in", "seed", "shots", "sample-jobs", "fuse",
-        "max-gates", "alphabet", "gap", "poll-ms", "wait-s", "out-json"}},
+        "backend", "max-gates", "alphabet", "gap", "poll-ms", "wait-s",
+        "out-json"}},
       {"fetch", {"url", "id", "in", "out"}},
   };
   auto it = kAllowed.find(cmd);
@@ -267,6 +278,7 @@ lock::FlowConfig flow_config(const Options& o) {
   cfg.sample_threads =
       static_cast<unsigned>(o.get_long("sample-jobs", 0, 0));
   cfg.fusion = o.has("fuse");
+  cfg.backend = sim::parse_backend_kind(o.get("backend", "auto"));
   return cfg;
 }
 
@@ -662,6 +674,13 @@ int cmd_submit(const Options& o) {
   w.key("alphabet").value(o.get("alphabet", "mixed"));
   if (o.has("gap")) w.key("gap").value(true);
   if (o.has("fuse")) w.key("fuse").value(true);
+  // Validate locally before the round-trip (same parser as the server), and
+  // only emit the field when given: an absent field and "auto" are the same
+  // server-side default, but omitting keeps old-server compatibility.
+  if (o.has("backend")) {
+    sim::parse_backend_kind(o.get("backend"));
+    w.key("backend").value(o.get("backend"));
+  }
   w.key("sample_jobs").value(o.get_long("sample-jobs", 0, 0));
   w.end_object();
   w.end_object();
@@ -750,6 +769,9 @@ int usage() {
                "+ sampler fan-out)\n"
                "       protect: --fuse  (gate-fused statevector kernels in "
                "the sampled runs)\n"
+               "       protect/submit: --backend "
+               "auto|statevector|stabilizer|unitary  (simulation engine; "
+               "auto = stabilizer for wide Clifford circuits)\n"
                "       protect: --cache --out-json FILE  (service result "
                "cache + JSON output)\n"
                "       protect/serve: --store DIR  (durable artifact store; "
