@@ -9,9 +9,11 @@
 //
 // --iterations is the number of GET /v1/status requests PER connection
 // thread (default 100); --threads lists the concurrent client counts
-// (default 1,2,4,8). Each request opens its own connection — the server
-// speaks Connection: close — so "requests" and "connections" coincide, and
-// the sweep measures the full accept/parse/route/respond cycle.
+// (default 1,2,4,8). The sweep runs twice: once in one-shot mode (every
+// request opens its own connection, "Connection: close" both ways — the
+// pre-reactor baseline) and once over HTTP/1.1 keep-alive (one persistent
+// connection per client thread). The ratio between the two at the highest
+// connection count is the headline number the event-loop front-end buys.
 //
 // Checked-in BENCH_serve.json numbers come from the 1-core dev container;
 // regenerate on real multicore hardware for meaningful scaling curves.
@@ -42,6 +44,7 @@ double seconds_since(Clock::time_point start) {
 }
 
 struct SweepPoint {
+  std::string mode;  // "oneshot" | "keepalive"
   unsigned connections = 0;
   std::size_t requests = 0;
   std::size_t errors = 0;
@@ -76,22 +79,21 @@ int main(int argc, char** argv) {
   service::Service svc(scfg);
 
   net::ServerConfig ncfg;
-  ncfg.port = 0;
-  ncfg.connection_threads = std::min(max_connections, 8u);
+  ncfg.port = 0;  // connection_threads stays 0: handlers inline on the loop
   net::Server server(svc, ncfg);
   server.start();
-  std::cout << "serving on " << server.base_url() << " with "
-            << ncfg.connection_threads << " connection workers\n\n";
+  std::cout << "serving on " << server.base_url()
+            << " (event loop, inline handlers)\n\n";
 
   // ------------------------------------------------- status-request sweep
-  benchutil::Table table({"connections", "requests", "errors", "seconds",
-                          "req/s"},
-                         {11, 9, 7, 9, 10});
+  benchutil::Table table({"mode", "connections", "requests", "errors",
+                          "seconds", "req/s"},
+                         {10, 11, 9, 7, 9, 10});
   table.print_header();
 
-  std::vector<SweepPoint> sweep;
-  for (unsigned connections : connection_counts) {
+  auto run_sweep_point = [&](unsigned connections, bool keep_alive) {
     SweepPoint point;
+    point.mode = keep_alive ? "keepalive" : "oneshot";
     point.connections = connections;
     point.requests =
         static_cast<std::size_t>(args.iterations) * connections;
@@ -101,7 +103,7 @@ int main(int argc, char** argv) {
     clients.reserve(connections);
     for (unsigned t = 0; t < connections; ++t) {
       clients.emplace_back([&, t] {
-        net::Client client("127.0.0.1", server.port());
+        net::Client client("127.0.0.1", server.port(), 30000, keep_alive);
         for (int i = 0; i < args.iterations; ++i) {
           try {
             if (client.get("/v1/status").status != 200) ++errors[t];
@@ -118,13 +120,34 @@ int main(int argc, char** argv) {
         point.seconds > 0.0
             ? static_cast<double>(point.requests) / point.seconds
             : 0.0;
-    sweep.push_back(point);
-    table.print_row({std::to_string(point.connections),
+    table.print_row({point.mode, std::to_string(point.connections),
                      std::to_string(point.requests),
                      std::to_string(point.errors),
                      fmt_double(point.seconds, 3),
                      fmt_double(point.requests_per_second, 1)});
+    return point;
+  };
+
+  std::vector<SweepPoint> sweep;
+  for (bool keep_alive : {false, true}) {
+    for (unsigned connections : connection_counts) {
+      sweep.push_back(run_sweep_point(connections, keep_alive));
+    }
   }
+
+  // Keep-alive payoff at the widest point of the sweep: persistent
+  // connections drop the per-request connect/close cost, which dominates
+  // loopback status requests.
+  double oneshot_peak = 0.0, keepalive_peak = 0.0;
+  for (const SweepPoint& p : sweep) {
+    if (p.connections != max_connections) continue;
+    (p.mode == "keepalive" ? keepalive_peak : oneshot_peak) =
+        p.requests_per_second;
+  }
+  const double speedup =
+      oneshot_peak > 0.0 ? keepalive_peak / oneshot_peak : 0.0;
+  std::cout << "\nkeep-alive speedup at " << max_connections
+            << " connections: " << fmt_double(speedup, 2) << "x\n";
 
   // ------------------------------------- submit round trip + determinism
   net::Client client("127.0.0.1", server.port());
@@ -180,13 +203,18 @@ int main(int argc, char** argv) {
   if (!args.out.empty()) {
     json::Writer w;
     w.begin_object();
-    w.key("schema").value("tetrislock.bench_serve.v1");
+    w.key("schema").value("tetrislock.bench_serve.v2");
     w.key("benchmark").value("serve_throughput");
     w.key("requests_per_connection").value(args.iterations);
-    w.key("connection_workers").value(ncfg.connection_threads);
+    w.key("connection_workers").value(ncfg.connection_threads);  // 0 = inline
+    w.key("keepalive_speedup").begin_object();
+    w.key("connections").value(max_connections);
+    w.key("ratio").value(speedup);
+    w.end_object();
     w.key("sweep").begin_array();
     for (const SweepPoint& p : sweep) {
       w.begin_object();
+      w.key("mode").value(p.mode);
       w.key("connections").value(p.connections);
       w.key("requests").value(p.requests);
       w.key("errors").value(p.errors);

@@ -3,7 +3,6 @@
 #include <utility>
 
 #include "common/error.h"
-#include "net/socket.h"
 
 namespace tetris::net {
 
@@ -43,8 +42,23 @@ Url parse_url(const std::string& url) {
   return out;
 }
 
-Client::Client(std::string host, int port, int timeout_ms)
-    : host_(std::move(host)), port_(port), timeout_ms_(timeout_ms) {}
+Client::Client(std::string host, int port, int timeout_ms, bool keep_alive)
+    : host_(std::move(host)),
+      port_(port),
+      timeout_ms_(timeout_ms),
+      keep_alive_(keep_alive) {}
+
+void Client::disconnect() {
+  socket_.close();
+  carry_.clear();
+}
+
+void Client::ensure_connected() {
+  if (socket_.valid()) return;
+  carry_.clear();
+  socket_ = Socket::connect(host_, port_, timeout_ms_);
+  ++connections_opened_;
+}
 
 std::string Client::raw_exchange(const std::string& bytes) {
   Socket socket = Socket::connect(host_, port_, timeout_ms_);
@@ -59,32 +73,106 @@ std::string Client::raw_exchange(const std::string& bytes) {
   return response;
 }
 
+namespace {
+/// Failure before any response byte arrived on a reused connection — the
+/// only transport error request() retries (the request provably never
+/// produced an answer, so resending cannot double-apply it).
+struct StaleConnection : Error {
+  using Error::Error;
+};
+}  // namespace
+
+/// Reads one Content-Length-framed response off the persistent socket.
+/// Surplus bytes (possible only if the server answered more than asked)
+/// stay in carry_ for the next call.
+http::Response Client::read_response() {
+  std::string buffer = std::move(carry_);
+  carry_.clear();
+  char chunk[8192];
+  std::size_t head_end;
+  while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+    std::size_t n = 0;
+    try {
+      n = socket_.recv_some(chunk, sizeof(chunk));
+    } catch (const std::exception& e) {
+      if (buffer.empty()) throw StaleConnection(e.what());
+      throw;
+    }
+    if (n == 0) {
+      if (buffer.empty()) {
+        throw StaleConnection("net: connection closed before a response");
+      }
+      throw Error("net: connection closed mid-response head");
+    }
+    buffer.append(chunk, n);
+  }
+  http::Response response =
+      http::parse_response_head(std::string_view(buffer).substr(0, head_end + 4));
+  std::string payload = buffer.substr(head_end + 4);
+
+  // Keep-alive framing: the body is exactly Content-Length bytes. A missing
+  // header means an empty body (the embedded server always sends one).
+  std::size_t need = 0;
+  if (const std::string* cl = response.header("content-length")) {
+    if (cl->empty() || cl->find_first_not_of("0123456789") != std::string::npos) {
+      throw http::HttpError(400, "bad_response",
+                            "unparseable Content-Length in response");
+    }
+    need = static_cast<std::size_t>(std::stoull(*cl));
+  }
+  while (payload.size() < need) {
+    std::size_t n = socket_.recv_some(chunk, sizeof(chunk));
+    if (n == 0) {
+      throw Error("net: connection closed mid-response body");
+    }
+    payload.append(chunk, n);
+  }
+  carry_ = payload.substr(need);
+  payload.resize(need);
+  response.body = std::move(payload);
+
+  // Honour the server's persistence decision.
+  bool server_keeps = true;
+  if (const std::string* c = response.header("connection")) {
+    server_keeps = (*c != "close" && *c != "Close");
+  }
+  if (!keep_alive_ || !server_keeps) disconnect();
+  return response;
+}
+
+http::Response Client::exchange(const std::string& wire) {
+  ensure_connected();
+  try {
+    socket_.send_all(wire);
+  } catch (const std::exception& e) {
+    throw StaleConnection(e.what());  // request never answered: retryable
+  }
+  return read_response();
+}
+
 http::Response Client::request(const std::string& method,
                                const std::string& target,
                                const std::string& body,
                                const std::string& content_type) {
-  const std::string wire = raw_exchange(http::format_request(
-      method, target, host_ + ":" + std::to_string(port_), body,
-      content_type));
-
-  std::size_t head_end = wire.find("\r\n\r\n");
-  if (head_end == std::string::npos) {
-    throw http::HttpError(400, "bad_response",
-                          "no header terminator in response");
+  const std::string wire =
+      http::format_request(method, target,
+                           host_ + ":" + std::to_string(port_), body,
+                           content_type, keep_alive_);
+  const bool reused = socket_.valid();
+  try {
+    return exchange(wire);
+  } catch (const StaleConnection&) {
+    disconnect();
+    if (!reused) throw;
+    // Stale keep-alive connection (server evicted it between our requests
+    // and the failure surfaced before any response byte): one fresh retry.
+    return exchange(wire);
+  } catch (const http::HttpError&) {
+    throw;
+  } catch (const std::exception&) {
+    disconnect();  // transport failure mid-response: connection unusable
+    throw;
   }
-  http::Response response = http::parse_response_head(
-      std::string_view(wire).substr(0, head_end + 4));
-  std::string payload = wire.substr(head_end + 4);
-  if (const std::string* cl = response.header("content-length")) {
-    // The connection-close framing already delimited the body; the header
-    // is cross-checked so a truncated read cannot pass silently.
-    if (std::to_string(payload.size()) != *cl) {
-      throw http::HttpError(400, "bad_response",
-                            "body size does not match Content-Length");
-    }
-  }
-  response.body = std::move(payload);
-  return response;
 }
 
 }  // namespace tetris::net

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "net/http.h"
+#include "net/socket.h"
 
 namespace tetris::net {
 
@@ -14,15 +16,28 @@ struct Url {
 };
 Url parse_url(const std::string& url);
 
-/// Minimal blocking HTTP/1.1 client for the embedded REST server: one
-/// connection per request ("Connection: close" both ways), JSON bodies,
-/// IPv4 only. This is what `tetrislock_cli submit --url` and the end-to-end
-/// tests drive the server with — it deliberately shares the wire-format
-/// code (net/http.h) but nothing else with the server, so a bug cannot
-/// cancel itself out across the two sides.
+/// Minimal blocking HTTP/1.1 client for the embedded REST server:
+/// keep-alive by default (one persistent connection reused across
+/// requests, responses framed by Content-Length), JSON bodies, IPv4 only.
+/// This is what `tetrislock_cli submit --url`, the dispatcher's upstream
+/// legs, and the end-to-end tests drive servers with — it deliberately
+/// shares the wire-format code (net/http.h) but nothing else with the
+/// server, so a bug cannot cancel itself out across the two sides.
+///
+/// Reconnection: when a server closes the connection (its "Connection:
+/// close" response, idle eviction between our requests, a restart), the
+/// next request transparently opens a new socket. A *reused* connection
+/// that dies before any response byte arrives is retried once on a fresh
+/// socket — the stale-keep-alive race every persistent-connection client
+/// has — after which transport errors propagate as tetris::Error.
+///
+/// Not thread-safe: one Client per thread (or external locking).
 class Client {
  public:
-  Client(std::string host, int port, int timeout_ms = 30000);
+  /// `keep_alive` false restores one-connection-per-request behaviour
+  /// ("Connection: close" both ways).
+  Client(std::string host, int port, int timeout_ms = 30000,
+         bool keep_alive = true);
 
   /// One round trip. `target` is the path (+ optional query), e.g.
   /// "/v1/jobs/1?timing=0". Throws tetris::Error on transport failure and
@@ -42,15 +57,31 @@ class Client {
     return request("DELETE", target);
   }
 
-  /// Sends raw bytes and returns everything the peer answers until it
-  /// closes — the hook the protocol-hardening tests use to speak broken
-  /// HTTP at the server on purpose.
+  /// Sends raw bytes on a fresh one-shot socket and returns everything the
+  /// peer answers until it closes — the hook the protocol-hardening tests
+  /// use to speak broken HTTP at the server on purpose (the server closes
+  /// after every protocol error, delimiting the response).
   std::string raw_exchange(const std::string& bytes);
 
+  /// Sockets opened by request() so far — lets tests pin that N keep-alive
+  /// requests cost exactly one connection.
+  std::uint64_t connections_opened() const { return connections_opened_; }
+
+  /// Drops the persistent connection (next request reconnects).
+  void disconnect();
+
  private:
+  void ensure_connected();
+  http::Response read_response();
+  http::Response exchange(const std::string& wire);
+
   std::string host_;
   int port_;
   int timeout_ms_;
+  bool keep_alive_;
+  Socket socket_;       ///< persistent connection (invalid when closed)
+  std::string carry_;   ///< bytes read past one response's Content-Length
+  std::uint64_t connections_opened_ = 0;
 };
 
 }  // namespace tetris::net

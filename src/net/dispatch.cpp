@@ -1,0 +1,380 @@
+#include "net/dispatch.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.h"
+#include "common/hash.h"
+#include "common/json.h"
+#include "qir/qasm.h"
+#include "revlib/benchmarks.h"
+#include "runtime/thread_pool.h"
+#include "service/serialize.h"
+
+namespace tetris::net {
+
+namespace {
+
+http::Response json_response(int status, const std::string& body) {
+  http::Response res;
+  res.status = status;
+  res.body = body;
+  return res;
+}
+
+http::Response error_response(int status, const std::string& code,
+                              const std::string& message) {
+  json::Writer w;
+  w.begin_object();
+  w.key("error").begin_object();
+  w.key("code").value(code);
+  w.key("message").value(message);
+  w.end_object();
+  w.end_object();
+  return json_response(status, w.str());
+}
+
+/// Proxied responses are rebuilt from scratch (status + content type + body
+/// only): the upstream's parsed header list still carries its own
+/// Content-Length/Connection entries, which format_response would duplicate.
+http::Response passthrough(const http::Response& upstream) {
+  http::Response res;
+  res.status = upstream.status;
+  if (const std::string* ct = upstream.header("content-type")) {
+    res.content_type = *ct;
+  }
+  res.body = upstream.body;
+  return res;
+}
+
+/// The raw query string of a request target ("?timing=0"), empty when none.
+std::string raw_query(const std::string& target) {
+  const std::size_t q = target.find('?');
+  return q == std::string::npos ? std::string() : target.substr(q);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- ring
+
+HashRing::HashRing(std::size_t num_nodes, std::size_t replicas)
+    : num_nodes_(num_nodes) {
+  TETRIS_REQUIRE(num_nodes > 0, "net: hash ring needs at least one node");
+  TETRIS_REQUIRE(replicas > 0, "net: hash ring needs at least one replica");
+  points_.reserve(num_nodes * replicas);
+  for (std::size_t node = 0; node < num_nodes; ++node) {
+    for (std::size_t replica = 0; replica < replicas; ++replica) {
+      Fnv64 h;
+      h.mix(std::uint64_t{0x7e7215} /* ring point domain tag */);
+      h.mix(static_cast<std::uint64_t>(node));
+      h.mix(static_cast<std::uint64_t>(replica));
+      points_.emplace_back(h.digest(), node);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+std::size_t HashRing::node_for(std::uint64_t key) const {
+  // Re-mix the key so consecutive content hashes scatter across arcs.
+  Fnv64 h;
+  h.mix(key);
+  const std::uint64_t point = h.digest();
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), std::make_pair(point, std::size_t{0}));
+  if (it == points_.end()) it = points_.begin();  // wrap around the ring
+  return it->second;
+}
+
+// ------------------------------------------------------------- dispatcher
+
+Dispatcher::Node::Node(const std::string& base_url, int timeout_ms)
+    : url(base_url),
+      client(parse_url(base_url).host, parse_url(base_url).port, timeout_ms) {}
+
+Dispatcher::Dispatcher(DispatcherConfig config)
+    : config_(std::move(config)),
+      ring_(config_.nodes.empty() ? 1 : config_.nodes.size(),
+            config_.hash_replicas) {
+  TETRIS_REQUIRE(!config_.nodes.empty(),
+                 "net: dispatcher needs at least one --node URL");
+  for (const std::string& url : config_.nodes) {
+    nodes_.push_back(
+        std::make_unique<Node>(url, config_.upstream_timeout_ms));
+  }
+  if (config_.handler_threads > 0) {
+    private_pool_ =
+        std::make_unique<runtime::ThreadPool>(config_.handler_threads);
+  }
+  ReactorConfig rc;
+  rc.host = config_.host;
+  rc.port = config_.port;
+  rc.backlog = config_.backlog;
+  rc.idle_timeout_ms = config_.idle_timeout_ms;
+  rc.request_deadline_ms = config_.request_deadline_ms;
+  rc.max_requests_per_connection = config_.max_requests_per_connection;
+  rc.max_header_bytes = config_.max_header_bytes;
+  rc.max_body_bytes = config_.max_body_bytes;
+  rc.handler_pool = private_pool_.get();
+  reactor_ = std::make_unique<Reactor>(
+      std::move(rc),
+      [this](const http::Request& request) { return handle(request); });
+}
+
+Dispatcher::~Dispatcher() { stop(); }
+
+void Dispatcher::start() { reactor_->start(); }
+
+void Dispatcher::stop() { reactor_->stop(); }
+
+int Dispatcher::port() const { return reactor_->port(); }
+
+std::string Dispatcher::base_url() const {
+  return "http://" + config_.host + ":" + std::to_string(port());
+}
+
+ReactorCounters Dispatcher::counters() const { return reactor_->counters(); }
+
+std::vector<DispatcherNodeCounters> Dispatcher::node_counters() const {
+  std::vector<DispatcherNodeCounters> out;
+  out.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    std::lock_guard<std::mutex> lock(node->mutex);
+    DispatcherNodeCounters c;
+    c.url = node->url;
+    c.jobs_routed = node->jobs_routed;
+    c.upstream_failures = node->upstream_failures;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+http::Response Dispatcher::upstream(Node& node, const std::string& method,
+                                    const std::string& target,
+                                    const std::string& body,
+                                    const std::string& content_type,
+                                    bool retry) {
+  std::lock_guard<std::mutex> lock(node.mutex);
+  try {
+    return node.client.request(method, target, body, content_type);
+  } catch (const std::exception&) {
+    if (!retry) {
+      ++node.upstream_failures;
+      throw;
+    }
+  }
+  // One fresh-connection retry for idempotent legs: the client's own
+  // stale-keep-alive retry has already run, so this second attempt covers a
+  // node that was mid-restart or briefly refused the connect.
+  try {
+    node.client.disconnect();
+    return node.client.request(method, target, body, content_type);
+  } catch (const std::exception&) {
+    ++node.upstream_failures;
+    throw;
+  }
+}
+
+std::uint64_t Dispatcher::shard_key(const std::string& body) const {
+  try {
+    json::ParseOptions parse_options;
+    parse_options.max_depth = 32;
+    parse_options.max_bytes = config_.max_body_bytes;
+    const json::Value doc = json::parse(body, parse_options);
+    if (doc.is_object()) {
+      if (const json::Value* benchmark = doc.find("benchmark")) {
+        if (benchmark->is_string()) {
+          return revlib::get_benchmark(benchmark->as_string())
+              .circuit.content_hash();
+        }
+      }
+      if (const json::Value* qasm = doc.find("qasm")) {
+        if (qasm->is_string()) {
+          return qir::from_qasm(qasm->as_string()).content_hash();
+        }
+      }
+    }
+  } catch (const std::exception&) {
+    // Fall through: the owning node will produce the canonical error.
+  }
+  Fnv64 h;
+  h.mix(body);
+  return h.digest();
+}
+
+http::Response Dispatcher::handle_submit(const http::Request& request) {
+  const std::size_t index = ring_.node_for(shard_key(request.body));
+  Node& node = *nodes_[index];
+
+  http::Response res;
+  try {
+    // POSTs are never blindly retried: a submit that reached the node may
+    // have been executed even if the response was lost.
+    res = upstream(node, "POST", "/v1/jobs", request.body,
+                   "application/json", /*retry=*/false);
+  } catch (const std::exception& e) {
+    return error_response(502, "upstream_unavailable",
+                          "node " + node.url + " unreachable: " + e.what());
+  }
+  if (res.status != 202) return passthrough(res);  // canonical node error
+
+  std::uint64_t local_id = 0;
+  std::string state = "queued";
+  try {
+    const json::Value doc = json::parse(res.body);
+    local_id = static_cast<std::uint64_t>(doc.at("id").as_int());
+    state = doc.at("state").as_string();
+  } catch (const std::exception& e) {
+    return error_response(502, "upstream_protocol_error",
+                          "node " + node.url +
+                              " answered an unparseable submit response: " +
+                              e.what());
+  }
+
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    id = next_id_++;
+    jobs_.emplace(id, JobRef{index, local_id});
+  }
+  {
+    std::lock_guard<std::mutex> lock(node.mutex);
+    ++node.jobs_routed;
+  }
+
+  json::Writer w;
+  w.begin_object();
+  w.key("id").value(id);
+  w.key("state").value(state);
+  w.key("url").value("/v1/jobs/" + std::to_string(id));
+  w.end_object();
+  return json_response(202, w.str());
+}
+
+http::Response Dispatcher::handle_job(const http::Request& request) {
+  const std::string_view jobs_prefix = "/v1/jobs/";
+  std::string_view tail =
+      std::string_view(request.path).substr(jobs_prefix.size());
+  bool artifact = false;
+  const std::string_view artifact_suffix = "/artifact";
+  if (tail.size() > artifact_suffix.size() &&
+      tail.substr(tail.size() - artifact_suffix.size()) == artifact_suffix) {
+    artifact = true;
+    tail = tail.substr(0, tail.size() - artifact_suffix.size());
+  }
+  if (tail.empty() || tail.size() > 18 ||
+      tail.find_first_not_of("0123456789") != std::string_view::npos) {
+    return error_response(404, "not_found", "job ids are decimal integers");
+  }
+  std::uint64_t id = 0;
+  for (char c : tail) id = id * 10 + static_cast<std::uint64_t>(c - '0');
+
+  if (artifact && request.method != "GET") {
+    return error_response(405, "method_not_allowed",
+                          "use GET on /v1/jobs/{id}/artifact");
+  }
+  if (!artifact && request.method != "GET" && request.method != "DELETE") {
+    return error_response(405, "method_not_allowed",
+                          "use GET or DELETE on /v1/jobs/{id}");
+  }
+
+  JobRef ref;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      return error_response(404, "not_found",
+                            "unknown job id " + std::to_string(id));
+    }
+    ref = it->second;
+  }
+
+  Node& node = *nodes_[ref.node];
+  std::string target = "/v1/jobs/" + std::to_string(ref.local_id);
+  if (artifact) target += "/artifact";
+  target += raw_query(request.target);
+
+  const bool idempotent = request.method == "GET";
+  try {
+    return passthrough(upstream(node, request.method, target, "",
+                                "application/json", /*retry=*/idempotent));
+  } catch (const std::exception& e) {
+    return error_response(502, "upstream_unavailable",
+                          "node " + node.url + " unreachable: " + e.what());
+  }
+}
+
+http::Response Dispatcher::handle_status() {
+  // Assembled as text, not via json::Writer: each reachable node's status
+  // document is spliced in verbatim (it is already valid JSON, and
+  // re-encoding would couple the dispatcher to every node schema field).
+  std::string out = "{\n  \"schema\": \"";
+  out += service::kDispatchStatusSchema;
+  out += "\",\n  \"nodes\": [";
+  std::uint64_t jobs_routed_total = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& node = *nodes_[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"url\": \"" + json::escape(node.url) + "\", ";
+    http::Response res;
+    bool reachable = false;
+    std::string error;
+    try {
+      res = upstream(node, "GET", "/v1/status", "", "application/json",
+                     /*retry=*/true);
+      reachable = res.status == 200;
+      if (!reachable) error = "HTTP " + std::to_string(res.status);
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+    std::uint64_t routed = 0;
+    {
+      std::lock_guard<std::mutex> lock(node.mutex);
+      routed = node.jobs_routed;
+    }
+    jobs_routed_total += routed;
+    out += "\"reachable\": ";
+    out += reachable ? "true" : "false";
+    out += ", \"jobs_routed\": " + std::to_string(routed);
+    if (reachable) {
+      out += ", \"status\": " + res.body;
+    } else {
+      out += ", \"error\": \"" + json::escape(error) + "\"";
+    }
+    out += "}";
+  }
+  out += "\n  ],\n  \"dispatcher\": {";
+  const ReactorCounters c = counters();
+  out += "\"nodes\": " + std::to_string(nodes_.size());
+  out += ", \"jobs_routed\": " + std::to_string(jobs_routed_total);
+  out += ", \"connections\": " + std::to_string(c.connections);
+  out += ", \"requests\": " + std::to_string(c.requests);
+  out += ", \"keepalive_reuses\": " + std::to_string(c.keepalive_reuses);
+  out += "}\n}";
+  return json_response(200, out);
+}
+
+http::Response Dispatcher::handle(const http::Request& request) {
+  try {
+    const std::string& path = request.path;
+    if (path == "/v1/jobs") {
+      if (request.method == "POST") return handle_submit(request);
+      return error_response(405, "method_not_allowed", "use POST on /v1/jobs");
+    }
+    const std::string_view jobs_prefix = "/v1/jobs/";
+    if (std::string_view(path).substr(0, jobs_prefix.size()) == jobs_prefix) {
+      return handle_job(request);
+    }
+    if (path == "/v1/status") {
+      if (request.method == "GET") return handle_status();
+      return error_response(405, "method_not_allowed",
+                            "use GET on /v1/status");
+    }
+    return error_response(404, "not_found", "no route for " + path);
+  } catch (const http::HttpError& e) {
+    return error_response(e.status(), e.code(), e.what());
+  } catch (const std::exception& e) {
+    return error_response(500, "internal_error", e.what());
+  }
+}
+
+}  // namespace tetris::net

@@ -81,6 +81,15 @@ const std::string* Response::header(std::string_view name) const {
   return find_pair(headers, name, /*lowercase_needle=*/true);
 }
 
+bool Request::keep_alive() const {
+  if (const std::string* connection = header("connection")) {
+    const std::string value = lower(*connection);
+    if (value == "close") return false;
+    if (value == "keep-alive") return true;
+  }
+  return version != "HTTP/1.0";  // HTTP/1.1 persists by default
+}
+
 const char* status_reason(int status) {
   switch (status) {
     case 200: return "OK";
@@ -149,6 +158,7 @@ Request parse_request_head(std::string_view head) {
     throw HttpError(501, "http_version_not_supported",
                     "unsupported HTTP version '" + std::string(version) + "'");
   }
+  req.version = std::string(version);
   if (req.target.empty() || req.target[0] != '/') {
     throw HttpError(400, "bad_request",
                     "request target must be an absolute path");
@@ -240,7 +250,7 @@ std::size_t body_length(const Request& request, std::size_t max_body) {
   return length;
 }
 
-std::string format_response(const Response& response) {
+std::string format_response(const Response& response, bool keep_alive) {
   std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
                     status_reason(response.status) + "\r\n";
   out += "Content-Type: " + response.content_type + "\r\n";
@@ -248,17 +258,18 @@ std::string format_response(const Response& response) {
   for (const auto& [name, value] : response.headers) {
     out += name + ": " + value + "\r\n";
   }
-  out += "Connection: close\r\n\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n\r\n"
+                    : "Connection: close\r\n\r\n";
   out += response.body;
   return out;
 }
 
 std::string format_request(const std::string& method, const std::string& target,
                            const std::string& host, const std::string& body,
-                           const std::string& content_type) {
+                           const std::string& content_type, bool keep_alive) {
   std::string out = method + " " + target + " HTTP/1.1\r\n";
   out += "Host: " + host + "\r\n";
-  out += "Connection: close\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
   if (!body.empty()) {
     out += "Content-Type: " + content_type + "\r\n";
     out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
@@ -266,6 +277,94 @@ std::string format_request(const std::string& method, const std::string& target,
   out += "\r\n";
   out += body;
   return out;
+}
+
+// ------------------------------------------------------ incremental parser
+
+std::size_t RequestParser::consume(const char* data, std::size_t size) {
+  std::size_t consumed = 0;
+  while (consumed < size) {
+    if (state_ == State::kHead) {
+      // Grow the head, scanning for the blank line. Re-scanning starts a
+      // few bytes back so a "\r\n\r\n" split across consume() calls is
+      // still found.
+      const std::size_t scan_from = head_.size() < 3 ? 0 : head_.size() - 3;
+      head_.append(data + consumed, size - consumed);
+      consumed = size;
+      const std::size_t head_end = head_.find("\r\n\r\n", scan_from);
+      if (head_end == std::string::npos) {
+        // No terminator yet. Fail as soon as the cap is crossed — a hostile
+        // peer dribbling an endless header block must not buffer forever.
+        if (head_.size() > limits_.max_header_bytes) {
+          fail(431, "headers_too_large",
+               "header block exceeds " +
+                   std::to_string(limits_.max_header_bytes) + " bytes");
+        }
+        return consumed;
+      }
+      // The cap applies to complete heads too — without this, an oversized
+      // header block that arrives in one read would slip past the
+      // dribble-time check above.
+      if (head_end + 4 > limits_.max_header_bytes) {
+        fail(431, "headers_too_large",
+             "header block exceeds " +
+                 std::to_string(limits_.max_header_bytes) + " bytes");
+        return consumed;
+      }
+      // Bytes past the terminator belong to the body (or the next pipelined
+      // request); hand them back to the caller's cursor.
+      const std::size_t extra = head_.size() - (head_end + 4);
+      consumed -= extra;
+      head_.resize(head_end + 4);
+      try {
+        request_ = parse_request_head(head_);
+        body_needed_ = body_length(request_, limits_.max_body_bytes);
+      } catch (const HttpError& e) {
+        state_ = State::kError;
+        error_ = std::make_unique<HttpError>(e);
+        return consumed;
+      }
+      head_.clear();
+      state_ = body_needed_ == 0 ? State::kDone : State::kBody;
+    } else if (state_ == State::kBody) {
+      const std::size_t take = std::min(size - consumed, body_needed_);
+      request_.body.append(data + consumed, take);
+      consumed += take;
+      body_needed_ -= take;
+      if (body_needed_ == 0) state_ = State::kDone;
+    } else {
+      break;  // kDone / kError: stop consuming; remainder is not ours
+    }
+  }
+  return consumed;
+}
+
+const HttpError& RequestParser::error() const {
+  TETRIS_REQUIRE(state_ == State::kError && error_ != nullptr,
+                 "http::RequestParser::error: parser is not in kError");
+  return *error_;
+}
+
+Request RequestParser::take() {
+  TETRIS_REQUIRE(state_ == State::kDone,
+                 "http::RequestParser::take: no complete request buffered");
+  Request out = std::move(request_);
+  reset();
+  return out;
+}
+
+void RequestParser::reset() {
+  state_ = State::kHead;
+  head_.clear();
+  request_ = Request();
+  body_needed_ = 0;
+  error_.reset();
+}
+
+void RequestParser::fail(int status, const std::string& code,
+                         const std::string& message) {
+  state_ = State::kError;
+  error_ = std::make_unique<HttpError>(status, code, message);
 }
 
 }  // namespace tetris::net::http

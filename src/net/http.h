@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -10,13 +11,15 @@
 
 namespace tetris::net::http {
 
-/// Minimal HTTP/1.1 message layer: pure parse/format functions over strings,
-/// shared by the server and the loopback client and unit-testable without a
-/// socket. The dialect is deliberately small — requests must carry a
-/// Content-Length when they have a body (chunked transfer encoding is
-/// rejected with 411), and every response closes the connection — which is
-/// all a REST front-end over loopback/infra-LAN traffic needs, with none of
-/// the parsing ambiguity general proxies have to cope with.
+/// Minimal HTTP/1.1 message layer: pure parse/format functions over strings
+/// plus an incremental request parser, shared by the server, the dispatcher,
+/// and the client, and unit-testable without a socket. The dialect is
+/// deliberately small — requests must carry a Content-Length when they have
+/// a body (chunked transfer encoding is rejected with 411) — which is all a
+/// REST front-end over loopback/infra-LAN traffic needs, with none of the
+/// parsing ambiguity general proxies have to cope with. Connections are
+/// persistent by default (HTTP/1.1 keep-alive); either side opts out with
+/// "Connection: close".
 
 /// Protocol-level rejection: carries the HTTP status to answer with and a
 /// stable machine-readable code for the JSON error body.
@@ -40,6 +43,7 @@ struct Request {
                         ///< case-sensitive per RFC 9110)
   std::string target;   ///< raw request target, e.g. "/v1/jobs/3?timing=0"
   std::string path;     ///< decoded path, e.g. "/v1/jobs/3"
+  std::string version;  ///< "HTTP/1.1" or "HTTP/1.0"
   std::vector<std::pair<std::string, std::string>> query;  ///< decoded pairs
   std::vector<std::pair<std::string, std::string>> headers;
   std::string body;
@@ -48,6 +52,11 @@ struct Request {
   const std::string* header(std::string_view name) const;
   /// First query parameter with this name, nullptr when absent.
   const std::string* query_param(std::string_view name) const;
+
+  /// Connection persistence the client asked for: HTTP/1.1 defaults to
+  /// keep-alive, HTTP/1.0 to close; an explicit "Connection: close" /
+  /// "Connection: keep-alive" header (case-insensitive) overrides either.
+  bool keep_alive() const;
 };
 
 /// One response. The server fills status/content_type/body; the client
@@ -78,14 +87,88 @@ Response parse_response_head(std::string_view head);
 /// `max_body`.
 std::size_t body_length(const Request& request, std::size_t max_body);
 
-/// Serializes a response with Content-Length and "Connection: close".
-std::string format_response(const Response& response);
+/// Serializes a response with Content-Length and an explicit Connection
+/// header ("keep-alive" or "close"). The server sets `keep_alive` false on
+/// the final response of a connection (protocol errors, Connection: close
+/// requests, the per-connection request cap) so clients always know whether
+/// the socket stays usable.
+std::string format_response(const Response& response, bool keep_alive = false);
 
-/// Serializes a request line + headers + body for the client.
+/// Serializes a request line + headers + body for the client. `keep_alive`
+/// controls the Connection header ("keep-alive" vs "close").
 std::string format_request(const std::string& method, const std::string& target,
                            const std::string& host,
                            const std::string& body,
-                           const std::string& content_type);
+                           const std::string& content_type,
+                           bool keep_alive = false);
+
+/// Incremental HTTP/1.1 request parser — the per-connection state machine of
+/// the event-loop server. Bytes arrive in arbitrary fragments (one poll
+/// wakeup may deliver half a header line or three pipelined requests);
+/// `consume` eats as much as one request needs and reports the connection's
+/// next move. After kDone, `take()` yields the request and resets the
+/// machine for the next pipelined request on the same connection.
+///
+/// All protocol violations surface as a *structured* rejection (the
+/// HttpError the server answers with before closing), never an exception
+/// out of `consume`: kError is sticky and `error()` carries the
+/// status/code/message triple. Limits mirror ServerConfig: an oversized
+/// header block fails with 431 as soon as the cap is crossed — without
+/// waiting for the terminator a hostile peer would never send — and an
+/// oversized announced body fails with 413 before any body byte is read.
+class RequestParser {
+ public:
+  struct Limits {
+    // Constructor-set defaults, not member initializers: the enclosing
+    // class's default argument `Limits()` may not rely on a nested class's
+    // NSDMIs before RequestParser is complete.
+    Limits()
+        : max_header_bytes(std::size_t{16} << 10),
+          max_body_bytes(std::size_t{1} << 20) {}
+    std::size_t max_header_bytes;
+    std::size_t max_body_bytes;
+  };
+
+  enum class State {
+    kHead,   ///< collecting the request line + header block
+    kBody,   ///< head parsed; collecting Content-Length body bytes
+    kDone,   ///< one full request buffered; call take()
+    kError,  ///< protocol violation; call error(), answer, close
+  };
+
+  explicit RequestParser(Limits limits = Limits()) : limits_(limits) {}
+
+  /// Consumes up to `size` bytes, stopping at the end of one request (the
+  /// remainder belongs to the next pipelined request — feed it again after
+  /// take()). Returns the number of bytes consumed; 0 in kDone/kError.
+  std::size_t consume(const char* data, std::size_t size);
+
+  State state() const { return state_; }
+  bool done() const { return state_ == State::kDone; }
+  bool failed() const { return state_ == State::kError; }
+  /// True while no byte of a (new) request has been consumed — the state in
+  /// which an idle keep-alive connection can be evicted without owing the
+  /// peer a response.
+  bool idle() const { return state_ == State::kHead && head_.empty(); }
+
+  /// The structured rejection; valid only in kError.
+  const HttpError& error() const;
+
+  /// Moves the completed request out and resets for the next one.
+  Request take();
+
+  void reset();
+
+ private:
+  void fail(int status, const std::string& code, const std::string& message);
+
+  Limits limits_;
+  State state_ = State::kHead;
+  std::string head_;
+  Request request_;
+  std::size_t body_needed_ = 0;
+  std::unique_ptr<HttpError> error_;
+};
 
 /// Percent-decoding; `plus_to_space` additionally maps '+' (query dialect).
 /// Throws HttpError(400) on truncated or non-hex escapes.

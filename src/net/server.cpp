@@ -169,13 +169,28 @@ lock::FlowConfig parse_flow_config(const json::Value* config) {
 }  // namespace
 
 Server::Server(service::Service& service, ServerConfig config)
-    : service_(service),
-      config_(std::move(config)),
-      listener_(config_.host, config_.port, config_.backlog) {
+    : service_(service), config_(std::move(config)) {
   if (config_.connection_threads > 0) {
     private_pool_ =
         std::make_unique<runtime::ThreadPool>(config_.connection_threads);
   }
+  ReactorConfig rc;
+  rc.host = config_.host;
+  rc.port = config_.port;
+  rc.backlog = config_.backlog;
+  rc.idle_timeout_ms = config_.io_timeout_ms;
+  rc.request_deadline_ms = config_.request_deadline_ms;
+  rc.max_requests_per_connection = config_.max_requests_per_connection;
+  rc.max_header_bytes = config_.max_header_bytes;
+  rc.max_body_bytes = config_.max_body_bytes;
+  rc.handler_pool = private_pool_.get();
+  // Route handlers only parse, route, and serialize — job compute lives on
+  // the Service pool — so with no dedicated handler pool they run inline on
+  // the loop thread (two context switches per request cheaper).
+  rc.inline_handlers = private_pool_ == nullptr;
+  reactor_ = std::make_unique<Reactor>(
+      std::move(rc),
+      [this](const http::Request& request) { return handle(request); });
 }
 
 Server::~Server() { stop(); }
@@ -184,158 +199,27 @@ runtime::ThreadPool& Server::connection_pool() {
   return private_pool_ ? *private_pool_ : runtime::ThreadPool::global();
 }
 
-void Server::start() {
-  TETRIS_REQUIRE(!running_.load() && !stopping_.load(),
-                 "net::Server: start() on a running or stopped server");
-  running_.store(true);
-  accept_thread_ = std::thread([this] { accept_loop(); });
-}
+void Server::start() { reactor_->start(); }
 
-void Server::stop() {
-  if (!running_.exchange(false)) return;
-  stopping_.store(true);
-  listener_.shutdown();
-  if (accept_thread_.joinable()) accept_thread_.join();
-  // In-flight connection tasks may still be talking to the service; wait for
-  // the last one before returning (the pool itself may be the shared global
-  // pool, which must not be drained here).
-  std::unique_lock<std::mutex> lk(mutex_);
-  idle_cv_.wait(lk, [this] { return active_connections_ == 0; });
-}
+void Server::stop() { reactor_->stop(); }
+
+int Server::port() const { return reactor_->port(); }
 
 std::string Server::base_url() const {
   return "http://" + config_.host + ":" + std::to_string(port());
 }
 
 ServerCounters Server::counters() const {
-  std::lock_guard<std::mutex> lk(mutex_);
-  return counters_;
-}
-
-void Server::accept_loop() {
-  while (!stopping_.load()) {
-    Socket socket = listener_.accept(/*timeout_ms=*/100);
-    if (!socket.valid()) continue;  // poll timeout or shutdown wake-up
-    auto shared = std::make_shared<Socket>(std::move(socket));
-    {
-      std::lock_guard<std::mutex> lk(mutex_);
-      ++counters_.connections;
-      ++active_connections_;
-    }
-    try {
-      connection_pool().submit(
-          [this, shared] { serve_connection(std::move(*shared)); });
-    } catch (...) {
-      // Pool shutting down under us: undo the bookkeeping and bail out.
-      std::lock_guard<std::mutex> lk(mutex_);
-      --active_connections_;
-      idle_cv_.notify_all();
-    }
-  }
-}
-
-void Server::serve_connection(Socket socket) {
-  http::Response response;
-  bool respond = true;
-  std::uint64_t requests_bump = 0;
-  try {
-    // The whole request read runs against a wall-clock deadline on top of
-    // the per-recv idle timeout: each recv waits at most the *remaining*
-    // budget, so a byte-dribbling peer is answered 408 instead of holding
-    // this worker for as long as it keeps trickling.
-    const auto deadline =
-        std::chrono::steady_clock::now() +
-        std::chrono::milliseconds(config_.request_deadline_ms);
-    auto recv_within_deadline = [&](char* data, std::size_t capacity) {
-      const auto remaining_ms =
-          std::chrono::duration_cast<std::chrono::milliseconds>(
-              deadline - std::chrono::steady_clock::now())
-              .count();
-      if (remaining_ms <= 0) {
-        throw http::HttpError(408, "request_timeout",
-                              "request not received within " +
-                                  std::to_string(config_.request_deadline_ms) +
-                                  " ms");
-      }
-      socket.set_timeout_ms(static_cast<int>(std::min<long long>(
-          remaining_ms, config_.io_timeout_ms)));
-      try {
-        return socket.recv_some(data, capacity);
-      } catch (const http::HttpError&) {
-        throw;
-      } catch (const std::exception&) {
-        // Idle timeout or reset while we still owe the peer an answer.
-        throw http::HttpError(408, "request_timeout",
-                              "timed out reading the request");
-      }
-    };
-
-    // Read the head: everything up to the blank line, capped.
-    std::string buffer;
-    char chunk[4096];
-    std::size_t head_end;
-    while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
-      if (buffer.size() > config_.max_header_bytes) {
-        throw http::HttpError(431, "headers_too_large",
-                              "header block exceeds " +
-                                  std::to_string(config_.max_header_bytes) +
-                                  " bytes");
-      }
-      std::size_t n = recv_within_deadline(chunk, sizeof(chunk));
-      if (n == 0) {
-        respond = false;  // peer closed before a full request arrived
-        break;
-      }
-      buffer.append(chunk, n);
-    }
-
-    if (respond) {
-      http::Request request =
-          http::parse_request_head(std::string_view(buffer).substr(
-              0, head_end + 4));
-      requests_bump = 1;
-      const std::size_t body_size =
-          http::body_length(request, config_.max_body_bytes);
-      std::string body = buffer.substr(head_end + 4);
-      while (body.size() < body_size) {
-        std::size_t n = recv_within_deadline(chunk, sizeof(chunk));
-        if (n == 0) {
-          throw http::HttpError(400, "bad_request",
-                                "connection closed mid-body");
-        }
-        body.append(chunk, n);
-      }
-      body.resize(body_size);  // ignore bytes past Content-Length
-      request.body = std::move(body);
-      response = handle(request);
-    }
-  } catch (const http::HttpError& e) {
-    response = error_response(e.status(), e.code(), e.what());
-  } catch (const std::exception&) {
-    // Transport-level failure (timeout, reset): nothing sane to answer.
-    respond = false;
-  }
-
-  if (respond) {
-    try {
-      // The read path may have left a tiny remaining-deadline timeout on
-      // the socket; the write gets the full configured budget again.
-      socket.set_timeout_ms(config_.io_timeout_ms);
-      socket.send_all(http::format_response(response));
-    } catch (const std::exception&) {
-      // Peer went away while we wrote; only the counters care.
-    }
-  }
-
-  std::lock_guard<std::mutex> lk(mutex_);
-  counters_.requests += requests_bump;
-  if (respond) {
-    if (response.status < 300) ++counters_.responses_2xx;
-    else if (response.status < 500) ++counters_.responses_4xx;
-    else ++counters_.responses_5xx;
-  }
-  --active_connections_;
-  idle_cv_.notify_all();
+  const ReactorCounters rc = reactor_->counters();
+  ServerCounters out;
+  out.connections = rc.connections;
+  out.requests = rc.requests;
+  out.responses_2xx = rc.responses_2xx;
+  out.responses_4xx = rc.responses_4xx;
+  out.responses_5xx = rc.responses_5xx;
+  out.keepalive_reuses = rc.keepalive_reuses;
+  out.idle_evictions = rc.idle_evictions;
+  return out;
 }
 
 http::Response Server::handle(const http::Request& request) {
@@ -564,7 +448,7 @@ http::Response Server::handle_status() {
 
   json::Writer w;
   w.begin_object();
-  w.key("schema").value("tetrislock.status.v1");
+  w.key("schema").value(service::kStatusSchema);
   w.key("service").begin_object();
   w.key("jobs_submitted").value(service_.jobs_submitted());
   w.key("threads").value(service_.threads());
@@ -613,6 +497,8 @@ http::Response Server::handle_status() {
   w.key("responses_2xx").value(server.responses_2xx);
   w.key("responses_4xx").value(server.responses_4xx);
   w.key("responses_5xx").value(server.responses_5xx);
+  w.key("keepalive_reuses").value(server.keepalive_reuses);
+  w.key("idle_evictions").value(server.idle_evictions);
   w.end_object();
   w.key("connection_pool").begin_object();
   w.key("threads").value(pool.size());

@@ -1,16 +1,12 @@
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 
 #include "net/http.h"
-#include "net/socket.h"
+#include "net/reactor.h"
 #include "runtime/thread_pool.h"
 #include "service/service.h"
 
@@ -21,17 +17,23 @@ struct ServerConfig {
   std::string host = "127.0.0.1";  ///< bind address (loopback by default)
   int port = 0;                    ///< 0 = ephemeral; see Server::port()
   int backlog = 64;
-  /// Connection workers: 0 shares the runtime's global ThreadPool, a
-  /// positive value gives the server a private pool of that size. A private
-  /// pool isolates socket I/O from compute when the global pool is narrow.
+  /// Handler workers: 0 (the default) runs route handlers inline on the
+  /// event-loop thread — handlers only parse/route/serialize (job compute
+  /// lives on the Service pool), so skipping the pool hop saves two context
+  /// switches per request. A positive value gives the server a private
+  /// handler pool of that size, isolating the loop from handler latency
+  /// when requests carry heavyweight payloads (large QASM bodies).
   unsigned connection_threads = 0;
-  /// Per-socket receive/send timeout; a peer silent for longer drops.
+  /// Idle timeout: a keep-alive connection with no request in flight and no
+  /// bytes arriving for this long is dropped (silently — no response owed).
   int io_timeout_ms = 10000;
-  /// Wall-clock budget for reading one whole request (head + body). The
-  /// per-recv io_timeout resets on every byte, so without this cap a peer
-  /// dribbling one byte per few seconds would hold a connection worker
-  /// indefinitely (slow-loris); past the deadline the server answers 408.
+  /// Wall-clock budget from the first byte of a request to its completion;
+  /// a peer dribbling one header byte per poll wakeup (slow-loris) is
+  /// answered 408 and closed when this expires.
   int request_deadline_ms = 30000;
+  /// Requests served on one connection before the server closes it (the
+  /// final response carries "Connection: close"); 0 = unlimited.
+  std::size_t max_requests_per_connection = 0;
   /// Header-block cap; requests with larger heads are answered 431.
   std::size_t max_header_bytes = std::size_t{16} << 10;
   /// Body cap (also the json::parse max_bytes); larger bodies answer 413.
@@ -40,11 +42,13 @@ struct ServerConfig {
 
 /// Monotonic traffic counters, readable while serving (GET /v1/status).
 struct ServerCounters {
-  std::uint64_t connections = 0;   ///< accepted sockets
-  std::uint64_t requests = 0;      ///< requests parsed far enough to route
+  std::uint64_t connections = 0;  ///< accepted sockets
+  std::uint64_t requests = 0;     ///< complete requests routed to a handler
   std::uint64_t responses_2xx = 0;
   std::uint64_t responses_4xx = 0;
   std::uint64_t responses_5xx = 0;
+  std::uint64_t keepalive_reuses = 0;  ///< requests beyond a conn's first
+  std::uint64_t idle_evictions = 0;    ///< connections dropped by timeout
 };
 
 /// Embedded REST front-end over a service::Service.
@@ -83,13 +87,17 @@ struct ServerCounters {
 /// transport-level codes (not_found, method_not_allowed, payload_too_large,
 /// length_required, request_timeout, bad_request).
 ///
-/// Threading: `start()` spawns one dedicated accept thread; each accepted
-/// connection is handled as one task (read one request, answer, close) on
-/// the connection pool (ServerConfig::connection_threads). Job compute runs
-/// wherever the Service puts it — give the Service a private pool
-/// (ServiceConfig::num_threads > 0) so POST /v1/jobs stays asynchronous even
-/// when connection tasks execute on runtime pool workers (a Service sharing
-/// the global pool runs worker-thread submissions inline by design).
+/// Threading: the server is a thin route table over a net::Reactor — one
+/// event-loop thread owns every socket (accept + readiness + write-back).
+/// Complete requests run `handle()` inline on the loop by default, or on a
+/// private handler pool when ServerConfig::connection_threads > 0 (responses
+/// then complete back onto the loop via the reactor's wake pipe).
+/// Connections are persistent (HTTP/1.1 keep-alive) and pipelined
+/// requests are answered in order. Job compute runs wherever the Service
+/// puts it — give the Service a private pool (ServiceConfig::num_threads >
+/// 0) so POST /v1/jobs stays asynchronous even when handler tasks execute on
+/// runtime pool workers (a Service sharing the global pool runs
+/// worker-thread submissions inline by design).
 ///
 /// Determinism over the wire: a job's outcome is a pure function of
 /// (circuit, seed, flow fingerprint), so GET /v1/jobs/{id}?timing=0 is
@@ -106,15 +114,15 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Spawns the accept loop. start() after stop() is not supported.
+  /// Starts the event loop. start() after stop() is not supported.
   void start();
 
-  /// Stops accepting, waits for in-flight connection tasks, joins the
-  /// accept thread. Idempotent. Jobs already submitted keep running in the
-  /// Service (its destructor waits for them).
+  /// Stops accepting, waits for in-flight handlers, flushes queued
+  /// responses, joins the loop. Idempotent. Jobs already submitted keep
+  /// running in the Service (its destructor waits for them).
   void stop();
 
-  int port() const { return listener_.port(); }
+  int port() const;
   std::string base_url() const;
   const ServerConfig& config() const { return config_; }
   ServerCounters counters() const;
@@ -125,8 +133,6 @@ class Server {
 
  private:
   runtime::ThreadPool& connection_pool();
-  void accept_loop();
-  void serve_connection(Socket socket);
 
   http::Response handle_submit(const http::Request& request);
   http::Response handle_job_get(std::uint64_t id, const http::Request& request);
@@ -136,17 +142,8 @@ class Server {
 
   service::Service& service_;
   ServerConfig config_;
-  Listener listener_;
   std::unique_ptr<runtime::ThreadPool> private_pool_;
-
-  std::thread accept_thread_;
-  std::atomic<bool> running_{false};
-  std::atomic<bool> stopping_{false};
-
-  mutable std::mutex mutex_;           // guards counters_ + active_ below
-  std::condition_variable idle_cv_;    // signalled when active_ hits zero
-  std::size_t active_connections_ = 0;
-  ServerCounters counters_;
+  std::unique_ptr<Reactor> reactor_;
 };
 
 }  // namespace tetris::net

@@ -1,6 +1,7 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -64,6 +65,47 @@ void Socket::set_timeout_ms(int timeout_ms) {
   }
 }
 
+void Socket::set_nodelay() {
+  const int on = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &on, sizeof(on));
+}
+
+void Socket::set_nonblocking() {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) != 0) {
+    fail_errno("net: set O_NONBLOCK");
+  }
+}
+
+Socket::IoResult Socket::recv_nonblocking(char* buffer, std::size_t capacity,
+                                          std::size_t* received) {
+  while (true) {
+    ssize_t n = ::recv(fd_, buffer, capacity, 0);
+    if (n > 0) {
+      *received = static_cast<std::size_t>(n);
+      return IoResult::kOk;
+    }
+    if (n == 0) return IoResult::kClosed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kWouldBlock;
+    return IoResult::kError;
+  }
+}
+
+Socket::IoResult Socket::send_nonblocking(const char* data, std::size_t size,
+                                          std::size_t* sent) {
+  while (true) {
+    ssize_t n = ::send(fd_, data, size, MSG_NOSIGNAL);
+    if (n >= 0) {
+      *sent = static_cast<std::size_t>(n);
+      return IoResult::kOk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kWouldBlock;
+    return IoResult::kError;
+  }
+}
+
 Socket Socket::connect(const std::string& host, int port, int timeout_ms) {
   sockaddr_in addr = make_address(host, port);
   Socket s(::socket(AF_INET, SOCK_STREAM, 0));
@@ -73,6 +115,7 @@ Socket Socket::connect(const std::string& host, int port, int timeout_ms) {
                 sizeof(addr)) != 0) {
     fail_errno("net: connect to " + host + ":" + std::to_string(port));
   }
+  s.set_nodelay();
   return s;
 }
 

@@ -30,6 +30,16 @@ class Socket {
   /// SO_RCVTIMEO / SO_SNDTIMEO, applied to both directions.
   void set_timeout_ms(int timeout_ms);
 
+  /// O_NONBLOCK — recv/send return kWouldBlock instead of sleeping. The
+  /// event-loop server runs every connection socket this way; the blocking
+  /// client never calls it.
+  void set_nonblocking();
+
+  /// TCP_NODELAY (best-effort): small request/response round trips on a
+  /// persistent connection must not sit out Nagle's algorithm waiting for
+  /// an ACK. Both the client and the reactor's accepted sockets set this.
+  void set_nodelay();
+
   /// Blocking connect to `host:port` (numeric IPv4 or "localhost").
   static Socket connect(const std::string& host, int port, int timeout_ms);
 
@@ -41,6 +51,20 @@ class Socket {
   void send_all(const char* data, std::size_t size);
   void send_all(const std::string& data) { send_all(data.data(), data.size()); }
 
+  /// Non-blocking I/O outcome. kClosed is recv-only (orderly shutdown);
+  /// kError covers resets and every other hard failure — the reactor's
+  /// response to either is to drop the connection, so no errno text is kept.
+  enum class IoResult { kOk, kWouldBlock, kClosed, kError };
+
+  /// Non-blocking receive into `buffer`; `*received` is set on kOk.
+  IoResult recv_nonblocking(char* buffer, std::size_t capacity,
+                            std::size_t* received);
+
+  /// Non-blocking send of up to `size` bytes; `*sent` is set on kOk (short
+  /// writes are normal — the reactor keeps the tail buffered).
+  IoResult send_nonblocking(const char* data, std::size_t size,
+                            std::size_t* sent);
+
  private:
   int fd_ = -1;
 };
@@ -51,9 +75,12 @@ class Listener {
  public:
   Listener(const std::string& host, int port, int backlog);
   int port() const { return port_; }
+  /// Raw fd, so a reactor can put the listener in its poll set.
+  int fd() const { return fd_.fd(); }
 
   /// Waits up to `timeout_ms` for a connection. Returns an invalid Socket on
   /// timeout (so an accept loop can poll a stop flag); throws on hard error.
+  /// `timeout_ms` 0 is a non-blocking accept.
   Socket accept(int timeout_ms);
 
   /// Unblocks pending and future accepts; they return invalid Sockets.

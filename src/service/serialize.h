@@ -19,6 +19,15 @@ namespace tetris::service {
 /// `include_timing = false` to omit them when diffing documents across runs
 /// or thread counts.
 
+/// Schema tags carried in the "schema" field of the status documents, so
+/// consumers (dispatcher aggregation, CI smoke scripts, dashboards) can
+/// version-check before reading counters. kStatusSchema names one node's
+/// GET /v1/status document; kDispatchStatusSchema names the dispatcher's
+/// cross-node aggregation (docs/API.md has both layouts).
+inline constexpr const char* kStatusSchema = "tetrislock.status.v1";
+inline constexpr const char* kDispatchStatusSchema =
+    "tetrislock.dispatch_status.v1";
+
 /// Appends the FlowResult metric fields to an object the caller has already
 /// opened on `w` (composition point for custom envelopes).
 void flow_result_fields(json::Writer& w, const lock::FlowResult& r);

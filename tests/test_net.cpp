@@ -11,6 +11,7 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <map>
 #include <mutex>
 #include <set>
 #include <string>
@@ -20,7 +21,9 @@
 #include "common/error.h"
 #include "common/json.h"
 #include "net/client.h"
+#include "net/dispatch.h"
 #include "net/http.h"
+#include "net/socket.h"
 #include "qir/qasm.h"
 #include "revlib/benchmarks.h"
 #include "service/artifact_store.h"
@@ -662,6 +665,531 @@ TEST(NetServer, RawProtocolGarbageGets400) {
   wire = client.raw_exchange(
       "POST /v1/jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
   EXPECT_EQ(wire.rfind("HTTP/1.1 411", 0), 0u) << wire;
+}
+
+// ----------------------------------------------------- protocol conformance
+
+/// Splits a wire capture holding back-to-back HTTP/1.1 responses (each
+/// framed by Content-Length) into (status, body) pairs, in arrival order.
+std::vector<std::pair<int, std::string>> split_responses(
+    const std::string& wire) {
+  std::vector<std::pair<int, std::string>> out;
+  std::size_t pos = 0;
+  while (pos < wire.size()) {
+    std::size_t head_end = wire.find("\r\n\r\n", pos);
+    if (head_end == std::string::npos) {
+      ADD_FAILURE() << "truncated response head at byte " << pos;
+      break;
+    }
+    auto head =
+        http::parse_response_head(wire.substr(pos, head_end + 4 - pos));
+    const std::string* length = head.header("content-length");
+    if (length == nullptr) {
+      ADD_FAILURE() << "response without Content-Length at byte " << pos;
+      break;
+    }
+    std::size_t body_len = static_cast<std::size_t>(std::stoull(*length));
+    std::size_t body_begin = head_end + 4;
+    if (body_begin + body_len > wire.size()) {
+      ADD_FAILURE() << "truncated response body at byte " << body_begin;
+      break;
+    }
+    out.emplace_back(head.status, wire.substr(body_begin, body_len));
+    pos = body_begin + body_len;
+  }
+  return out;
+}
+
+TEST(NetProtocol, KeepAliveServesManyRequestsOnOneConnection) {
+  ServerFixture fx;
+  auto client = fx.client();
+  constexpr int kRequests = 8;
+  for (int i = 0; i < kRequests; ++i) {
+    EXPECT_EQ(client.get("/v1/status").status, 200);
+  }
+  // Both sides agree the whole burst cost exactly one socket.
+  EXPECT_EQ(client.connections_opened(), 1u);
+  ServerCounters counters = fx.server().counters();
+  EXPECT_EQ(counters.connections, 1u);
+  EXPECT_EQ(counters.requests, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(counters.keepalive_reuses,
+            static_cast<std::uint64_t>(kRequests - 1));
+
+  // A keep-alive-disabled client pays one connection per request.
+  Client oneshot("127.0.0.1", fx.server().port(), 30000,
+                 /*keep_alive=*/false);
+  EXPECT_EQ(oneshot.get("/v1/status").status, 200);
+  EXPECT_EQ(oneshot.get("/v1/status").status, 200);
+  EXPECT_EQ(oneshot.connections_opened(), 2u);
+}
+
+TEST(NetProtocol, PipelinedRequestsAnsweredInOrder) {
+  ServerFixture fx;
+  auto client = fx.client();
+  // Three requests written back-to-back before reading anything; the last
+  // asks for close so raw_exchange's read-until-EOF delimits the burst.
+  std::string wire = client.raw_exchange(
+      "GET /v1/status HTTP/1.1\r\n\r\n"
+      "GET /v1/jobs/999 HTTP/1.1\r\n\r\n"
+      "GET /nope HTTP/1.1\r\nConnection: close\r\n\r\n");
+  auto responses = split_responses(wire);
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_EQ(responses[0].first, 200);
+  EXPECT_NE(responses[0].second.find("tetrislock.status.v1"),
+            std::string::npos);
+  EXPECT_EQ(responses[1].first, 404);
+  EXPECT_NE(responses[1].second.find("999"), std::string::npos);
+  EXPECT_EQ(responses[2].first, 404);
+  // One socket, three requests, two of them keep-alive reuses.
+  ServerCounters counters = fx.server().counters();
+  EXPECT_EQ(counters.connections, 1u);
+  EXPECT_EQ(counters.requests, 3u);
+  EXPECT_EQ(counters.keepalive_reuses, 2u);
+}
+
+TEST(NetProtocol, ConnectionCloseRequestIsHonored) {
+  ServerFixture fx;
+  auto client = fx.client();
+  // raw_exchange returns only because the server actually closed; a second
+  // pipelined request after "Connection: close" must never be answered.
+  std::string wire = client.raw_exchange(
+      "GET /v1/status HTTP/1.1\r\nConnection: close\r\n\r\n"
+      "GET /v1/status HTTP/1.1\r\n\r\n");
+  auto responses = split_responses(wire);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].first, 200);
+  auto head = http::parse_response_head(
+      wire.substr(0, wire.find("\r\n\r\n") + 4));
+  ASSERT_NE(head.header("connection"), nullptr);
+  EXPECT_EQ(*head.header("connection"), "close");
+}
+
+TEST(NetProtocol, MaxRequestsPerConnectionClosesAtTheCap) {
+  ServerConfig config;
+  config.max_requests_per_connection = 3;
+  ServerFixture fx(config);
+  auto client = fx.client();
+  // The blocking client reconnects transparently when the server closes at
+  // the cap, so 7 requests over a cap of 3 cost ceil(7/3) = 3 sockets.
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(client.get("/v1/status").status, 200);
+  }
+  EXPECT_EQ(client.connections_opened(), 3u);
+  EXPECT_EQ(fx.server().counters().requests, 7u);
+}
+
+TEST(NetProtocol, ProtocolErrorsCloseCleanlyMidStream) {
+  ServerConfig config;
+  config.max_header_bytes = 1024;
+  config.max_body_bytes = 512;
+  ServerFixture fx(config);
+  auto client = fx.client();
+
+  // Each offending request is followed by a pipelined well-formed one; the
+  // server must answer the error, close, and never touch the follow-up.
+  const std::string follow_up = "GET /v1/status HTTP/1.1\r\n\r\n";
+
+  // 413: announced body over the cap (no body bytes ever sent).
+  std::string wire = client.raw_exchange(
+      "POST /v1/jobs HTTP/1.1\r\nContent-Length: 4096\r\n\r\n" + follow_up);
+  auto responses = split_responses(wire);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].first, 413);
+  EXPECT_EQ(json::parse(responses[0].second).at("error").at("code")
+                .as_string(),
+            "payload_too_large");
+
+  // 431: header block over the cap.
+  wire = client.raw_exchange("GET /v1/status HTTP/1.1\r\nX-Pad: " +
+                             std::string(2048, 'x') + "\r\n\r\n" + follow_up);
+  responses = split_responses(wire);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].first, 431);
+
+  // 411: chunked upload announcement, rejected before any body is read.
+  wire = client.raw_exchange(
+      "POST /v1/jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "5\r\nhello\r\n0\r\n\r\n" +
+      follow_up);
+  responses = split_responses(wire);
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0].first, 411);
+
+  // Every error response said close and meant it; the server is still
+  // perfectly healthy for the next connection.
+  EXPECT_EQ(client.get("/v1/status").status, 200);
+}
+
+TEST(NetProtocol, SlowLorisEvictedWithoutStallingOthers) {
+  ServerConfig config;
+  config.request_deadline_ms = 400;
+  config.io_timeout_ms = 30000;
+  ServerFixture fx(config);
+
+  // A peer dribbling its request one byte at a time, far slower than the
+  // request deadline allows.
+  Socket loris = Socket::connect("127.0.0.1", fx.server().port(), 5000);
+  loris.set_timeout_ms(5000);
+  const std::string head = "GET /v1/status HTTP/1.1\r\nX-Slow: yes\r\n";
+  bool evicted = false;
+  auto client = fx.client();
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t sent = 0;
+  while (std::chrono::steady_clock::now() - start <
+         std::chrono::seconds(10)) {
+    try {
+      loris.send_all(&head[sent % head.size()], 1);
+      ++sent;
+    } catch (const Error&) {
+      evicted = true;  // server reset the connection after the 408
+      break;
+    }
+    // The stalled connection must not delay anyone else: interleaved
+    // requests on a healthy connection keep answering promptly.
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_EQ(client.get("/v1/status").status, 200);
+    EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count(),
+              2000);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  if (!evicted) {
+    // The kernel may buffer dribbled bytes without erroring; the 408 the
+    // server wrote before closing is still observable on the socket.
+    char buffer[512];
+    try {
+      std::size_t n = loris.recv_some(buffer, sizeof(buffer));
+      evicted = n == 0 ||
+                std::string(buffer, n).rfind("HTTP/1.1 408", 0) == 0;
+    } catch (const Error&) {
+      evicted = true;
+    }
+  }
+  EXPECT_TRUE(evicted);
+  EXPECT_GE(fx.server().counters().idle_evictions, 1u);
+}
+
+TEST(NetProtocol, IdleKeepAliveConnectionIsEvicted) {
+  ServerConfig config;
+  config.io_timeout_ms = 200;
+  ServerFixture fx(config);
+  auto client = fx.client();
+  EXPECT_EQ(client.get("/v1/status").status, 200);
+  EXPECT_EQ(client.connections_opened(), 1u);
+
+  // Wait out the idle timeout with no request in flight: the server drops
+  // the connection silently (no response owed on an idle keep-alive conn).
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+  EXPECT_GE(fx.server().counters().idle_evictions, 1u);
+
+  // The client notices the stale connection and transparently reconnects.
+  EXPECT_EQ(client.get("/v1/status").status, 200);
+  EXPECT_EQ(client.connections_opened(), 2u);
+}
+
+// ------------------------------------------------------ consistent hashing
+
+TEST(HashRing, DistributionAcrossNodeCounts) {
+  constexpr int kKeys = 8192;
+  for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                        std::size_t{8}}) {
+    HashRing ring(n);
+    ASSERT_EQ(ring.num_nodes(), n);
+    std::vector<int> counts(n, 0);
+    for (int i = 0; i < kKeys; ++i) {
+      std::uint64_t key = static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ull;
+      std::size_t node = ring.node_for(key);
+      ASSERT_LT(node, n);
+      ++counts[node];
+    }
+    // 64 virtual points per node keep the spread within a factor of ~2 of
+    // fair share; pin a generous 3x envelope so the test survives point
+    // placement while still catching a broken ring (one node taking all).
+    const int fair = kKeys / static_cast<int>(n);
+    for (std::size_t node = 0; node < n; ++node) {
+      EXPECT_GT(counts[node], fair / 3) << n << " nodes, node " << node;
+      EXPECT_LT(counts[node], fair * 3) << n << " nodes, node " << node;
+    }
+  }
+}
+
+TEST(HashRing, AssignmentsAreDeterministicAndConsistent) {
+  HashRing a(4), b(4);
+  HashRing wide(8);
+  int moved = 0;
+  constexpr int kKeys = 8192;
+  for (int i = 0; i < kKeys; ++i) {
+    std::uint64_t key = static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ull;
+    // Same parameters, same answer — the property cache affinity rides on.
+    ASSERT_EQ(a.node_for(key), b.node_for(key));
+    // The consistent-hash contract: growing 4 -> 8 nodes either keeps a key
+    // where it was or moves it to one of the NEW nodes — never reshuffles
+    // it between survivors.
+    std::size_t before = a.node_for(key);
+    std::size_t after = wide.node_for(key);
+    if (after != before) {
+      EXPECT_GE(after, std::size_t{4}) << "key reshuffled between survivors";
+      ++moved;
+    }
+  }
+  // Doubling the fleet should move roughly half the keyspace.
+  EXPECT_GT(moved, kKeys / 5);
+  EXPECT_LT(moved, kKeys * 4 / 5);
+
+  HashRing single(1);
+  for (std::uint64_t key : {0ull, 1ull, ~0ull}) {
+    EXPECT_EQ(single.node_for(key), 0u);
+  }
+}
+
+// -------------------------------------------------------------- dispatcher
+
+/// N in-process serve nodes (each its own Service + Server) fronted by a
+/// Dispatcher — the whole multi-node topology on loopback.
+class DispatchFixture {
+ public:
+  explicit DispatchFixture(
+      std::size_t num_nodes,
+      service::ServiceConfig service_config = fixture_service_config(2)) {
+    for (std::size_t i = 0; i < num_nodes; ++i) {
+      services_.push_back(std::make_unique<service::Service>(service_config));
+      servers_.push_back(std::make_unique<Server>(*services_.back()));
+      servers_.back()->start();
+    }
+    DispatcherConfig config;
+    config.port = 0;
+    config.handler_threads = 4;
+    config.upstream_timeout_ms = 5000;
+    for (const auto& server : servers_) {
+      config.nodes.push_back(server->base_url());
+    }
+    dispatcher_ = std::make_unique<Dispatcher>(config);
+    dispatcher_->start();
+  }
+
+  ~DispatchFixture() {
+    dispatcher_->stop();
+    for (auto& server : servers_) server->stop();
+  }
+
+  Client client() { return Client("127.0.0.1", dispatcher_->port()); }
+  Dispatcher& dispatcher() { return *dispatcher_; }
+  Server& server(std::size_t i) { return *servers_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<service::Service>> services_;
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::unique_ptr<Dispatcher> dispatcher_;
+};
+
+/// Small circuits that shard across nodes (distinct content hashes).
+const std::vector<std::string>& shard_benchmarks() {
+  static const std::vector<std::string> names = {
+      "4mod5", "4gt11", "4gt13", "1bit_adder", "mini_alu", "rd53"};
+  return names;
+}
+
+TEST(NetDispatch, ShardedSubmitProxiesByteIdenticalResults) {
+  DispatchFixture fx(3);
+  auto client = fx.client();
+
+  // One job through the dispatcher: routed to its ring node, polled through
+  // the dispatcher id, result document byte-identical to the same job run
+  // through the in-process facade (the node-local id of the only job on its
+  // node is 1, matching a fresh facade's first submission).
+  auto posted = client.post("/v1/jobs", submit_body("4mod5"));
+  ASSERT_EQ(posted.status, 202) << posted.body;
+  auto accepted = json::parse(posted.body);
+  const std::uint64_t id =
+      static_cast<std::uint64_t>(accepted.at("id").as_int());
+  EXPECT_EQ(id, 1u);
+  EXPECT_EQ(accepted.at("url").as_string(), "/v1/jobs/1");
+  ASSERT_EQ(poll_until_terminal(client, id), "done");
+
+  auto res = client.get("/v1/jobs/" + std::to_string(id) + "?timing=0");
+  ASSERT_EQ(res.status, 200);
+  service::Service svc(fixture_service_config(2));
+  auto outcome = svc.submit(facade_job("4mod5"), 2025).wait();
+  ASSERT_EQ(outcome.state, service::JobState::kDone);
+  EXPECT_EQ(res.body, service::to_json(outcome, /*include_timing=*/false));
+
+  // The artifact proxies byte-identically too.
+  auto artifact = client.get("/v1/jobs/" + std::to_string(id) + "/artifact");
+  ASSERT_EQ(artifact.status, 200);
+  EXPECT_EQ(artifact.body, svc.artifact_bytes(svc.handle(1)));
+
+  // Exactly one node owns the job.
+  std::uint64_t routed_total = 0;
+  for (const auto& node : fx.dispatcher().node_counters()) {
+    routed_total += node.jobs_routed;
+  }
+  EXPECT_EQ(routed_total, 1u);
+}
+
+TEST(NetDispatch, ValidationErrorsComeFromTheOwningNode) {
+  DispatchFixture fx(2);
+  auto client = fx.client();
+  // Malformed bodies still route deterministically (FNV of the raw text)
+  // and the owning node's canonical error passes through verbatim.
+  auto res = client.post("/v1/jobs", "{not json");
+  EXPECT_EQ(res.status, 400);
+  EXPECT_EQ(json::parse(res.body).at("error").at("code").as_string(),
+            "parse_error");
+  res = client.post("/v1/jobs", R"({"benchmark": "nope"})");
+  EXPECT_EQ(res.status, 400);
+  // Unknown dispatcher ids and routes mirror the node surface.
+  EXPECT_EQ(client.get("/v1/jobs/99").status, 404);
+  EXPECT_EQ(client.get("/nope").status, 404);
+  EXPECT_EQ(client.get("/v1/jobs").status, 405);
+}
+
+TEST(NetDispatch, NodeFailureYields502AndSurvivorsComplete) {
+  DispatchFixture fx(3);
+  auto client = fx.client();
+
+  // Shard a batch across the ring and remember who owns what.
+  std::map<std::uint64_t, std::string> benchmark_of;
+  for (const std::string& name : shard_benchmarks()) {
+    auto posted = client.post("/v1/jobs", submit_body(name, 2025, 32));
+    ASSERT_EQ(posted.status, 202) << posted.body;
+    benchmark_of.emplace(static_cast<std::uint64_t>(
+                             json::parse(posted.body).at("id").as_int()),
+                         name);
+  }
+  for (const auto& [id, name] : benchmark_of) {
+    ASSERT_EQ(poll_until_terminal(client, id), "done") << name;
+  }
+
+  // Kill the busiest node mid-run.
+  auto before = fx.dispatcher().node_counters();
+  ASSERT_EQ(before.size(), 3u);
+  std::size_t victim = 0;
+  for (std::size_t i = 1; i < before.size(); ++i) {
+    if (before[i].jobs_routed > before[victim].jobs_routed) victim = i;
+  }
+  ASSERT_GT(before[victim].jobs_routed, 0u);
+  fx.server(victim).stop();
+
+  // The dead node's jobs answer a structured 502; every other job still
+  // answers 200 from its surviving owner.
+  std::uint64_t failed = 0, served = 0;
+  std::string victim_benchmark;
+  for (const auto& [id, name] : benchmark_of) {
+    auto res = client.get("/v1/jobs/" + std::to_string(id) + "?timing=0");
+    if (res.status == 502) {
+      EXPECT_EQ(json::parse(res.body).at("error").at("code").as_string(),
+                "upstream_unavailable");
+      victim_benchmark = name;
+      ++failed;
+    } else {
+      EXPECT_EQ(res.status, 200);
+      EXPECT_EQ(json::parse(res.body).at("state").as_string(), "done");
+      ++served;
+    }
+  }
+  EXPECT_EQ(failed, before[victim].jobs_routed);
+  EXPECT_EQ(served, benchmark_of.size() - failed);
+  ASSERT_FALSE(victim_benchmark.empty());
+
+  // Affinity means resubmitting a dead node's benchmark routes straight
+  // back to it — and fails fast with the same structured 502.
+  auto resubmit =
+      client.post("/v1/jobs", submit_body(victim_benchmark, 2025, 32));
+  EXPECT_EQ(resubmit.status, 502);
+  EXPECT_EQ(json::parse(resubmit.body).at("error").at("code").as_string(),
+            "upstream_unavailable");
+
+  // Status aggregation marks the node unreachable without throwing.
+  auto status = client.get("/v1/status");
+  ASSERT_EQ(status.status, 200);
+  auto doc = json::parse(status.body);
+  EXPECT_EQ(doc.at("schema").as_string(), "tetrislock.dispatch_status.v1");
+  const auto& nodes = doc.at("nodes");
+  ASSERT_EQ(nodes.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto& node = nodes.as_array()[i];
+    if (i == victim) {
+      EXPECT_FALSE(node.at("reachable").as_bool());
+      EXPECT_NE(node.find("error"), nullptr);
+      EXPECT_EQ(node.find("status"), nullptr);
+    } else {
+      EXPECT_TRUE(node.at("reachable").as_bool());
+      EXPECT_EQ(node.at("status").at("schema").as_string(),
+                "tetrislock.status.v1");
+    }
+  }
+  EXPECT_EQ(doc.at("dispatcher").at("nodes").as_int(), 3);
+  // The failed resubmit never counted as routed.
+  EXPECT_EQ(doc.at("dispatcher").at("jobs_routed").as_int(),
+            static_cast<std::int64_t>(benchmark_of.size()));
+}
+
+TEST(NetDispatch, ConsistentHashAffinityKeepsNodeCachesHot) {
+  service::ServiceConfig scfg = fixture_service_config(2);
+  scfg.cache_capacity = 32;
+  DispatchFixture fx(3, scfg);
+  auto client = fx.client();
+
+  auto submit_all = [&]() {
+    std::vector<std::uint64_t> ids;
+    for (const std::string& name : shard_benchmarks()) {
+      auto posted = client.post("/v1/jobs", submit_body(name, 2025, 32));
+      EXPECT_EQ(posted.status, 202) << posted.body;
+      ids.push_back(static_cast<std::uint64_t>(
+          json::parse(posted.body).at("id").as_int()));
+    }
+    for (std::uint64_t id : ids) {
+      EXPECT_EQ(poll_until_terminal(client, id), "done");
+    }
+    return ids;
+  };
+  auto cache_counters = [&](const char* key) {
+    std::vector<std::int64_t> out;
+    auto doc = json::parse(client.get("/v1/status").body);
+    for (std::size_t i = 0; i < doc.at("nodes").size(); ++i) {
+      out.push_back(doc.at("nodes").as_array()[i].at("status").at("cache")
+                        .at(key)
+                        .as_int());
+    }
+    return out;
+  };
+
+  // Pass 1: all cold — every job is a per-node cache miss.
+  submit_all();
+  auto misses_after_first = cache_counters("misses");
+  auto hits_after_first = cache_counters("hits");
+  std::int64_t total_misses = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    total_misses += misses_after_first[i];
+    EXPECT_EQ(hits_after_first[i], 0) << "node " << i;
+  }
+  EXPECT_EQ(total_misses,
+            static_cast<std::int64_t>(shard_benchmarks().size()));
+  auto routed_after_first = fx.dispatcher().node_counters();
+
+  // Pass 2: identical submissions ride the ring back to the same nodes, so
+  // each node's second-pass hits equal its first-pass misses.
+  auto second_ids = submit_all();
+  auto misses_after_second = cache_counters("misses");
+  auto hits_after_second = cache_counters("hits");
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(hits_after_second[i], misses_after_first[i]) << "node " << i;
+    EXPECT_EQ(misses_after_second[i], misses_after_first[i]) << "node " << i;
+  }
+  // And every second-pass outcome says so explicitly.
+  for (std::uint64_t id : second_ids) {
+    auto doc = json::parse(
+        client.get("/v1/jobs/" + std::to_string(id) + "?timing=0").body);
+    EXPECT_TRUE(doc.at("cache_hit").as_bool()) << "job " << id;
+  }
+  // Routing doubled per node, exactly.
+  auto routed_after_second = fx.dispatcher().node_counters();
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(routed_after_second[i].jobs_routed,
+              2 * routed_after_first[i].jobs_routed)
+        << "node " << i;
+  }
 }
 
 }  // namespace

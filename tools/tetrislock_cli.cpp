@@ -117,6 +117,7 @@
 #include "lock/complexity.h"
 #include "lock/pipeline.h"
 #include "net/client.h"
+#include "net/dispatch.h"
 #include "net/server.h"
 #include "qir/qasm.h"
 #include "qir/render.h"
@@ -133,6 +134,14 @@ using namespace tetris;
 
 struct Options {
   std::map<std::string, std::string> values;
+  /// Flags that may repeat (e.g. `dispatch --node URL --node URL`), in
+  /// command-line order.
+  std::map<std::string, std::vector<std::string>> lists;
+  const std::vector<std::string>& get_list(const std::string& key) const {
+    static const std::vector<std::string> kEmpty;
+    auto it = lists.find(key);
+    return it == lists.end() ? kEmpty : it->second;
+  }
   bool has(const std::string& key) const { return values.count(key) > 0; }
   std::string get(const std::string& key, const std::string& fallback = "") const {
     auto it = values.find(key);
@@ -186,7 +195,10 @@ const std::set<std::string>* allowed_flags(const std::string& cmd) {
         "backend", "max-gates", "alphabet", "gap", "cache", "store",
         "out-json"}},
       {"complexity", {"n", "nmax", "k"}},
-      {"serve", {"port", "cache", "store", "store-max", "max-body"}},
+      {"serve",
+       {"port", "cache", "store", "store-max", "max-body",
+        "max-requests-per-conn"}},
+      {"dispatch", {"port", "node", "max-body", "max-requests-per-conn"}},
       {"submit",
        {"url", "benchmark", "in", "seed", "shots", "sample-jobs", "fuse",
         "backend", "max-gates", "alphabet", "gap", "poll-ms", "wait-s",
@@ -215,6 +227,7 @@ Options parse(int argc, char** argv, int start,
     } else {
       if (i + 1 >= argc) throw InvalidArgument("missing value for --" + flag);
       o.values[flag] = argv[++i];
+      o.lists[flag].push_back(o.values[flag]);
     }
   }
   return o;
@@ -550,6 +563,8 @@ int cmd_serve(const Options& o) {
   ncfg.port = static_cast<int>(o.get_long("port", 8080, 0));
   ncfg.max_body_bytes =
       static_cast<std::size_t>(o.get_long("max-body", 1 << 20, 1024));
+  ncfg.max_requests_per_connection =
+      static_cast<std::size_t>(o.get_long("max-requests-per-conn", 0, 0));
 
   service::Service svc(scfg);
   net::Server server(svc, ncfg);
@@ -571,6 +586,58 @@ int cmd_serve(const Options& o) {
             << counters.connections << " connections; "
             << svc.jobs_submitted() << " jobs submitted\n";
   print_store_stats(svc);
+  return 0;
+}
+
+/// `dispatch`: consistent-hash front-end over N running `serve` nodes.
+/// Shares the serve self-pipe shutdown (SIGINT/SIGTERM drain).
+int cmd_dispatch(const Options& o) {
+  net::DispatcherConfig cfg;
+  cfg.port = static_cast<int>(o.get_long("port", 8080, 0));
+  cfg.nodes = o.get_list("node");
+  if (cfg.nodes.empty()) {
+    throw InvalidArgument(
+        "dispatch needs at least one --node http://HOST:PORT");
+  }
+  for (const std::string& url : cfg.nodes) {
+    net::parse_url(url);  // fail fast on typos, before binding the port
+  }
+  cfg.max_body_bytes =
+      static_cast<std::size_t>(o.get_long("max-body", 1 << 20, 1024));
+  cfg.max_requests_per_connection =
+      static_cast<std::size_t>(o.get_long("max-requests-per-conn", 0, 0));
+  // Private handler pool: every leg of a proxied request blocks on an
+  // upstream node, so sharing the global compute pool would let slow nodes
+  // starve unrelated work.
+  cfg.handler_threads = static_cast<unsigned>(
+      o.has("jobs") ? o.get_long("jobs", 0, 1) : 8);
+
+  net::Dispatcher dispatcher(cfg);
+
+  if (pipe(g_stop_pipe) != 0) {
+    throw Error("dispatch: cannot create stop pipe");
+  }
+  std::signal(SIGINT, serve_stop_handler);
+  std::signal(SIGTERM, serve_stop_handler);
+
+  dispatcher.start();
+  std::cout << "dispatching on " << dispatcher.base_url() << " across "
+            << cfg.nodes.size() << " node(s)\n"
+            << std::flush;
+
+  char byte = 0;
+  while (read(g_stop_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::cout << "shutting down\n";
+  dispatcher.stop();
+  const auto counters = dispatcher.counters();
+  std::cout << "served " << counters.requests << " requests over "
+            << counters.connections << " connections\n";
+  for (const auto& node : dispatcher.node_counters()) {
+    std::cout << "  " << node.url << ": " << node.jobs_routed
+              << " jobs routed, " << node.upstream_failures
+              << " upstream failures\n";
+  }
   return 0;
 }
 
@@ -778,6 +845,8 @@ int usage() {
                "warm-starts across restarts)\n"
                "       serve:   --port N --cache  (REST server; port 0 = "
                "ephemeral)\n"
+               "       dispatch: --port N --node http://HOST:PORT "
+               "[--node ...]  (consistent-hash front-end over serve nodes)\n"
                "       submit:  --url http://HOST:PORT --benchmark NAME  "
                "(protect over HTTP)\n"
                "       fetch:   --url http://HOST:PORT --id N --out FILE  "
@@ -806,6 +875,7 @@ int main(int argc, char** argv) {
     if (cmd == "protect") return cmd_protect(o);
     if (cmd == "complexity") return cmd_complexity(o);
     if (cmd == "serve") return cmd_serve(o);
+    if (cmd == "dispatch") return cmd_dispatch(o);
     if (cmd == "submit") return cmd_submit(o);
     if (cmd == "fetch") return cmd_fetch(o);
     return usage();
