@@ -13,6 +13,8 @@
 #include "lock/splitter.h"
 #include "revlib/benchmarks.h"
 #include "runtime/thread_pool.h"
+#include "sim/fusion.h"
+#include "sim/kernels/simd.h"
 #include "sim/sampler.h"
 #include "sim/statevector.h"
 
@@ -62,6 +64,44 @@ void BM_StateVectorHLayerMT(benchmark::State& state) {
 BENCHMARK(BM_StateVectorHLayerMT)
     ->Args({16, 1})->Args({16, 2})->Args({16, 4})
     ->Args({20, 1})->Args({20, 2})->Args({20, 4});
+
+// SIMD kernel dispatch: one fused sweep workload (gang rows + pair windows)
+// under each kernel mode. range(0) = qubits, range(1) = 0 scalar / 1 AVX2;
+// the AVX2 rows are skipped on hosts without the ISA. The ratio at equal
+// width is the SIMD speedup BENCH_fusion.json reports as
+// speedup_simd_vs_scalar_fused.
+void BM_FusedSweepSimd(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool avx2 = state.range(1) != 0;
+  if (avx2 && !sim::kernels::avx2_available()) {
+    state.SkipWithError("no AVX2 on this host");
+    return;
+  }
+  const auto saved = sim::kernels::simd_mode();
+  sim::kernels::set_simd_mode(avx2 ? sim::kernels::SimdMode::kAvx2
+                                   : sim::kernels::SimdMode::kScalar);
+  qir::Circuit c(n, "simd_bench");
+  Rng rng(11);
+  for (int layer = 0; layer < 4; ++layer) {
+    for (int q = 0; q < n; ++q) c.rz(rng.uniform() * 3.0, q);
+    for (int q = 0; q + 1 < n; q += 2) c.cx(q, q + 1);
+  }
+  const auto plan = sim::FusionPlan::build(c);
+  sim::StateVector sv(n);
+  for (auto _ : state) {
+    sv.reset();
+    sv.apply_fused(plan);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetLabel(avx2 ? "avx2" : "scalar");
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(c.size()));
+  sim::kernels::set_simd_mode(saved);
+}
+BENCHMARK(BM_FusedSweepSimd)
+    ->Args({12, 0})->Args({12, 1})
+    ->Args({16, 0})->Args({16, 1})
+    ->Args({20, 0})->Args({20, 1});
 
 // Scheduling overhead of parallel_for itself on a trivial body.
 void BM_ParallelForOverhead(benchmark::State& state) {

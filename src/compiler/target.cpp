@@ -1,5 +1,7 @@
 #include "compiler/target.h"
 
+#include "common/error.h"
+
 namespace tetris::compiler {
 
 std::set<qir::GateKind> ibm_basis() {
@@ -33,11 +35,31 @@ Target ideal_full_device(int n) {
                 sim::NoiseModel::ideal()};
 }
 
-Target device_for(int n) {
-  if (n <= 5) return fake_valencia();
+DeviceSelection device_for_checked(int n) {
+  if (n <= 5) return DeviceSelection{fake_valencia(), false, ""};
   // Ring keeps routing distances ~half of a line's, which is closer to the
-  // heavy-hex connectivity of the IBM devices the paper targets.
-  return ring_device(n);
+  // heavy-hex connectivity of the IBM devices the paper targets — but it is
+  // a generated topology wearing the Valencia noise band, not a calibrated
+  // snapshot, so the selection is flagged.
+  Target ring = ring_device(n);
+  DeviceSelection sel;
+  sel.note = "no calibrated device preset fits " + std::to_string(n) +
+             " qubits (largest is fake_valencia, 5); falling back to "
+             "generated topology '" +
+             ring.name + "' with valencia-band noise";
+  sel.fallback = true;
+  sel.target = std::move(ring);
+  return sel;
+}
+
+Target device_for(int n) { return device_for_checked(n).target; }
+
+Target device_for_strict(int n) {
+  DeviceSelection sel = device_for_checked(n);
+  if (sel.fallback) {
+    throw InvalidArgument("device_for_strict: " + sel.note);
+  }
+  return std::move(sel.target);
 }
 
 }  // namespace tetris::compiler

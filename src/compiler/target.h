@@ -45,9 +45,32 @@ Target grid_device(int rows, int cols);
 /// All-to-all device with no noise (for functional checks).
 Target ideal_full_device(int n);
 
-/// Smallest preset that fits `n` logical qubits: fake_valencia for n <= 5,
-/// otherwise a line device of exactly n qubits. This is the device-selection
-/// rule the experiments use.
+/// What device_for_checked picked, and whether it had to fall back past the
+/// preset band.
+struct DeviceSelection {
+  Target target;
+  /// True when no calibrated preset fits `n` and a generated ring topology
+  /// stood in. The ring reuses the Valencia noise band but is NOT a device
+  /// snapshot — results past the preset band carry this caveat.
+  bool fallback = false;
+  /// Human-readable warning, empty when !fallback. Callers surface it
+  /// (FlowJob::warnings -> service JSON, CLI stderr) instead of silently
+  /// degrading.
+  std::string note;
+};
+
+/// Smallest preset that fits `n` logical qubits: fake_valencia for n <= 5.
+/// Past the preset band there is no calibrated snapshot, so a ring device of
+/// exactly n qubits is generated and flagged as a fallback.
+DeviceSelection device_for_checked(int n);
+
+/// The selection rule the experiments use: `device_for_checked(n).target`.
+/// Kept for callers that accept the silent ring fallback; new code should
+/// prefer the checked variant (surface the warning) or the strict one.
 Target device_for(int n);
+
+/// Like device_for, but refuses to degrade: throws InvalidArgument with the
+/// fallback note when `n` exceeds the preset band.
+Target device_for_strict(int n);
 
 }  // namespace tetris::compiler

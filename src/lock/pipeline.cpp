@@ -131,7 +131,10 @@ FlowResult run_flow(const qir::Circuit& circuit,
 FlowJob make_flow_job(std::string name, qir::Circuit circuit,
                       std::vector<int> measured, FlowConfig config) {
   FlowJob job;
-  job.target = compiler::device_for(circuit.num_qubits());
+  compiler::DeviceSelection sel =
+      compiler::device_for_checked(circuit.num_qubits());
+  job.target = std::move(sel.target);
+  if (sel.fallback) job.warnings.push_back(std::move(sel.note));
   if (measured.empty()) {
     measured.reserve(static_cast<std::size_t>(circuit.num_qubits()));
     for (int q = 0; q < circuit.num_qubits(); ++q) measured.push_back(q);

@@ -115,8 +115,11 @@ void parallel_for(std::size_t begin, std::size_t end,
   const std::size_t max_chunks =
       std::max<std::size_t>(1, static_cast<std::size_t>(pool.size()) * 4);
   const std::size_t by_grain = (count + grain - 1) / grain;
-  const std::size_t num_chunks = std::min(by_grain, max_chunks);
-  const std::size_t chunk = (count + num_chunks - 1) / num_chunks;
+  std::size_t chunk =
+      (count + std::min(by_grain, max_chunks) - 1) / std::min(by_grain, max_chunks);
+  const std::size_t align = std::max<std::size_t>(1, options.align);
+  chunk = ((chunk + align - 1) / align) * align;
+  const std::size_t num_chunks = (count + chunk - 1) / chunk;
 
   auto next = std::make_shared<std::atomic<std::size_t>>(0);
   auto failed = std::make_shared<std::atomic<bool>>(false);

@@ -114,6 +114,14 @@ struct ParallelForOptions {
   std::size_t grain = 4096;
   /// Pool to run on; nullptr means `ThreadPool::global()`.
   ThreadPool* pool = nullptr;
+  /// Chunk sizes are rounded up to a multiple of `align`, so chunk
+  /// boundaries land on multiples of it (relative to `begin`). The SIMD
+  /// statevector kernels pass their vector group width and the tiled fused
+  /// sweeps their tile size, keeping every chunk boundary off the middle of
+  /// a vector group or cache tile. Purely a partitioning knob: bodies whose
+  /// per-index results are position-independent (all of this repo's) return
+  /// identical results at any alignment.
+  std::size_t align = 1;
 };
 
 /// Runs `body(chunk_begin, chunk_end)` over a partition of [begin, end).

@@ -57,6 +57,14 @@ void job_outcome_object(json::Writer& w, const JobOutcome& outcome,
     w.key("backend").value(sim::backend_kind_name(outcome.backend));
   }
   w.end_object();
+  // Setup caveats (e.g. the device_for_checked topology fallback), emitted
+  // only when present — warning-free documents keep the pre-warnings schema
+  // byte for byte.
+  if (!outcome.warnings.empty()) {
+    w.key("warnings").begin_array();
+    for (const std::string& warning : outcome.warnings) w.value(warning);
+    w.end_array();
+  }
   if (include_timing) w.key("seconds").value(outcome.seconds);
   if (outcome.state == JobState::kDone) {
     w.key("result").begin_object();

@@ -354,6 +354,7 @@ JobOutcome Service::outcome_locked(const JobRecord& record) const {
   out.sample_threads = record.job.config.sample_threads;
   out.fusion = record.job.config.fusion;
   out.backend = record.resolved_backend;
+  out.warnings = record.job.warnings;
   return out;
 }
 

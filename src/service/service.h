@@ -89,6 +89,11 @@ struct JobOutcome {
   /// FlowConfig::backend with kAuto already resolved against its circuit
   /// (sim::resolve_backend), fixed at submission. Never kAuto.
   sim::BackendKind backend = sim::BackendKind::kStateVector;
+  /// Setup caveats carried over from FlowJob::warnings (e.g. the
+  /// device_for_checked ring-topology fallback). Serialized as a "warnings"
+  /// array only when non-empty, so warning-free documents stay byte-identical
+  /// to the pre-warnings schema.
+  std::vector<std::string> warnings;
   lock::FlowResult result;    ///< valid only when state == kDone
 };
 

@@ -72,8 +72,10 @@ struct FusedOp {
 ///
 /// **Fences.** No fused op ever spans a Barrier gate or a
 /// FusionOptions::boundaries index — the non-unitary-event contract the
-/// trajectory sampler relies on (a per-shot noise-injection site is a fence;
-/// sim::sample therefore runs errored trajectories unfused).
+/// trajectory sampler relies on. A per-shot noise-injection site is such a
+/// fence: sim::sample replays the plan up to a shot's first injection site
+/// with apply_fused_prefix (every op fully before the site is safe to fuse)
+/// and runs the rest of that trajectory gate by gate.
 ///
 /// **Floating point.** Merging gates multiplies their matrices, which
 /// reorders FP arithmetic: a fused run is tolerance-equal to the unfused one
@@ -105,5 +107,18 @@ class FusionPlan {
 /// Accepts any single-qubit gate on a or b and any two-qubit gate on {a, b}
 /// in either orientation; throws InvalidArgument otherwise.
 void two_qubit_matrix(const qir::Gate& gate, int a, int b, cplx out[4][4]);
+
+/// Applies every op of `plan` whose source gates lie entirely before
+/// `gate_end` (an exclusive gate-stream index), in order, and returns the
+/// index of the first gate NOT applied — the point a gate-by-gate replay
+/// resumes from. An op that straddles `gate_end` is skipped along with
+/// everything after it, so no fused arithmetic ever crosses the boundary.
+/// This is the errored-trajectory primitive of sim::sample: a shot with its
+/// first noise injection after gate g replays the fused prefix through
+/// gate g (gate_end = g + 1) and only simulates the tail unfused. Ops are
+/// applied via StateVector::apply_fused_op, so the prefix is exactly as
+/// tolerance- or bit-equal to the unfused gates as apply_fused itself.
+std::size_t apply_fused_prefix(StateVector& sv, const FusionPlan& plan,
+                               std::size_t gate_end);
 
 }  // namespace tetris::sim

@@ -1,0 +1,45 @@
+#pragma once
+
+namespace tetris::sim::kernels {
+
+/// Instruction-set variant the statevector sweep kernels execute with.
+///
+/// `kScalar` is the always-built reference: its per-amplitude arithmetic is
+/// exactly the pre-SIMD gate loops, so scalar output is byte-identical to
+/// historical builds. `kAvx2` runs the vectorized kernels (4 doubles / 2
+/// complex amplitudes per register, FMA): the same formulas with reordered
+/// and fused floating-point rounding, tolerance-equal (~1e-13 per sweep,
+/// gated at 1e-9 by the differential harness) but NOT bit-identical to
+/// scalar. Within one mode, every determinism contract of the repo holds
+/// unchanged — serial vs parallel vs tiled sweeps of the same plan are
+/// bit-identical at any thread count.
+enum class SimdMode {
+  kScalar,  ///< reference kernels, plain std::complex arithmetic
+  kAvx2,    ///< AVX2+FMA kernels (x86-64, runtime-detected)
+};
+
+/// The active kernel mode. Resolved once, lazily, from the `TETRIS_SIMD`
+/// environment variable:
+///   - "scalar"        -> kScalar
+///   - "avx2"          -> kAvx2; throws InvalidArgument when the AVX2
+///                        kernels are not compiled in or the CPU lacks AVX2
+///   - "auto" or unset -> kAvx2 when available, else kScalar
+/// Any other value throws InvalidArgument (a feature gate should fail loud).
+/// `set_simd_mode` overrides the resolved value for the current process.
+SimdMode simd_mode();
+
+/// Overrides the active mode (tests and the differential benches). Throws
+/// InvalidArgument when `mode` is kAvx2 but AVX2 is unavailable.
+void set_simd_mode(SimdMode mode);
+
+/// "scalar" / "avx2".
+const char* simd_mode_name(SimdMode mode);
+
+/// True when this binary contains the AVX2 kernels (CMake `TETRIS_SIMD_AVX2`
+/// and a compiler that accepts -mavx2 -mfma).
+bool avx2_compiled();
+
+/// True when the AVX2 kernels are compiled in AND the CPU reports AVX2+FMA.
+bool avx2_available();
+
+}  // namespace tetris::sim::kernels

@@ -83,6 +83,7 @@ std::size_t apply_readout(std::size_t index, const std::vector<int>& measured,
 struct SampleContext {
   const qir::Circuit* circuit = nullptr;
   const StateVector* ideal = nullptr;  ///< noise-free full run, shared read-only
+  const FusionPlan* plan = nullptr;  ///< errored shots replay its prefix (fuse)
   const std::vector<int>* measured = nullptr;
   const NoiseModel* noise = nullptr;
   const std::vector<double>* error_probs = nullptr;  ///< per gate index
@@ -118,8 +119,20 @@ void run_shot_range(const SampleContext& ctx, std::size_t begin,
       raw = ctx.ideal->sample(rng);
     } else {
       traj.reset();
+      std::size_t i = 0;
       std::size_t next_err = 0;
-      for (std::size_t i = 0; i < gates.size(); ++i) {
+      if (ctx.plan != nullptr) {
+        // Replay the fused plan up to the first injection site: every op
+        // fully before the site fuses safely, and the injection draws below
+        // happen in site order exactly as in the unfused replay, so the
+        // shot's randomness stream is untouched.
+        i = apply_fused_prefix(traj, *ctx.plan, error_sites[0] + 1);
+        while (next_err < error_sites.size() && error_sites[next_err] < i) {
+          inject_depolarizing(traj, gates[error_sites[next_err]].qubits, rng);
+          ++next_err;
+        }
+      }
+      for (; i < gates.size(); ++i) {
         traj.apply_gate(gates[i]);
         if (next_err < error_sites.size() && error_sites[next_err] == i) {
           inject_depolarizing(traj, gates[i].qubits, rng);
@@ -285,13 +298,16 @@ Counts sample(const qir::Circuit& circuit, const NoiseModel& noise, Rng& rng,
     // The reference path, byte-for-byte the pre-backend sampler: one ideal
     // run serves every error-free shot, shared read-only by all shard
     // workers (StateVector::sample is const). With options.fuse this one
-    // run goes through the fused kernels; errored trajectories below always
-    // run gate-by-gate — their per-shot noise-injection sites are fusion
-    // fences, and a fresh plan per (shot, error set) would cost more than
-    // the sweeps it saves.
+    // run goes through the fused kernels, and the plan is kept for the
+    // errored trajectories below: each replays the fused prefix up to its
+    // first injection site (apply_fused_prefix) and only simulates the tail
+    // gate by gate — a per-shot injection site is a fence mid-stream, not a
+    // reason to abandon the whole plan.
     StateVector ideal(circuit.num_qubits());
+    FusionPlan plan;
     if (options.fuse) {
-      ideal.apply_fused(FusionPlan::build(circuit));
+      plan = FusionPlan::build(circuit);
+      ideal.apply_fused(plan);
     } else {
       ideal.apply_circuit(circuit);
     }
@@ -299,6 +315,7 @@ Counts sample(const qir::Circuit& circuit, const NoiseModel& noise, Rng& rng,
     SampleContext ctx;
     ctx.circuit = &circuit;
     ctx.ideal = &ideal;
+    ctx.plan = options.fuse ? &plan : nullptr;
     ctx.measured = &measured;
     ctx.noise = &noise;
     ctx.error_probs = &error_probs;

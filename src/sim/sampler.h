@@ -84,8 +84,10 @@ struct SampleOptions {
 
   /// Fuse adjacent gates of the ideal (noise-free) run into combined
   /// kernels (sim/fusion.h) so each amplitude sweep does more arithmetic
-  /// per byte. Errored trajectories always re-simulate unfused: a shot's
-  /// noise-injection sites are fences a fused kernel must not cross.
+  /// per byte. Errored trajectories replay the fused prefix up to their
+  /// first noise-injection site (sim::apply_fused_prefix) and re-simulate
+  /// only the tail gate by gate: an injection site is a fence a fused op
+  /// must not cross, not a reason to abandon the plan.
   /// Fused sweeps reorder floating-point arithmetic, so fused counts are
   /// tolerance-equal — NOT bit-identical — to unfused ones; the knob is
   /// therefore off by default and, unlike `threads`, part of

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "runtime/thread_pool.h"
+#include "sim/kernels/kernels.h"
 
 namespace tetris::sim {
 
@@ -14,15 +15,23 @@ const cplx kI(0.0, 1.0);
 
 /// Runs `kernel(begin, end)` over [0, count): chunked across the global pool
 /// when `parallel` is set, as one serial call otherwise. Both paths execute
-/// the same per-index arithmetic, so results are bit-identical.
+/// the same per-index arithmetic, so results are bit-identical. `align`
+/// keeps chunk boundaries on vector-group multiples (AVX2 processes two
+/// complex amplitudes per register) — a partitioning nicety, never a
+/// correctness requirement.
 template <typename Kernel>
-void run_kernel(bool parallel, std::size_t grain, std::size_t count,
-                const Kernel& kernel) {
+void run_kernel(bool parallel, std::size_t grain, std::size_t align,
+                std::size_t count, const Kernel& kernel) {
   if (parallel) {
-    runtime::parallel_for(0, count, kernel, {grain, nullptr});
+    runtime::parallel_for(0, count, kernel, {grain, nullptr, align});
   } else {
     kernel(std::size_t{0}, count);
   }
+}
+
+/// Chunk alignment for the active mode: AVX2 packs 2 complex per register.
+std::size_t mode_align(kernels::SimdMode mode) {
+  return mode == kernels::SimdMode::kAvx2 ? 2 : 1;
 }
 }  // namespace
 
@@ -91,8 +100,8 @@ void StateVector::set_basis_state(std::size_t index) {
 }
 
 void StateVector::apply_single_qubit(const cplx m[2][2], int q) {
-  const std::size_t stride = std::size_t{1} << q;
   cplx* amps = amps_.data();
+  const kernels::SimdMode mode = kernels::simd_mode();
   const cplx m00 = m[0][0], m01 = m[0][1], m10 = m[1][0], m11 = m[1][1];
   // Diagonal fast path (Z/S/T/RZ/P and fused products of them): one
   // branch-free contiguous pass with a single multiply per amplitude,
@@ -100,28 +109,19 @@ void StateVector::apply_single_qubit(const cplx m[2][2], int q) {
   // (m01 * a1 == 0), so this cannot move any |amp| — only the sign of a
   // zero — and parallel chunks stay bit-identical to serial.
   if (m01 == cplx(0.0, 0.0) && m10 == cplx(0.0, 0.0)) {
-    run_kernel(use_parallel(), parallel_grain_, amps_.size(),
-               [=](std::size_t begin, std::size_t end) {
-                 for (std::size_t i = begin; i < end; ++i) {
-                   amps[i] *= ((i >> q) & 1) ? m11 : m00;
-                 }
+    run_kernel(use_parallel(), parallel_grain_, mode_align(mode),
+               amps_.size(), [=](std::size_t begin, std::size_t end) {
+                 kernels::sweep_diag(mode, amps, begin, end, q, m00, m11);
                });
     return;
   }
   // Pair index k interleaves (block, offset): i0 is k with a zero bit spliced
   // in at position q. Every k touches a disjoint {i0, i1} pair, so chunks of
   // k are race-free and order-independent.
-  run_kernel(use_parallel(), parallel_grain_, amps_.size() / 2,
-             [=](std::size_t k_begin, std::size_t k_end) {
-               for (std::size_t k = k_begin; k < k_end; ++k) {
-                 const std::size_t i0 =
-                     ((k >> q) << (q + 1)) | (k & (stride - 1));
-                 const std::size_t i1 = i0 + stride;
-                 const cplx a0 = amps[i0];
-                 const cplx a1 = amps[i1];
-                 amps[i0] = m00 * a0 + m01 * a1;
-                 amps[i1] = m10 * a0 + m11 * a1;
-               }
+  const kernels::M2 m2{m00, m01, m10, m11};
+  run_kernel(use_parallel(), parallel_grain_, mode_align(mode),
+             amps_.size() / 2, [=](std::size_t k_begin, std::size_t k_end) {
+               kernels::sweep_1q(mode, amps, k_begin, k_end, q, m2);
              });
 }
 
@@ -130,7 +130,7 @@ void StateVector::apply_controlled_single(const cplx m[2][2],
   const std::size_t stride = std::size_t{1} << q;
   cplx* amps = amps_.data();
   const cplx m00 = m[0][0], m01 = m[0][1], m10 = m[1][0], m11 = m[1][1];
-  run_kernel(use_parallel(), parallel_grain_, amps_.size() / 2,
+  run_kernel(use_parallel(), parallel_grain_, 1, amps_.size() / 2,
              [=](std::size_t k_begin, std::size_t k_end) {
                for (std::size_t k = k_begin; k < k_end; ++k) {
                  const std::size_t i0 =
@@ -152,7 +152,7 @@ void StateVector::apply_swap(int a, int b) {
   // Only the index with bit_a set and bit_b clear initiates a swap, and its
   // partner j never initiates one itself, so each {i, j} pair is touched by
   // exactly one iteration — parallel chunks cannot collide.
-  run_kernel(use_parallel(), parallel_grain_, amps_.size(),
+  run_kernel(use_parallel(), parallel_grain_, 1, amps_.size(),
              [=](std::size_t begin, std::size_t end) {
                for (std::size_t i = begin; i < end; ++i) {
                  if ((i & bit_a) != 0 && (i & bit_b) == 0) {
@@ -167,7 +167,7 @@ void StateVector::apply_controlled_swap(std::size_t control_mask, int a, int b) 
   const std::size_t bit_a = std::size_t{1} << a;
   const std::size_t bit_b = std::size_t{1} << b;
   cplx* amps = amps_.data();
-  run_kernel(use_parallel(), parallel_grain_, amps_.size(),
+  run_kernel(use_parallel(), parallel_grain_, 1, amps_.size(),
              [=](std::size_t begin, std::size_t end) {
                for (std::size_t i = begin; i < end; ++i) {
                  if ((i & control_mask) != control_mask) continue;
@@ -192,8 +192,9 @@ void StateVector::apply_gang(const std::vector<SingleQubitOp>& ops) {
     TETRIS_REQUIRE(op.qubit >= 0 && op.qubit < num_qubits_,
                    "apply_gang: qubit out of range");
   }
-  // Ascending qubit list for the zero-splice index arithmetic; the ops keep
-  // their own (stream) order, which is the order the matrices are applied in.
+  // Duplicate check here; the execution plan (sorted qubits, block offsets,
+  // per-op local positions) is built by the kernel layer and shared
+  // read-only by every chunk.
   std::vector<int> sorted(static_cast<std::size_t>(k));
   for (int j = 0; j < k; ++j) sorted[static_cast<std::size_t>(j)] = ops[static_cast<std::size_t>(j)].qubit;
   std::sort(sorted.begin(), sorted.end());
@@ -202,69 +203,17 @@ void StateVector::apply_gang(const std::vector<SingleQubitOp>& ops) {
                        sorted[static_cast<std::size_t>(j) + 1],
                    "apply_gang: duplicate qubit");
   }
-  const std::size_t block = std::size_t{1} << k;
-  // offsets[l]: global offset of local index l relative to a block's base
-  // (local bit p maps to wire sorted[p]).
-  std::vector<std::size_t> offsets(block);
-  for (std::size_t l = 0; l < block; ++l) {
-    std::size_t off = 0;
-    for (int p = 0; p < k; ++p) {
-      if ((l >> p) & 1) off |= std::size_t{1} << sorted[static_cast<std::size_t>(p)];
-    }
-    offsets[l] = off;
-  }
-  // Per-op stride within the local block (position of its qubit in sorted).
-  std::vector<std::size_t> strides(static_cast<std::size_t>(k));
-  for (int j = 0; j < k; ++j) {
-    const auto pos = std::lower_bound(sorted.begin(), sorted.end(),
-                                      ops[static_cast<std::size_t>(j)].qubit) -
-                     sorted.begin();
-    strides[static_cast<std::size_t>(j)] = std::size_t{1} << pos;
-  }
+  const kernels::GangPlan plan = kernels::make_gang_plan(ops.data(), ops.size());
+  const kernels::GangPlan* pplan = &plan;  // outlives the joined parallel_for
+  const kernels::SimdMode mode = kernels::simd_mode();
   cplx* amps = amps_.data();
-  const SingleQubitOp* gang = ops.data();
-  const std::size_t* offs = offsets.data();
-  const std::size_t* strs = strides.data();
   const std::size_t outer_count = amps_.size() >> k;
   // Keep the per-chunk byte footprint comparable to the 1q kernel's: each
   // outer index covers 2^k amplitudes.
   const std::size_t grain = std::max<std::size_t>(1, parallel_grain_ >> k);
-  run_kernel(use_parallel(), grain, outer_count,
+  run_kernel(use_parallel(), grain, 1, outer_count,
              [=](std::size_t begin, std::size_t end) {
-               cplx local[std::size_t{1} << kMaxGangQubits];
-               for (std::size_t outer = begin; outer < end; ++outer) {
-                 // Splice a zero bit at each gang wire (ascending order keeps
-                 // later positions valid in the progressively widened index).
-                 std::size_t base = outer;
-                 for (int p = 0; p < k; ++p) {
-                   const int q = sorted[static_cast<std::size_t>(p)];
-                   base = ((base >> q) << (q + 1)) |
-                          (base & ((std::size_t{1} << q) - 1));
-                 }
-                 for (std::size_t l = 0; l < block; ++l) {
-                   local[l] = amps[base + offs[l]];
-                 }
-                 // Each 2x2 transforms its pairs with exactly the arithmetic
-                 // of the full-sweep kernel, in op order — per amplitude the
-                 // operation sequence matches the unfused gate stream.
-                 for (int j = 0; j < k; ++j) {
-                   const std::size_t s = strs[j];
-                   const cplx m00 = gang[j].m[0][0], m01 = gang[j].m[0][1];
-                   const cplx m10 = gang[j].m[1][0], m11 = gang[j].m[1][1];
-                   for (std::size_t top = 0; top < block; top += 2 * s) {
-                     for (std::size_t l0 = top; l0 < top + s; ++l0) {
-                       const std::size_t l1 = l0 + s;
-                       const cplx a0 = local[l0];
-                       const cplx a1 = local[l1];
-                       local[l0] = m00 * a0 + m01 * a1;
-                       local[l1] = m10 * a0 + m11 * a1;
-                     }
-                   }
-                 }
-                 for (std::size_t l = 0; l < block; ++l) {
-                   amps[base + offs[l]] = local[l];
-                 }
-               }
+               kernels::sweep_gang(mode, amps, begin, end, *pplan);
              });
 }
 
@@ -272,79 +221,32 @@ void StateVector::apply_two_qubit(const cplx m[4][4], int a, int b) {
   TETRIS_REQUIRE(a >= 0 && a < num_qubits_ && b >= 0 && b < num_qubits_,
                  "apply_two_qubit: qubit out of range");
   TETRIS_REQUIRE(a != b, "apply_two_qubit: qubits must be distinct");
-  const std::size_t bit_a = std::size_t{1} << a;
-  const std::size_t bit_b = std::size_t{1} << b;
-  const int lo = std::min(a, b);
-  const int hi = std::max(a, b);
-  cplx mm[16];
+  kernels::M4 m4;
   for (int r = 0; r < 4; ++r) {
-    for (int c = 0; c < 4; ++c) mm[r * 4 + c] = m[r][c];
+    for (int c = 0; c < 4; ++c) m4.v[r * 4 + c] = m[r][c];
   }
   cplx* amps = amps_.data();
+  const kernels::SimdMode mode = kernels::simd_mode();
   // Monomial fast path: exactly one nonzero per row (and per column — the
   // matrix is unitary up to the caller), which covers every product of
   // permutation and phase gates: CX/CZ/CP/CRZ/SWAP runs, X/Z/S/T/RZ on the
   // pair, and their mixtures. One multiply per amplitude instead of the
   // dense 16-multiply row sums; the dropped terms are exact zeros, so only
-  // zero signs can differ from the dense path.
+  // zero signs can differ from the dense path. The decomposition is
+  // mode-independent, so scalar and AVX2 builds agree on which kernel runs.
   int src[4] = {0, 0, 0, 0};
-  bool monomial = true;
-  for (int r = 0; r < 4 && monomial; ++r) {
-    int nonzeros = 0;
-    for (int c = 0; c < 4; ++c) {
-      if (mm[r * 4 + c] != cplx(0.0, 0.0)) {
-        src[r] = c;
-        ++nonzeros;
-      }
-    }
-    monomial = nonzeros == 1;
-  }
-  if (monomial) {
-    const cplx c0 = mm[0 * 4 + src[0]], c1 = mm[1 * 4 + src[1]];
-    const cplx c2 = mm[2 * 4 + src[2]], c3 = mm[3 * 4 + src[3]];
-    const int s0 = src[0], s1 = src[1], s2 = src[2], s3 = src[3];
+  cplx coef[4];
+  if (kernels::monomial_decompose(m4, src, coef)) {
     run_kernel(use_parallel(), std::max<std::size_t>(1, parallel_grain_ / 4),
-               amps_.size() / 4, [=](std::size_t begin, std::size_t end) {
-                 for (std::size_t idx = begin; idx < end; ++idx) {
-                   std::size_t base = ((idx >> lo) << (lo + 1)) |
-                                      (idx & ((std::size_t{1} << lo) - 1));
-                   base = ((base >> hi) << (hi + 1)) |
-                          (base & ((std::size_t{1} << hi) - 1));
-                   std::size_t at[4];
-                   at[0] = base;
-                   at[1] = base | bit_a;
-                   at[2] = base | bit_b;
-                   at[3] = base | bit_a | bit_b;
-                   const cplx v0 = amps[at[s0]], v1 = amps[at[s1]],
-                              v2 = amps[at[s2]], v3 = amps[at[s3]];
-                   amps[at[0]] = c0 * v0;
-                   amps[at[1]] = c1 * v1;
-                   amps[at[2]] = c2 * v2;
-                   amps[at[3]] = c3 * v3;
-                 }
+               1, amps_.size() / 4, [=](std::size_t begin, std::size_t end) {
+                 kernels::sweep_2q_monomial(mode, amps, begin, end, a, b, src,
+                                            coef);
                });
     return;
   }
   run_kernel(use_parallel(), std::max<std::size_t>(1, parallel_grain_ / 4),
-             amps_.size() / 4, [=](std::size_t begin, std::size_t end) {
-               for (std::size_t idx = begin; idx < end; ++idx) {
-                 // Splice zero bits at the two wires (lowest first).
-                 std::size_t base = ((idx >> lo) << (lo + 1)) |
-                                    (idx & ((std::size_t{1} << lo) - 1));
-                 base = ((base >> hi) << (hi + 1)) |
-                        (base & ((std::size_t{1} << hi) - 1));
-                 // Local basis l = (bit_b << 1) | bit_a.
-                 const std::size_t i0 = base;
-                 const std::size_t i1 = base | bit_a;
-                 const std::size_t i2 = base | bit_b;
-                 const std::size_t i3 = base | bit_a | bit_b;
-                 const cplx v0 = amps[i0], v1 = amps[i1], v2 = amps[i2],
-                            v3 = amps[i3];
-                 amps[i0] = mm[0] * v0 + mm[1] * v1 + mm[2] * v2 + mm[3] * v3;
-                 amps[i1] = mm[4] * v0 + mm[5] * v1 + mm[6] * v2 + mm[7] * v3;
-                 amps[i2] = mm[8] * v0 + mm[9] * v1 + mm[10] * v2 + mm[11] * v3;
-                 amps[i3] = mm[12] * v0 + mm[13] * v1 + mm[14] * v2 + mm[15] * v3;
-               }
+             1, amps_.size() / 4, [=](std::size_t begin, std::size_t end) {
+               kernels::sweep_2q(mode, amps, begin, end, a, b, m4);
              });
 }
 
@@ -423,7 +325,7 @@ std::vector<double> StateVector::probabilities() const {
   std::vector<double> p(amps_.size());
   double* out = p.data();
   const cplx* amps = amps_.data();
-  run_kernel(use_parallel(), parallel_grain_, amps_.size(),
+  run_kernel(use_parallel(), parallel_grain_, 1, amps_.size(),
              [=](std::size_t begin, std::size_t end) {
                for (std::size_t i = begin; i < end; ++i) {
                  out[i] = std::norm(amps[i]);

@@ -11,6 +11,7 @@ namespace tetris::sim {
 using cplx = std::complex<double>;
 
 class FusionPlan;  // sim/fusion.h
+struct FusedOp;    // sim/fusion.h
 
 /// One 2x2 matrix bound to one qubit — the unit of a fused gang sweep
 /// (StateVector::apply_gang) and of the fusion pass (sim/fusion.h).
@@ -33,6 +34,13 @@ struct SingleQubitOp {
 /// arithmetic (gate application touches each amplitude pair independently,
 /// with no cross-element reductions), so parallel results are bit-identical
 /// to serial ones at any thread count.
+///
+/// The sweeps themselves dispatch through the kernel layer
+/// (sim/kernels/kernels.h) on `kernels::simd_mode()`: the scalar kernels
+/// reproduce the historical loops byte for byte; the AVX2 kernels are
+/// tolerance-equal to scalar (FMA reorders rounding) but uphold the same
+/// serial-vs-parallel bit-identity within the mode. See
+/// docs/ARCHITECTURE.md, "Kernel layer".
 ///
 /// The register size is bounded only by memory; the RevLib experiments top
 /// out at 12 qubits (4096 amplitudes), far below any practical limit.
@@ -71,7 +79,19 @@ class StateVector {
   /// with a fence before every gate degenerates to apply_gate calls and IS
   /// bit-identical). Serial-vs-parallel execution of the SAME plan is
   /// bit-identical, like every other kernel here.
+  ///
+  /// When the register is wider than `tile_qubits()`, runs of consecutive
+  /// tile-local ops (every qubit below the tile width) execute tile by tile:
+  /// each 2^tile_qubits-amplitude slab is loaded once and swept by the whole
+  /// run while L2-resident, instead of streaming the full vector once per
+  /// op. Tiling only reorders memory traversal — each amplitude sees the
+  /// identical arithmetic sequence — so tiled output is bit-identical to
+  /// untiled within a SIMD mode.
   void apply_fused(const FusionPlan& plan);
+
+  /// Applies one fused op (the unit apply_fused iterates) to the full
+  /// register. Used by sim::apply_fused_prefix to replay a plan prefix.
+  void apply_fused_op(const FusedOp& op);
 
   /// Applies an arbitrary 2x2 matrix to qubit q in one amplitude sweep (the
   /// public face of the single-qubit kernel; apply_gate routes named kinds
@@ -135,6 +155,17 @@ class StateVector {
   /// friendly while amortizing the scheduling cost.
   static constexpr std::size_t kDefaultParallelGrain = std::size_t{1} << 12;
 
+  /// Overrides the tile width (in qubits) of apply_fused's cache blocking.
+  /// Tests shrink it to exercise tiling on small registers; anything at or
+  /// above num_qubits() disables tiling. Purely a traversal-order knob —
+  /// never changes bits within a SIMD mode.
+  void set_tile_qubits(int qubits) { tile_qubits_ = qubits; }
+  int tile_qubits() const { return tile_qubits_; }
+
+  /// Default tile: 2^13 amplitudes = 128 KiB — comfortably L2-resident with
+  /// room for the rest of the working set.
+  static constexpr int kDefaultTileQubits = 13;
+
  private:
   /// True when gate kernels should go through runtime::parallel_for.
   bool use_parallel() const { return num_qubits_ >= parallel_threshold_; }
@@ -144,9 +175,14 @@ class StateVector {
   void apply_swap(int a, int b);
   void apply_controlled_swap(std::size_t control_mask, int a, int b);
 
+  /// Executes `count` consecutive tile-local fused ops tile by tile
+  /// (defined in fusion.cpp, where FusedOp is complete).
+  void apply_tiled_run(const FusedOp* ops, std::size_t count);
+
   int num_qubits_;
   int parallel_threshold_ = kDefaultParallelThresholdQubits;
   std::size_t parallel_grain_ = kDefaultParallelGrain;
+  int tile_qubits_ = kDefaultTileQubits;
   std::vector<cplx> amps_;
 };
 

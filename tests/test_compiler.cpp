@@ -108,6 +108,30 @@ TEST(Compiler, OptimizerToggleMatters) {
 /// functional equivalence end-to-end — the strongest compiler test we have.
 class CompileBenchmark : public ::testing::TestWithParam<std::string> {};
 
+TEST(DeviceFor, CheckedSurfacesRingFallback) {
+  auto in_band = device_for_checked(5);
+  EXPECT_FALSE(in_band.fallback);
+  EXPECT_TRUE(in_band.note.empty());
+  EXPECT_EQ(in_band.target.name, "fake_valencia");
+
+  auto past_band = device_for_checked(9);
+  EXPECT_TRUE(past_band.fallback);
+  EXPECT_EQ(past_band.target.name, "ring9");
+  EXPECT_NE(past_band.note.find("ring9"), std::string::npos) << past_band.note;
+
+  // The legacy accessor keeps returning the selected target unchanged — the
+  // checked variant only ADDS the flag, it never alters the selection.
+  EXPECT_EQ(device_for(5).name, "fake_valencia");
+  EXPECT_EQ(device_for(9).name, "ring9");
+}
+
+TEST(DeviceFor, StrictRefusesToDegrade) {
+  EXPECT_EQ(device_for_strict(3).name, "fake_valencia");
+  EXPECT_EQ(device_for_strict(5).name, "fake_valencia");
+  EXPECT_THROW(device_for_strict(6), InvalidArgument);
+  EXPECT_THROW(device_for_strict(12), InvalidArgument);
+}
+
 TEST_P(CompileBenchmark, EquivalentOnExperimentDevice) {
   const auto& b = revlib::get_benchmark(GetParam());
   if (b.circuit.num_qubits() > 7) {

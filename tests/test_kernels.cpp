@@ -1,0 +1,285 @@
+#include "sim/kernels/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "qir/circuit.h"
+#include "runtime/thread_pool.h"
+#include "sim/fusion.h"
+#include "sim/kernels/simd.h"
+#include "sim/statevector.h"
+
+namespace tetris::sim {
+namespace {
+
+using kernels::SimdMode;
+
+/// Restores the process-wide SIMD mode on scope exit, so a test that forces
+/// a mode cannot leak it into its siblings.
+class ModeGuard {
+ public:
+  ModeGuard() : saved_(kernels::simd_mode()) {}
+  ~ModeGuard() { kernels::set_simd_mode(saved_); }
+
+ private:
+  SimdMode saved_;
+};
+
+/// A dense circuit touching every qubit of an n-wide register: same-qubit
+/// runs (1q fusion), distinct-qubit rows (gangs), 2q pair windows, and a CCX
+/// passthrough — every kernel family fires.
+qir::Circuit dense_circuit(int n, std::uint64_t seed) {
+  qir::Circuit c(n);
+  Rng rng(seed);
+  for (int q = 0; q < n; ++q) {
+    c.h(q);
+    c.rz(rng.uniform() * 3.0, q);
+  }
+  for (int q = 0; q + 1 < n; ++q) c.cx(q, q + 1);
+  for (int q = 0; q < n; ++q) c.ry(rng.uniform() - 0.5, q);
+  if (n >= 3) c.ccx(0, 1, n - 1);
+  for (int q = 0; q < n; ++q) c.t(q);
+  c.cz(0, n - 1);
+  return c;
+}
+
+/// Runs `circuit` fused under a forced SIMD mode.
+StateVector run_fused(const qir::Circuit& circuit, SimdMode mode) {
+  ModeGuard guard;
+  kernels::set_simd_mode(mode);
+  StateVector sv(circuit.num_qubits());
+  sv.apply_fused(FusionPlan::build(circuit));
+  return sv;
+}
+
+/// Pseudorandom (but deterministic, mode-independent) amplitude fill.
+std::vector<cplx> random_amps(std::size_t n, std::uint64_t seed) {
+  std::vector<cplx> amps(n);
+  Rng rng(seed);
+  for (auto& a : amps) a = cplx(rng.uniform() - 0.5, rng.uniform() - 0.5);
+  return amps;
+}
+
+// ------------------------------------------------------------ mode plumbing
+
+TEST(Simd, ModeQueryAndOverride) {
+  ModeGuard guard;
+  kernels::set_simd_mode(SimdMode::kScalar);
+  EXPECT_EQ(kernels::simd_mode(), SimdMode::kScalar);
+  EXPECT_STREQ(kernels::simd_mode_name(SimdMode::kScalar), "scalar");
+  EXPECT_STREQ(kernels::simd_mode_name(SimdMode::kAvx2), "avx2");
+  if (kernels::avx2_available()) {
+    kernels::set_simd_mode(SimdMode::kAvx2);
+    EXPECT_EQ(kernels::simd_mode(), SimdMode::kAvx2);
+  } else {
+    EXPECT_THROW(kernels::set_simd_mode(SimdMode::kAvx2), InvalidArgument);
+  }
+}
+
+TEST(Simd, AvailabilityImpliesCompiled) {
+  // avx2_available() must never claim kernels the build does not contain.
+  if (kernels::avx2_available()) {
+    EXPECT_TRUE(kernels::avx2_compiled());
+  }
+}
+
+// ------------------------------------------- scalar-vs-AVX2 differential
+
+// Whole-circuit differential at odd (non-power-of-friendly) widths: the two
+// modes reassociate FP differently, so they agree to tolerance, not bits.
+TEST(SimdDifferential, ScalarVsAvx2AtOddWidths) {
+  if (!kernels::avx2_available()) GTEST_SKIP() << "no AVX2 on this host";
+  for (int n : {5, 7, 9, 11}) {
+    auto c = dense_circuit(n, 101 + static_cast<std::uint64_t>(n));
+    StateVector scalar = run_fused(c, SimdMode::kScalar);
+    StateVector avx2 = run_fused(c, SimdMode::kAvx2);
+    EXPECT_LT(scalar.max_abs_diff(avx2), 1e-9) << "n=" << n;
+    EXPECT_NEAR(avx2.fidelity(scalar), 1.0, 1e-12) << "n=" << n;
+  }
+}
+
+// Target qubit below the vector lane width (q=0: pairs interleave within one
+// 256-bit lane, the deinterleave path) vs at/above it (contiguous runs).
+TEST(SimdDifferential, TargetQubitInsideAndOutsideLaneWidth) {
+  if (!kernels::avx2_available()) GTEST_SKIP() << "no AVX2 on this host";
+  for (int q : {0, 1, 2, 6}) {
+    qir::Circuit c(7);
+    c.h(q).rz(0.7, q).sx(q).ry(-1.3, q);
+    StateVector scalar = run_fused(c, SimdMode::kScalar);
+    StateVector avx2 = run_fused(c, SimdMode::kAvx2);
+    EXPECT_LT(scalar.max_abs_diff(avx2), 1e-9) << "q=" << q;
+  }
+}
+
+// The AVX2 kernels use a fixed per-element instruction sequence, so where a
+// chunk boundary falls must not change a single bit — this is what makes
+// parallel AVX2 sweeps bit-identical to serial ones. Split every kernel's
+// index range at an odd point (vector body on one side, 128-bit tail on the
+// other) and compare against the unsplit sweep.
+TEST(SimdKernels, ChunkSplitIsBitIdentical) {
+  if (!kernels::avx2_available()) GTEST_SKIP() << "no AVX2 on this host";
+  // 6 qubits: 64 amplitudes, 32 pairs, 16 quads.
+  const kernels::M2 m{cplx(0.6, 0.1), cplx(-0.3, 0.7), cplx(0.7, 0.3),
+                      cplx(0.1, -0.6)};
+  for (int q : {0, 1, 4}) {
+    auto whole = random_amps(64, 7);
+    auto split = whole;
+    kernels::sweep_1q_avx2(whole.data(), 0, 32, q, m);
+    kernels::sweep_1q_avx2(split.data(), 0, 13, q, m);
+    kernels::sweep_1q_avx2(split.data(), 13, 32, q, m);
+    for (std::size_t i = 0; i < whole.size(); ++i) {
+      EXPECT_EQ(whole[i], split[i]) << "1q q=" << q << " i=" << i;
+    }
+  }
+  kernels::M4 m4{};
+  Rng rng(11);
+  for (auto& v : m4.v) v = cplx(rng.uniform() - 0.5, rng.uniform() - 0.5);
+  auto whole = random_amps(64, 9);
+  auto split = whole;
+  kernels::sweep_2q_avx2(whole.data(), 0, 16, 1, 3, m4);
+  kernels::sweep_2q_avx2(split.data(), 0, 5, 1, 3, m4);
+  kernels::sweep_2q_avx2(split.data(), 5, 16, 1, 3, m4);
+  for (std::size_t i = 0; i < whole.size(); ++i) {
+    EXPECT_EQ(whole[i], split[i]) << "2q i=" << i;
+  }
+}
+
+// A gang of k unmerged 2x2s must reproduce k consecutive 1q sweeps
+// amplitude-for-amplitude IN BOTH MODES — the property the fused-prefix
+// sampler fix leans on for its bit-identity pin.
+TEST(SimdKernels, GangMatchesSequential1qSweepsBitwise) {
+  std::vector<SingleQubitOp> ops;
+  Rng rng(13);
+  for (int q : {0, 2, 3}) {
+    SingleQubitOp op;
+    op.qubit = q;
+    for (auto& row : op.m) {
+      for (auto& v : row) v = cplx(rng.uniform() - 0.5, rng.uniform() - 0.5);
+    }
+    ops.push_back(op);
+  }
+  const auto plan = kernels::make_gang_plan(ops.data(), ops.size());
+  const std::size_t dim = 32;  // 5 qubits
+  std::vector<SimdMode> modes = {SimdMode::kScalar};
+  if (kernels::avx2_available()) modes.push_back(SimdMode::kAvx2);
+  for (SimdMode mode : modes) {
+    auto ganged = random_amps(dim, 17);
+    auto stepwise = ganged;
+    kernels::sweep_gang(mode, ganged.data(), 0, dim >> ops.size(), plan);
+    for (const auto& op : ops) {
+      const kernels::M2 m{op.m[0][0], op.m[0][1], op.m[1][0], op.m[1][1]};
+      kernels::sweep_1q(mode, stepwise.data(), 0, dim >> 1, op.qubit, m);
+    }
+    for (std::size_t i = 0; i < dim; ++i) {
+      EXPECT_EQ(ganged[i], stepwise[i])
+          << kernels::simd_mode_name(mode) << " i=" << i;
+    }
+  }
+}
+
+TEST(Kernels, MonomialDecompose) {
+  kernels::M4 cxm{};  // CX with a=control: |b a> -> basis (b<<1)|a
+  cxm.v[0 * 4 + 0] = 1.0;
+  cxm.v[1 * 4 + 3] = 1.0;  // a=1,b=0 -> a=1,b=1
+  cxm.v[2 * 4 + 2] = 1.0;
+  cxm.v[3 * 4 + 1] = 1.0;
+  int src[4];
+  cplx coef[4];
+  ASSERT_TRUE(kernels::monomial_decompose(cxm, src, coef));
+  EXPECT_EQ(src[0], 0);
+  EXPECT_EQ(src[1], 3);
+  EXPECT_EQ(src[2], 2);
+  EXPECT_EQ(src[3], 1);
+
+  kernels::M4 dense{};  // a Hadamard row: two nonzeros -> not monomial
+  dense.v[0] = dense.v[1] = cplx(0.5, 0.0);
+  EXPECT_FALSE(kernels::monomial_decompose(dense, src, coef));
+  kernels::M4 zero{};  // zero row -> not monomial
+  EXPECT_FALSE(kernels::monomial_decompose(zero, src, coef));
+}
+
+// ------------------------------------------------------------ cache tiling
+
+// Tiling only reorders traversal, so tiled output is bit-identical to
+// untiled within a mode — at widths below, at, and above the tile width.
+TEST(Tiling, TiledMatchesUntiledBitwise) {
+  std::vector<SimdMode> modes = {SimdMode::kScalar};
+  if (kernels::avx2_available()) modes.push_back(SimdMode::kAvx2);
+  for (SimdMode mode : modes) {
+    ModeGuard guard;
+    kernels::set_simd_mode(mode);
+    for (int n : {2, 3, 5, 8}) {  // tile=3: below, at, above, far above
+      auto c = dense_circuit(n, 1000 + static_cast<std::uint64_t>(n));
+      const auto plan = FusionPlan::build(c);
+      StateVector untiled(n);
+      untiled.set_tile_qubits(n);  // at-or-above width disables tiling
+      untiled.apply_fused(plan);
+      StateVector tiled(n);
+      tiled.set_tile_qubits(3);
+      tiled.apply_fused(plan);
+      EXPECT_EQ(tiled.max_abs_diff(untiled), 0.0)
+          << kernels::simd_mode_name(mode) << " n=" << n;
+    }
+  }
+}
+
+// High-qubit gates fence tile-local runs; the greedy splitter must still
+// produce the same bits when tile-local runs are length 0, 1, and >= 2.
+TEST(Tiling, MixedLocalAndGlobalOps) {
+  ModeGuard guard;
+  kernels::set_simd_mode(SimdMode::kScalar);
+  qir::Circuit c(6);
+  c.h(5);                      // never tile-local at tile=2
+  c.h(0).rz(0.4, 1);           // local run of one gang
+  c.cx(4, 5);                  // global fence
+  c.h(1).t(0).sx(1).ry(0.2, 0);  // local pair-window run
+  c.cx(0, 1);
+  const auto plan = FusionPlan::build(c);
+  StateVector untiled(6);
+  untiled.set_tile_qubits(6);
+  untiled.apply_fused(plan);
+  StateVector tiled(6);
+  tiled.set_tile_qubits(2);
+  tiled.apply_fused(plan);
+  EXPECT_EQ(tiled.max_abs_diff(untiled), 0.0);
+}
+
+// ------------------------------------------- parallel equivalence per mode
+
+// Within one SIMD mode, 1-, 2- and 8-thread fused sweeps are bit-identical:
+// disjoint chunks, position-independent per-element arithmetic. Ragged
+// grains force chunk boundaries that are not multiples of the tile or
+// vector width.
+TEST(ParallelEquivalence, ThreadCountNeverChangesBits) {
+  std::vector<SimdMode> modes = {SimdMode::kScalar};
+  if (kernels::avx2_available()) modes.push_back(SimdMode::kAvx2);
+  for (SimdMode mode : modes) {
+    ModeGuard guard;
+    kernels::set_simd_mode(mode);
+    auto c = dense_circuit(8, 77);
+    const auto plan = FusionPlan::build(c);
+
+    StateVector serial(8);
+    serial.set_parallel_threshold(9);  // pin serial
+    serial.apply_fused(plan);
+
+    for (unsigned threads : {1u, 2u, 8u}) {
+      runtime::ThreadPool::set_global_threads(threads);
+      StateVector parallel(8);
+      parallel.set_parallel_threshold(0);  // force the parallel kernels
+      parallel.set_parallel_grain(5);      // ragged multi-chunk sweeps
+      parallel.set_tile_qubits(4);         // tiled runs go parallel too
+      parallel.apply_fused(plan);
+      EXPECT_EQ(parallel.max_abs_diff(serial), 0.0)
+          << kernels::simd_mode_name(mode) << " threads=" << threads;
+    }
+    runtime::ThreadPool::set_global_threads(0);
+  }
+}
+
+}  // namespace
+}  // namespace tetris::sim

@@ -5,6 +5,7 @@
 #include "common/error.h"
 #include "qir/library.h"
 #include "runtime/thread_pool.h"
+#include "sim/kernels/simd.h"
 
 namespace tetris::sim {
 namespace {
@@ -295,6 +296,54 @@ TEST(SamplerEdge, EmptyCircuitSamplesAllZeros) {
   opts.shots = 50;
   auto counts = sample(c, NoiseModel::ideal(), rng, opts);
   EXPECT_EQ(counts.count("000"), 50u);
+}
+
+TEST(SamplerFusedPrefix, NoisyHistogramBitIdenticalFusedVsUnfused) {
+  // Pin of the errored-shot fused-prefix path on an EXACTLY fusible circuit:
+  // rows where each qubit appears once (gangs of unmerged singles — the
+  // exact per-amplitude arithmetic of the unfused stream), CCX passthroughs,
+  // and lone CXs (the next gate is outside the pair, so no 4x4 matrix
+  // product forms). With no inexact fusion anywhere, the ideal run, every
+  // errored shot's fused prefix, and its unfused tail are all bit-identical
+  // to the fuse=false path — the histograms must match EXACTLY, in both
+  // SIMD modes. Before the fix, errored shots re-ran fully unfused, which
+  // this test would not catch — but a prefix that drifted from the unfused
+  // stream by even one ULP would flip threshold comparisons and fail it.
+  qir::Circuit c(4);
+  c.h(0).h(1).h(2).h(3);
+  c.barrier();  // fences the rows so no same-qubit 2x2 product forms
+  c.ry(0.3, 0).ry(0.7, 1).ry(1.1, 2).ry(0.2, 3);
+  c.ccx(0, 1, 3);
+  c.cx(1, 2);
+  c.t(0);  // outside {1, 2}: keeps the cx a lone passthrough
+  c.barrier();
+  c.rz(0.5, 3).rz(1.3, 0).rz(0.9, 1).rz(2.1, 2);
+  c.ccx(2, 3, 0);
+  c.cx(0, 3);
+  c.s(1);  // outside {0, 3}
+
+  NoiseModel noise;
+  noise.p1 = 0.03;  // ~half the 1000 shots carry at least one injection
+  noise.p2 = 0.06;
+  noise.readout = 0.01;
+  noise.name = "pin";
+
+  std::vector<kernels::SimdMode> modes = {kernels::SimdMode::kScalar};
+  if (kernels::avx2_available()) modes.push_back(kernels::SimdMode::kAvx2);
+  const kernels::SimdMode saved = kernels::simd_mode();
+  for (kernels::SimdMode mode : modes) {
+    kernels::set_simd_mode(mode);
+    SampleOptions fused_opts, unfused_opts;
+    fused_opts.shots = unfused_opts.shots = 1000;
+    fused_opts.fuse = true;
+    unfused_opts.fuse = false;
+    Rng rng_a(555), rng_b(555);
+    auto fused = sample(c, noise, rng_a, fused_opts);
+    auto unfused = sample(c, noise, rng_b, unfused_opts);
+    EXPECT_EQ(fused.histogram, unfused.histogram)
+        << kernels::simd_mode_name(mode);
+  }
+  kernels::set_simd_mode(saved);
 }
 
 TEST(SamplerEdge, ZeroQubitCircuit) {

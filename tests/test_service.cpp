@@ -252,6 +252,30 @@ TEST(Service, OutcomeCarriesSamplerSettings) {
       << doc;
 }
 
+TEST(Service, DeviceFallbackWarningReachesJson) {
+  Service svc;
+  // rd53 is 7 qubits — past the preset band, so make_flow_job records the
+  // ring-topology fallback and the outcome document must surface it.
+  auto wide = benchmark_job("rd53");
+  ASSERT_EQ(wide.warnings.size(), 1u);
+  EXPECT_NE(wide.warnings[0].find("ring7"), std::string::npos);
+  auto outcome = svc.submit(std::move(wide)).wait();
+  ASSERT_EQ(outcome.state, JobState::kDone);
+  ASSERT_EQ(outcome.warnings.size(), 1u);
+  std::string doc = to_json(outcome, /*include_timing=*/false, 0);
+  EXPECT_NE(doc.find("\"warnings\":["), std::string::npos) << doc;
+  EXPECT_NE(doc.find("ring7"), std::string::npos) << doc;
+
+  // In-band jobs carry no warnings, and their JSON stays byte-identical to
+  // the pre-warnings schema: no "warnings" key at all.
+  auto narrow = benchmark_job("4mod5");
+  EXPECT_TRUE(narrow.warnings.empty());
+  auto outcome2 = svc.submit(std::move(narrow)).wait();
+  ASSERT_EQ(outcome2.state, JobState::kDone);
+  EXPECT_EQ(to_json(outcome2, /*include_timing=*/false, 0).find("\"warnings\""),
+            std::string::npos);
+}
+
 TEST(Service, SamplerFanOutDoesNotChangeResults) {
   // sample_threads is a pure performance knob: flows configured serial and
   // sharded must serialize identically (minus the echoed setting itself),

@@ -476,7 +476,11 @@ int cmd_protect(const Options& o) {
   std::vector<int> measured;
   auto circuit = load_circuit(o, &measured);
   const auto seed = static_cast<std::uint64_t>(o.get_long("seed", 2025, 0));
-  auto target = compiler::device_for(circuit.num_qubits());
+  auto selection = compiler::device_for_checked(circuit.num_qubits());
+  const auto target = selection.target;
+  if (selection.fallback) {
+    std::cerr << "warning: " << selection.note << "\n";
+  }
   lock::FlowConfig cfg = flow_config(o);
 
   lock::FlowJob job;
@@ -484,8 +488,9 @@ int cmd_protect(const Options& o) {
                                     : circuit.name();
   job.circuit = std::move(circuit);
   job.measured = std::move(measured);
-  job.target = target;
+  job.target = std::move(selection.target);
   job.config = cfg;
+  if (selection.fallback) job.warnings.push_back(std::move(selection.note));
 
   service::Service svc(service_config(o, 1));
   // The explicit seed keeps the single-circuit output identical to the
