@@ -15,9 +15,18 @@
 // connection per client thread). The ratio between the two at the highest
 // connection count is the headline number the event-loop front-end buys.
 //
+// A second phase bounds the cost of the telemetry added by src/obs/: two
+// servers over the same service — one with ServerConfig::telemetry on (the
+// default), one with it off — are hit with interleaved keep-alive rounds
+// and the median throughputs compared. The process exits non-zero if the
+// instrumented server is more than 3% slower, but only when the phase ran
+// enough requests (>= 2000 per mode) for the medians to mean anything —
+// CI's small --iterations smoke stays informational.
+//
 // Checked-in BENCH_serve.json numbers come from the 1-core dev container;
 // regenerate on real multicore hardware for meaningful scaling curves.
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -149,6 +158,74 @@ int main(int argc, char** argv) {
   std::cout << "\nkeep-alive speedup at " << max_connections
             << " connections: " << fmt_double(speedup, 2) << "x\n";
 
+  // --------------------------------------------- telemetry overhead gate
+  // A twin server with telemetry compiled out of the request path (no
+  // per-route counters, no latency observation), same service behind it.
+  net::ServerConfig off_cfg;
+  off_cfg.port = 0;
+  off_cfg.telemetry = false;
+  net::Server server_off(svc, off_cfg);
+  server_off.start();
+
+  auto measure_rps = [&](int port) {
+    std::vector<std::size_t> errors(max_connections, 0);
+    const auto start = Clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve(max_connections);
+    for (unsigned t = 0; t < max_connections; ++t) {
+      clients.emplace_back([&, t] {
+        net::Client client("127.0.0.1", port, 30000, /*keep_alive=*/true);
+        for (int i = 0; i < args.iterations; ++i) {
+          try {
+            if (client.get("/v1/status").status != 200) ++errors[t];
+          } catch (const std::exception&) {
+            ++errors[t];
+          }
+        }
+      });
+    }
+    for (auto& c : clients) c.join();
+    const double elapsed = seconds_since(start);
+    std::size_t failed = 0;
+    for (std::size_t e : errors) failed += e;
+    const double requests =
+        static_cast<double>(args.iterations) * max_connections;
+    return failed == 0 && elapsed > 0.0 ? requests / elapsed : 0.0;
+  };
+
+  // Interleaved rounds cancel machine drift (thermal, noisy neighbours);
+  // medians shrug off one slow round.
+  constexpr int kOverheadRounds = 5;
+  std::vector<double> on_rps, off_rps;
+  for (int round = 0; round < kOverheadRounds; ++round) {
+    on_rps.push_back(measure_rps(server.port()));
+    off_rps.push_back(measure_rps(server_off.port()));
+  }
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  const double on_median = median(on_rps);
+  const double off_median = median(off_rps);
+  const double overhead =
+      off_median > 0.0 ? 1.0 - on_median / off_median : 0.0;
+  const std::size_t overhead_requests =
+      static_cast<std::size_t>(args.iterations) * max_connections *
+      kOverheadRounds;
+  const bool overhead_gated = overhead_requests >= 2000;
+  const bool overhead_ok = !overhead_gated || overhead <= 0.03;
+  server_off.stop();
+  std::cout << "\ntelemetry on      : " << fmt_double(on_median, 1)
+            << " req/s (median of " << kOverheadRounds << ")\n";
+  std::cout << "telemetry off     : " << fmt_double(off_median, 1)
+            << " req/s\n";
+  std::cout << "overhead          : " << fmt_double(overhead * 100.0, 2)
+            << "% ("
+            << (overhead_gated ? (overhead_ok ? "within 3% budget"
+                                              : "OVER 3% BUDGET")
+                               : "informational, too few requests to gate")
+            << ")\n";
+
   // ------------------------------------- submit round trip + determinism
   net::Client client("127.0.0.1", server.port());
   const auto submit_start = Clock::now();
@@ -203,7 +280,7 @@ int main(int argc, char** argv) {
   if (!args.out.empty()) {
     json::Writer w;
     w.begin_object();
-    w.key("schema").value("tetrislock.bench_serve.v2");
+    w.key("schema").value("tetrislock.bench_serve.v3");
     w.key("benchmark").value("serve_throughput");
     w.key("requests_per_connection").value(args.iterations);
     w.key("connection_workers").value(ncfg.connection_threads);  // 0 = inline
@@ -223,6 +300,15 @@ int main(int argc, char** argv) {
       w.end_object();
     }
     w.end_array();
+    w.key("telemetry_overhead").begin_object();
+    w.key("connections").value(max_connections);
+    w.key("rounds").value(kOverheadRounds);
+    w.key("requests_per_mode").value(overhead_requests);
+    w.key("on_requests_per_second").value(on_median);
+    w.key("off_requests_per_second").value(off_median);
+    w.key("overhead_fraction").value(overhead);
+    w.key("gate_applied").value(overhead_gated);
+    w.end_object();
     w.key("submit_round_trip").begin_object();
     w.key("shots").value(args.shots);
     w.key("seconds").value(submit_seconds);
@@ -235,8 +321,9 @@ int main(int argc, char** argv) {
     std::cout << "wrote " << args.out << "\n";
   }
 
-  // Exit status doubles as the determinism gate (mirrors bench_fusion).
+  // Exit status doubles as the determinism + overhead gate (mirrors
+  // bench_fusion).
   std::size_t total_errors = 0;
   for (const SweepPoint& p : sweep) total_errors += p.errors;
-  return (byte_identical && total_errors == 0) ? 0 : 1;
+  return (byte_identical && total_errors == 0 && overhead_ok) ? 0 : 1;
 }

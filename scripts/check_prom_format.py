@@ -1,0 +1,245 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text exposition (format 0.0.4) read from stdin or a file.
+
+Stdlib-only; CI pipes `curl /metrics` through it after the serve smoke. It
+checks the properties a scraper relies on, not just line syntax:
+
+  * every line is a HELP/TYPE comment or a `name[{labels}] value` sample
+  * metric and label names match the Prometheus grammar
+  * label values use only the three legal escapes (\\\\, \\", \\n)
+  * HELP/TYPE precede their family's samples; each family is contiguous
+    (all lines of one metric name grouped — required by the format spec)
+  * histograms are complete and consistent: bucket counts are cumulative
+    and non-decreasing in `le`, an +Inf bucket exists, and its count
+    equals `_count`
+  * no duplicate sample (same name + label set)
+
+Exit status: 0 clean, 1 with one diagnostic per offending line on stderr.
+
+Usage: check_prom_format.py [FILE]      (no FILE = stdin)
+"""
+
+import re
+import sys
+
+METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# A label value with only legal escapes: any char except ", \, newline — or
+# an escaped \\, \", \n.
+VALUE_CHARS = re.compile(r'^(?:[^"\\\n]|\\\\|\\"|\\n)*$')
+
+
+def fail(errors, lineno, message):
+    errors.append(f"line {lineno}: {message}")
+
+
+def parse_labels(raw, lineno, errors):
+    """Parse the text between { and } into a sorted (name, value) tuple."""
+    labels = []
+    pos = 0
+    while pos < len(raw):
+        eq = raw.find("=", pos)
+        if eq < 0:
+            fail(errors, lineno, f"label block missing '=' near '{raw[pos:]}'")
+            return None
+        name = raw[pos:eq]
+        if not LABEL_RE.match(name):
+            fail(errors, lineno, f"bad label name '{name}'")
+            return None
+        if eq + 1 >= len(raw) or raw[eq + 1] != '"':
+            fail(errors, lineno, f"label '{name}' value not quoted")
+            return None
+        # Scan the quoted value, honouring backslash escapes.
+        pos = eq + 2
+        value = []
+        while pos < len(raw):
+            c = raw[pos]
+            if c == "\\":
+                if pos + 1 >= len(raw):
+                    fail(errors, lineno, "dangling backslash in label value")
+                    return None
+                value.append(raw[pos : pos + 2])
+                pos += 2
+                continue
+            if c == '"':
+                break
+            value.append(c)
+            pos += 1
+        else:
+            fail(errors, lineno, f"unterminated value for label '{name}'")
+            return None
+        text = "".join(value)
+        if not VALUE_CHARS.match(text):
+            fail(errors, lineno, f"illegal escape in label value '{text}'")
+            return None
+        labels.append((name, text))
+        pos += 1  # closing quote
+        if pos < len(raw) and raw[pos] == ",":
+            pos += 1
+    return tuple(sorted(labels))
+
+
+def base_family(name):
+    """Histogram/summary component names fold into their family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check(text):
+    errors = []
+    types = {}            # family -> declared TYPE
+    helps = set()
+    seen_families = []    # family order of first appearance
+    closed = set()        # families whose block has ended (contiguity)
+    current = None
+    samples = set()       # (name, labels) for duplicate detection
+    # family -> {labels-without-le: {le-float: count}}, plus _count values
+    buckets = {}
+    counts = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line == "":
+            fail(errors, lineno, "blank line (not allowed inside exposition)")
+            continue
+        if line.startswith("#"):
+            m = re.match(r"^# (HELP|TYPE) ([a-zA-Z_:][a-zA-Z0-9_:]*) (.*)$", line)
+            if not m:
+                fail(errors, lineno, f"malformed comment: '{line}'")
+                continue
+            kind, name, rest = m.groups()
+            if kind == "TYPE":
+                if rest not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                    fail(errors, lineno, f"unknown TYPE '{rest}' for {name}")
+                if name in types:
+                    fail(errors, lineno, f"duplicate TYPE for {name}")
+                types[name] = rest
+            else:
+                if name in helps:
+                    fail(errors, lineno, f"duplicate HELP for {name}")
+                helps.add(name)
+            if name in closed:
+                fail(errors, lineno, f"family {name} reopened (must be contiguous)")
+            if current is not None and current != name and current not in closed:
+                closed.add(current)
+            if name not in seen_families:
+                seen_families.append(name)
+            current = name
+            continue
+
+        m = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})? (\S+)( \d+)?$", line)
+        if not m:
+            fail(errors, lineno, f"malformed sample: '{line}'")
+            continue
+        name, _, label_text, value_text = m.group(1), m.group(2), m.group(3), m.group(4)
+        if not METRIC_RE.match(name):
+            fail(errors, lineno, f"bad metric name '{name}'")
+            continue
+        try:
+            value = float(value_text)
+        except ValueError:
+            if value_text not in ("+Inf", "-Inf", "NaN"):
+                fail(errors, lineno, f"bad sample value '{value_text}'")
+                continue
+            value = float(value_text.replace("Inf", "inf").replace("NaN", "nan"))
+        labels = parse_labels(label_text, lineno, errors) if label_text else ()
+        if labels is None:
+            continue
+
+        family = base_family(name)
+        if family not in types:
+            fail(errors, lineno, f"sample for {name} precedes its TYPE line")
+        declared = types.get(family)
+        if declared == "histogram" and name == family:
+            fail(errors, lineno, f"bare sample '{name}' inside histogram family")
+        if current is not None and current != family:
+            if current not in closed:
+                closed.add(current)
+            if family in closed:
+                fail(errors, lineno, f"family {family} reopened (must be contiguous)")
+            current = family
+        key = (name, labels)
+        if key in samples:
+            fail(errors, lineno, f"duplicate sample {name}{dict(labels)}")
+        samples.add(key)
+
+        if declared == "histogram":
+            without_le = tuple(kv for kv in labels if kv[0] != "le")
+            if name.endswith("_bucket"):
+                le = dict(labels).get("le")
+                if le is None:
+                    fail(errors, lineno, f"{name} bucket missing le label")
+                    continue
+                le_value = float("inf") if le == "+Inf" else float(le)
+                buckets.setdefault(family, {}).setdefault(without_le, {})[
+                    le_value
+                ] = value
+            elif name.endswith("_count"):
+                counts.setdefault(family, {})[without_le] = value
+
+    for family, series in buckets.items():
+        for labels, by_le in series.items():
+            les = sorted(by_le)
+            if not les or les[-1] != float("inf"):
+                fail(errors, 0, f"{family}{dict(labels)}: no +Inf bucket")
+                continue
+            prev = 0.0
+            for le in les:
+                if by_le[le] < prev:
+                    fail(
+                        errors,
+                        0,
+                        f"{family}{dict(labels)}: bucket counts not cumulative "
+                        f"at le={le}",
+                    )
+                prev = by_le[le]
+            count = counts.get(family, {}).get(labels)
+            if count is None:
+                fail(errors, 0, f"{family}{dict(labels)}: missing _count")
+            elif count != by_le[float("inf")]:
+                fail(
+                    errors,
+                    0,
+                    f"{family}{dict(labels)}: +Inf bucket {by_le[float('inf')]} "
+                    f"!= _count {count}",
+                )
+    return errors
+
+
+def main():
+    if len(sys.argv) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if len(sys.argv) == 2:
+        with open(sys.argv[1], "r", encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = sys.stdin.read()
+    if not text.strip():
+        print("check_prom_format: empty exposition", file=sys.stderr)
+        return 1
+    errors = check(text)
+    for message in errors:
+        print(f"check_prom_format: {message}", file=sys.stderr)
+    if errors:
+        return 1
+    families = len({base_family(n) for (n, _) in check_names(text)})
+    print(f"check_prom_format: OK ({families} families)")
+    return 0
+
+
+def check_names(text):
+    """All (metric name, label text) sample pairs — for the summary count."""
+    out = []
+    for line in text.splitlines():
+        if line.startswith("#") or not line:
+            continue
+        m = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)", line)
+        if m:
+            out.append((m.group(1), None))
+    return out
+
+
+if __name__ == "__main__":
+    sys.exit(main())

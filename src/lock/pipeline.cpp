@@ -30,15 +30,25 @@ std::vector<int> map_measured(const std::vector<int>& measured,
 FlowResult run_flow(const qir::Circuit& circuit,
                     const std::vector<int>& measured,
                     const compiler::Target& target, const FlowConfig& config,
-                    Rng& rng) {
+                    Rng& rng, obs::Trace* trace) {
   FlowResult result;
 
   // --- Designer side: obfuscate and split. ---
-  Obfuscator obfuscator(config.insertion);
-  result.obf = obfuscator.obfuscate(circuit, rng);
+  {
+    obs::ScopedSpan span(trace, "lock.obfuscate");
+    span.attr("qubits", static_cast<std::uint64_t>(circuit.num_qubits()))
+        .attr("gates", static_cast<std::uint64_t>(circuit.gate_count()));
+    Obfuscator obfuscator(config.insertion);
+    result.obf = obfuscator.obfuscate(circuit, rng);
+  }
 
-  InterlockSplitter splitter(config.split);
-  result.splits = splitter.split(result.obf, rng);
+  {
+    obs::ScopedSpan span(trace, "lock.split");
+    span.attr("gates",
+              static_cast<std::uint64_t>(result.obf.circuit.gate_count()));
+    InterlockSplitter splitter(config.split);
+    result.splits = splitter.split(result.obf, rng);
+  }
 
   // --- Untrusted compilers. Two independent instances; the second one's
   //     initial layout is pinned by the designer during de-obfuscation. ---
@@ -50,14 +60,21 @@ FlowResult run_flow(const qir::Circuit& circuit,
                                           compiler::LayoutStrategy::Trivial,
                                           /*run_optimizer=*/true,
                                           std::nullopt};
-  Deobfuscator deob;
-  result.recombined =
-      deob.run(result.splits, circuit.num_qubits(), first_options,
-               second_options);
+  {
+    obs::ScopedSpan span(trace, "lock.recombine");
+    Deobfuscator deob;
+    result.recombined =
+        deob.run(result.splits, circuit.num_qubits(), first_options,
+                 second_options);
+  }
 
   // --- Reference compilation of the unprotected circuit. ---
-  compiler::Compiler baseline_compiler(first_options);
-  result.baseline = baseline_compiler.compile(circuit);
+  {
+    obs::ScopedSpan span(trace, "compile");
+    span.attr("gates", static_cast<std::uint64_t>(circuit.gate_count()));
+    compiler::Compiler baseline_compiler(first_options);
+    result.baseline = baseline_compiler.compile(circuit);
+  }
 
   // --- Size metrics. ---
   result.depth_original = circuit.depth();
@@ -73,11 +90,15 @@ FlowResult run_flow(const qir::Circuit& circuit,
   // unlike it stays available at 50+ qubits where no 2^n statevector fits.
   std::map<std::string, double> reference;
   std::string correct;
-  if (circuit.is_classical()) {
-    correct = sim::classical_outcome(circuit, measured);
-    reference[correct] = 1.0;
-  } else {
-    reference = sim::ideal_distribution(circuit, measured);
+  {
+    obs::ScopedSpan span(trace, "sim.reference");
+    span.attr("classical", circuit.is_classical() ? "1" : "0");
+    if (circuit.is_classical()) {
+      correct = sim::classical_outcome(circuit, measured);
+      reference[correct] = 1.0;
+    } else {
+      reference = sim::ideal_distribution(circuit, measured);
+    }
   }
 
   sim::SampleOptions opts;
@@ -95,9 +116,22 @@ FlowResult run_flow(const qir::Circuit& circuit,
   // and it is the same engine service::flow_fingerprint keys on.
   opts.backend = sim::resolve_backend(config.backend, circuit);
 
+  // One sim.sample span per sampled view; the fusion pass runs inside
+  // sim::sample, so it shows up as the `fused` attribute here rather than as
+  // a separate sim.fuse span.
+  auto sample_span = [&](const char* view) {
+    obs::ScopedSpan span(trace, "sim.sample");
+    span.attr("view", view)
+        .attr("shots", static_cast<std::uint64_t>(opts.shots))
+        .attr("backend", sim::backend_kind_name(opts.backend))
+        .attr("fused", opts.fuse ? "1" : "0");
+    return span;
+  };
+
   // Obfuscated view: the masked circuit R.C an adversary would run, compiled
   // on the same backend (paper Sec. V-C).
   {
+    auto span = sample_span("obfuscated");
     compiler::Compiler masked_compiler(first_options);
     auto compiled_masked = masked_compiler.compile(result.obf.masked());
     opts.measured = map_measured(measured, compiled_masked.final_layout);
@@ -107,6 +141,7 @@ FlowResult run_flow(const qir::Circuit& circuit,
 
   // Restored view: the recombined split-compiled circuit.
   {
+    auto span = sample_span("restored");
     opts.measured = map_measured(measured, result.recombined.orig_to_phys);
     auto counts =
         sim::sample(result.recombined.circuit, target.noise, rng, opts);
@@ -118,6 +153,7 @@ FlowResult run_flow(const qir::Circuit& circuit,
 
   // Baseline accuracy of the unprotected compiled circuit.
   {
+    auto span = sample_span("baseline");
     opts.measured = map_measured(measured, result.baseline.final_layout);
     auto counts = sim::sample(result.baseline.circuit, target.noise, rng, opts);
     if (!correct.empty()) {

@@ -11,6 +11,7 @@
 #include "lock/deobfuscate.h"
 #include "lock/obfuscator.h"
 #include "lock/splitter.h"
+#include "obs/trace.h"
 #include "qir/circuit.h"
 #include "sim/backend/backend.h"
 
@@ -72,10 +73,17 @@ struct FlowResult {
 ///   obfuscate -> interlock-split -> split-compile (2 untrusted compilers)
 ///   -> recombine -> simulate with the target's noise model.
 /// `measured` lists the circuit's output qubits (register order).
+///
+/// `trace`, when non-null, receives one obs::Span per stage
+/// (`lock.obfuscate`, `lock.split`, `lock.recombine`, `compile`,
+/// `sim.reference`, `sim.sample` x3) with size/shots/backend attributes —
+/// see docs/OBSERVABILITY.md for the taxonomy. Tracing is observation only:
+/// it never feeds back into the computation, so results are bit-identical
+/// with or without it.
 FlowResult run_flow(const qir::Circuit& circuit,
                     const std::vector<int>& measured,
                     const compiler::Target& target, const FlowConfig& config,
-                    Rng& rng);
+                    Rng& rng, obs::Trace* trace = nullptr);
 
 /// One job of a batch run: a named circuit plus its flow knobs.
 struct FlowJob {

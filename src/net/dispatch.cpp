@@ -1,9 +1,11 @@
 #include "net/dispatch.h"
 
 #include <algorithm>
+#include <map>
 #include <utility>
 
 #include "common/error.h"
+#include "obs/registry.h"
 #include "common/hash.h"
 #include "common/json.h"
 #include "qir/qasm.h"
@@ -254,12 +256,16 @@ http::Response Dispatcher::handle_job(const http::Request& request) {
   const std::string_view jobs_prefix = "/v1/jobs/";
   std::string_view tail =
       std::string_view(request.path).substr(jobs_prefix.size());
-  bool artifact = false;
-  const std::string_view artifact_suffix = "/artifact";
-  if (tail.size() > artifact_suffix.size() &&
-      tail.substr(tail.size() - artifact_suffix.size()) == artifact_suffix) {
-    artifact = true;
-    tail = tail.substr(0, tail.size() - artifact_suffix.size());
+  // Optional sub-resource after the id; both are GET-only and idempotent,
+  // so they share the artifact leg's retry policy.
+  std::string suffix;
+  for (const std::string_view candidate : {"/artifact", "/trace"}) {
+    if (tail.size() > candidate.size() &&
+        tail.substr(tail.size() - candidate.size()) == candidate) {
+      suffix = std::string(candidate);
+      tail = tail.substr(0, tail.size() - candidate.size());
+      break;
+    }
   }
   if (tail.empty() || tail.size() > 18 ||
       tail.find_first_not_of("0123456789") != std::string_view::npos) {
@@ -268,11 +274,12 @@ http::Response Dispatcher::handle_job(const http::Request& request) {
   std::uint64_t id = 0;
   for (char c : tail) id = id * 10 + static_cast<std::uint64_t>(c - '0');
 
-  if (artifact && request.method != "GET") {
+  if (!suffix.empty() && request.method != "GET") {
     return error_response(405, "method_not_allowed",
-                          "use GET on /v1/jobs/{id}/artifact");
+                          "use GET on /v1/jobs/{id}" + suffix);
   }
-  if (!artifact && request.method != "GET" && request.method != "DELETE") {
+  if (suffix.empty() && request.method != "GET" &&
+      request.method != "DELETE") {
     return error_response(405, "method_not_allowed",
                           "use GET or DELETE on /v1/jobs/{id}");
   }
@@ -289,8 +296,7 @@ http::Response Dispatcher::handle_job(const http::Request& request) {
   }
 
   Node& node = *nodes_[ref.node];
-  std::string target = "/v1/jobs/" + std::to_string(ref.local_id);
-  if (artifact) target += "/artifact";
+  std::string target = "/v1/jobs/" + std::to_string(ref.local_id) + suffix;
   target += raw_query(request.target);
 
   const bool idempotent = request.method == "GET";
@@ -353,6 +359,152 @@ http::Response Dispatcher::handle_status() {
   return json_response(200, out);
 }
 
+http::Response Dispatcher::handle_metrics() {
+  // Node expositions come from our own obs::render_prometheus, so the
+  // grammar is known: families are HELP line, TYPE line, then samples. Each
+  // node's text is re-parsed into per-family buckets with a node="<url>"
+  // label injected into every sample, then re-emitted grouped — the text
+  // format requires all lines of one metric name to be contiguous, so plain
+  // concatenation of per-node texts would be malformed.
+  std::vector<std::string> family_order;
+  std::map<std::string, std::string> family_head;     // first node's HELP+TYPE
+  std::map<std::string, std::size_t> family_owner;    // node that named it
+  std::map<std::string, std::string> family_samples;  // all nodes' samples
+
+  auto escape_label = [](const std::string& raw) {
+    std::string out;
+    for (char c : raw) {
+      if (c == '\\' || c == '"') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    return out;
+  };
+
+  std::vector<double> node_up(nodes_.size(), 0.0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& node = *nodes_[i];
+    http::Response res;
+    try {
+      res = upstream(node, "GET", "/metrics", "", "application/json",
+                     /*retry=*/true);
+    } catch (const std::exception&) {
+      continue;  // liveness lands in tetris_dispatch_node_up below
+    }
+    if (res.status != 200) continue;
+    node_up[i] = 1.0;
+    const std::string label = "node=\"" + escape_label(node.url) + "\"";
+
+    std::string current;  // family of the samples being read
+    std::size_t pos = 0;
+    while (pos < res.body.size()) {
+      std::size_t eol = res.body.find('\n', pos);
+      if (eol == std::string::npos) eol = res.body.size();
+      std::string line = res.body.substr(pos, eol - pos);
+      pos = eol + 1;
+      if (line.empty()) continue;
+      if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+        const std::size_t name_begin = 7;
+        const std::size_t name_end = line.find(' ', name_begin);
+        const std::string name = line.substr(
+            name_begin, name_end == std::string::npos ? std::string::npos
+                                                      : name_end - name_begin);
+        auto owner = family_owner.find(name);
+        if (owner == family_owner.end()) {
+          family_order.push_back(name);
+          owner = family_owner.emplace(name, i).first;
+        }
+        // The first node to expose a family owns its HELP/TYPE comment
+        // lines; later nodes' duplicates drop (their samples still merge).
+        if (owner->second == i) family_head[name] += line + '\n';
+        current = name;
+        continue;
+      }
+      // Sample line: inject the node label at the first '{', or synthesize
+      // a label block before the value when the series has none.
+      const std::size_t brace = line.find('{');
+      const std::size_t space = line.find(' ');
+      std::string rewritten;
+      if (brace != std::string::npos &&
+          (space == std::string::npos || brace < space)) {
+        rewritten = line.substr(0, brace + 1) + label + "," +
+                    line.substr(brace + 1);
+      } else if (space != std::string::npos) {
+        rewritten =
+            line.substr(0, space) + "{" + label + "}" + line.substr(space);
+      } else {
+        rewritten = line;  // malformed; pass through untouched
+      }
+      family_samples[current] += rewritten + '\n';
+    }
+  }
+
+  std::string out;
+  for (const std::string& name : family_order) {
+    out += family_head[name];
+    out += family_samples[name];
+  }
+
+  // The dispatcher's own series, disjoint names so the merge stays trivial.
+  std::vector<obs::Family> own;
+  auto add = [&own](const char* name, const char* help, obs::Kind kind) {
+    obs::Family f;
+    f.name = name;
+    f.help = help;
+    f.kind = kind;
+    own.push_back(std::move(f));
+    return own.size() - 1;
+  };
+  const std::size_t up_f = add("tetris_dispatch_node_up",
+                               "1 when the node answered the last scrape.",
+                               obs::Kind::kGauge);
+  const std::size_t routed_f =
+      add("tetris_dispatch_jobs_routed_total",
+          "Jobs sharded to each node by the consistent-hash ring.",
+          obs::Kind::kCounter);
+  const std::size_t failures_f =
+      add("tetris_dispatch_upstream_failures_total",
+          "Upstream legs that exhausted their retries per node.",
+          obs::Kind::kCounter);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& node = *nodes_[i];
+    std::uint64_t routed = 0;
+    std::uint64_t failures = 0;
+    {
+      std::lock_guard<std::mutex> lock(node.mutex);
+      routed = node.jobs_routed;
+      failures = node.upstream_failures;
+    }
+    const obs::Labels labels = {{"node", node.url}};
+    own[up_f].samples.push_back(obs::Sample{labels, node_up[i]});
+    own[routed_f].samples.push_back(
+        obs::Sample{labels, static_cast<double>(routed)});
+    own[failures_f].samples.push_back(
+        obs::Sample{labels, static_cast<double>(failures)});
+  }
+  const ReactorCounters c = counters();
+  const std::size_t conns_f = add("tetris_dispatch_connections_total",
+                                  "Downstream sockets accepted.",
+                                  obs::Kind::kCounter);
+  own[conns_f].samples.push_back(
+      obs::Sample{{}, static_cast<double>(c.connections)});
+  const std::size_t reqs_f = add("tetris_dispatch_requests_total",
+                                 "Downstream requests handled.",
+                                 obs::Kind::kCounter);
+  own[reqs_f].samples.push_back(
+      obs::Sample{{}, static_cast<double>(c.requests)});
+  out += obs::render_prometheus(own);
+
+  http::Response res;
+  res.status = 200;
+  res.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  res.body = out;
+  return res;
+}
+
 http::Response Dispatcher::handle(const http::Request& request) {
   try {
     const std::string& path = request.path;
@@ -368,6 +520,10 @@ http::Response Dispatcher::handle(const http::Request& request) {
       if (request.method == "GET") return handle_status();
       return error_response(405, "method_not_allowed",
                             "use GET on /v1/status");
+    }
+    if (path == "/metrics") {
+      if (request.method == "GET") return handle_metrics();
+      return error_response(405, "method_not_allowed", "use GET on /metrics");
     }
     return error_response(404, "not_found", "no route for " + path);
   } catch (const http::HttpError& e) {

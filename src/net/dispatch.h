@@ -73,8 +73,8 @@ struct DispatcherNodeCounters {
 ///                              node-local id is kept in an id→node map.
 ///   GET    /v1/jobs/{id}       proxied to the owning node (response body
 ///   GET    /v1/jobs/{id}/artifact   passed through verbatim — wire bytes
-///   DELETE /v1/jobs/{id}       stay identical to the node's, which in turn
-///                              match the in-process facade). Idempotent
+///   GET    /v1/jobs/{id}/trace stay identical to the node's, which in turn
+///   DELETE /v1/jobs/{id}       match the in-process facade). Idempotent
 ///                              GETs are retried once on a transient
 ///                              connection error; then the job answers
 ///                              502 {"error":{"code":"upstream_unavailable"}}.
@@ -83,6 +83,14 @@ struct DispatcherNodeCounters {
 ///                              are marked, never thrown on) plus dispatcher
 ///                              totals; schema
 ///                              service::kDispatchStatusSchema.
+///   GET    /metrics            fan-out aggregation of every node's
+///                              Prometheus exposition: each node's series
+///                              re-exported with an injected node="<url>"
+///                              label (HELP/TYPE deduplicated, families
+///                              regrouped), plus the dispatcher's own
+///                              tetris_dispatch_* series — node liveness,
+///                              per-node routing counters, downstream
+///                              traffic totals.
 ///
 /// Note on ids: proxied outcome documents carry the node-local job id in
 /// their "id" field (bodies are passed through byte-for-byte); the id the
@@ -130,6 +138,7 @@ class Dispatcher {
   http::Response handle_submit(const http::Request& request);
   http::Response handle_job(const http::Request& request);
   http::Response handle_status();
+  http::Response handle_metrics();
 
   /// One upstream round trip; `retry` re-issues the request once on a
   /// transport error (idempotent legs only). Throws tetris::Error when the

@@ -437,6 +437,16 @@ class Loop {
     conn.close_after_write = !keep_alive;
     conn.last_activity = Clock::now();
     ++conn.requests_served;
+    if (config_.observe_response) {
+      // request_start was stamped when the request's first byte arrived;
+      // every queue_response follows some byte arrival on this connection,
+      // so it is always initialized here.
+      config_.observe_response(
+          response.status,
+          std::chrono::duration<double>(conn.last_activity -
+                                        conn.request_start)
+              .count());
+    }
     {
       std::lock_guard<std::mutex> lock(impl_.counter_mutex);
       if (response.status >= 500) {

@@ -44,6 +44,17 @@ struct ReactorConfig {
   /// Ignored when inline_handlers is set.
   runtime::ThreadPool* handler_pool = nullptr;
 
+  /// Response observation hook, invoked on the loop thread as each response
+  /// is queued with the HTTP status and the seconds elapsed since the
+  /// request's first byte arrived (the same reference the 408 deadline
+  /// uses) — the feed for the server's request-latency histogram. Must be
+  /// cheap and non-blocking: it runs inside the event loop. For pipelined
+  /// requests parsed from already-buffered bytes the measured window starts
+  /// at the batch's arrival, slightly overstating per-request latency; a
+  /// null function disables observation entirely (the telemetry-off bench
+  /// mode). nullptr by default.
+  std::function<void(int status, double seconds)> observe_response;
+
   /// Run handlers synchronously on the loop thread instead of a pool. Saves
   /// two context switches per request — the right call when every handler is
   /// quick and non-blocking (net::Server qualifies: job compute lives on the

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <initializer_list>
+#include <iterator>
 #include <limits>
 #include <utility>
 
@@ -168,12 +169,47 @@ lock::FlowConfig parse_flow_config(const json::Value* config) {
 
 }  // namespace
 
+const char* Server::route_name(Route route) {
+  switch (route) {
+    case Route::kJobs: return "/v1/jobs";
+    case Route::kJob: return "/v1/jobs/{id}";
+    case Route::kJobArtifact: return "/v1/jobs/{id}/artifact";
+    case Route::kJobTrace: return "/v1/jobs/{id}/trace";
+    case Route::kStatus: return "/v1/status";
+    case Route::kMetrics: return "/metrics";
+    case Route::kOther: return "other";
+    case Route::kCount_: break;
+  }
+  return "other";
+}
+
 Server::Server(service::Service& service, ServerConfig config)
-    : service_(service), config_(std::move(config)) {
+    : service_(service),
+      config_(std::move(config)),
+      start_steady_(std::chrono::steady_clock::now()),
+      start_wall_(std::chrono::system_clock::now()) {
   if (config_.connection_threads > 0) {
     private_pool_ =
         std::make_unique<runtime::ThreadPool>(config_.connection_threads);
   }
+  // Pre-register every HTTP-layer instrument so the request path never takes
+  // the registry mutex — it hits the cached references directly.
+  static constexpr const char* kClasses[kStatusClassCount] = {"2xx", "4xx",
+                                                              "5xx"};
+  for (std::size_t r = 0; r < kRouteCount; ++r) {
+    for (std::size_t c = 0; c < kStatusClassCount; ++c) {
+      requests_by_route_[r][c] = &http_registry_.counter(
+          "tetris_http_requests_total",
+          "Requests handled, by normalized route and status class.",
+          {{"route", route_name(static_cast<Route>(r))},
+           {"class", kClasses[c]}});
+    }
+  }
+  request_latency_ = &http_registry_.histogram(
+      "tetris_http_request_seconds",
+      "Request latency from first byte to response queue (reactor clock).",
+      obs::latency_buckets());
+
   ReactorConfig rc;
   rc.host = config_.host;
   rc.port = config_.port;
@@ -184,6 +220,14 @@ Server::Server(service::Service& service, ServerConfig config)
   rc.max_header_bytes = config_.max_header_bytes;
   rc.max_body_bytes = config_.max_body_bytes;
   rc.handler_pool = private_pool_.get();
+  if (config_.telemetry) {
+    // The hook runs on the loop thread; Histogram::observe is a few relaxed
+    // atomic ops, well under the loop's per-request budget.
+    obs::Histogram* latency = request_latency_;
+    rc.observe_response = [latency](int /*status*/, double seconds) {
+      latency->observe(seconds);
+    };
+  }
   // Route handlers only parse, route, and serialize — job compute lives on
   // the Service pool — so with no dedicated handler pool they run inline on
   // the loop thread (two context switches per request cheaper).
@@ -223,57 +267,90 @@ ServerCounters Server::counters() const {
 }
 
 http::Response Server::handle(const http::Request& request) {
+  // route() assigns the normalized route key before invoking the handler, so
+  // a throwing handler still lands in the right per-route counter bucket.
+  Route route_key = Route::kOther;
+  http::Response response;
   try {
-    const std::string& path = request.path;
-    if (path == "/v1/jobs") {
-      if (request.method == "POST") return handle_submit(request);
-      throw http::HttpError(405, "method_not_allowed",
-                            "use POST on /v1/jobs");
-    }
-    const std::string_view jobs_prefix = "/v1/jobs/";
-    if (std::string_view(path).substr(0, jobs_prefix.size()) == jobs_prefix) {
-      std::string_view tail = std::string_view(path).substr(jobs_prefix.size());
-      // Optional "/artifact" sub-resource after the id.
-      bool artifact = false;
-      const std::string_view artifact_suffix = "/artifact";
-      if (tail.size() > artifact_suffix.size() &&
-          tail.substr(tail.size() - artifact_suffix.size()) ==
-              artifact_suffix) {
-        artifact = true;
-        tail = tail.substr(0, tail.size() - artifact_suffix.size());
-      }
-      if (tail.empty() || tail.size() > 18 ||
-          tail.find_first_not_of("0123456789") != std::string_view::npos) {
-        throw http::HttpError(404, "not_found",
-                              "job ids are decimal integers");
-      }
-      std::uint64_t id = 0;
-      for (char c : tail) id = id * 10 + static_cast<std::uint64_t>(c - '0');
-      if (artifact) {
-        if (request.method == "GET") return handle_job_artifact(id);
-        throw http::HttpError(405, "method_not_allowed",
-                              "use GET on /v1/jobs/{id}/artifact");
-      }
-      if (request.method == "GET") return handle_job_get(id, request);
-      if (request.method == "DELETE") return handle_job_delete(id);
-      throw http::HttpError(405, "method_not_allowed",
-                            "use GET or DELETE on /v1/jobs/{id}");
-    }
-    if (path == "/v1/status") {
-      if (request.method == "GET") return handle_status();
-      throw http::HttpError(405, "method_not_allowed",
-                            "use GET on /v1/status");
-    }
-    throw http::HttpError(404, "not_found", "no route for " + path);
+    response = route(request, route_key);
   } catch (const http::HttpError& e) {
-    return error_response(e.status(), e.code(), e.what());
+    response = error_response(e.status(), e.code(), e.what());
   } catch (...) {
     service::ServiceStatus status =
         service::ServiceStatus::from_current_exception();
-    return error_response(http_status_for(status.code),
-                          service::status_code_name(status.code),
-                          status.message);
+    response = error_response(http_status_for(status.code),
+                              service::status_code_name(status.code),
+                              status.message);
   }
+  if (config_.telemetry) {
+    const std::size_t cls =
+        response.status >= 500 ? 2 : (response.status >= 400 ? 1 : 0);
+    requests_by_route_[static_cast<std::size_t>(route_key)][cls]->inc();
+  }
+  return response;
+}
+
+http::Response Server::route(const http::Request& request, Route& route_key) {
+  const std::string& path = request.path;
+  if (path == "/v1/jobs") {
+    route_key = Route::kJobs;
+    if (request.method == "POST") return handle_submit(request);
+    throw http::HttpError(405, "method_not_allowed", "use POST on /v1/jobs");
+  }
+  const std::string_view jobs_prefix = "/v1/jobs/";
+  if (std::string_view(path).substr(0, jobs_prefix.size()) == jobs_prefix) {
+    std::string_view tail = std::string_view(path).substr(jobs_prefix.size());
+    // Optional "/artifact" or "/trace" sub-resource after the id.
+    bool artifact = false;
+    bool trace = false;
+    const std::string_view artifact_suffix = "/artifact";
+    const std::string_view trace_suffix = "/trace";
+    if (tail.size() > artifact_suffix.size() &&
+        tail.substr(tail.size() - artifact_suffix.size()) ==
+            artifact_suffix) {
+      artifact = true;
+      tail = tail.substr(0, tail.size() - artifact_suffix.size());
+    } else if (tail.size() > trace_suffix.size() &&
+               tail.substr(tail.size() - trace_suffix.size()) ==
+                   trace_suffix) {
+      trace = true;
+      tail = tail.substr(0, tail.size() - trace_suffix.size());
+    }
+    route_key = artifact ? Route::kJobArtifact
+                         : (trace ? Route::kJobTrace : Route::kJob);
+    if (tail.empty() || tail.size() > 18 ||
+        tail.find_first_not_of("0123456789") != std::string_view::npos) {
+      route_key = Route::kOther;
+      throw http::HttpError(404, "not_found", "job ids are decimal integers");
+    }
+    std::uint64_t id = 0;
+    for (char c : tail) id = id * 10 + static_cast<std::uint64_t>(c - '0');
+    if (artifact) {
+      if (request.method == "GET") return handle_job_artifact(id);
+      throw http::HttpError(405, "method_not_allowed",
+                            "use GET on /v1/jobs/{id}/artifact");
+    }
+    if (trace) {
+      if (request.method == "GET") return handle_job_trace(id);
+      throw http::HttpError(405, "method_not_allowed",
+                            "use GET on /v1/jobs/{id}/trace");
+    }
+    if (request.method == "GET") return handle_job_get(id, request);
+    if (request.method == "DELETE") return handle_job_delete(id);
+    throw http::HttpError(405, "method_not_allowed",
+                          "use GET or DELETE on /v1/jobs/{id}");
+  }
+  if (path == "/v1/status") {
+    route_key = Route::kStatus;
+    if (request.method == "GET") return handle_status();
+    throw http::HttpError(405, "method_not_allowed", "use GET on /v1/status");
+  }
+  if (path == "/metrics") {
+    route_key = Route::kMetrics;
+    if (request.method == "GET") return handle_metrics();
+    throw http::HttpError(405, "method_not_allowed", "use GET on /metrics");
+  }
+  throw http::HttpError(404, "not_found", "no route for " + path);
 }
 
 http::Response Server::handle_submit(const http::Request& request) {
@@ -423,6 +500,28 @@ http::Response Server::handle_job_artifact(std::uint64_t id) {
   return res;
 }
 
+http::Response Server::handle_job_trace(std::uint64_t id) {
+  service::JobHandle handle;
+  try {
+    handle = service_.handle(id);
+  } catch (const InvalidArgument&) {
+    throw http::HttpError(404, "not_found",
+                          "unknown job id " + std::to_string(id));
+  }
+  // A trace exists once the job is terminal (failed jobs carry the spans up
+  // to the failure; cancelled jobs an empty list). Queued/running jobs are a
+  // 409: try again when the job finishes — the same protocol the artifact
+  // endpoint speaks.
+  service::JobOutcome outcome = service_.outcome(handle);
+  if (!service::is_terminal(outcome.state)) {
+    throw http::HttpError(409, "no_trace",
+                          "job " + std::to_string(id) + " is " +
+                              service::job_state_name(outcome.state) +
+                              "; traces exist only for terminal jobs");
+  }
+  return json_response(200, service::trace_to_json(outcome));
+}
+
 http::Response Server::handle_job_delete(std::uint64_t id) {
   service::JobHandle handle;
   try {
@@ -499,13 +598,66 @@ http::Response Server::handle_status() {
   w.key("responses_5xx").value(server.responses_5xx);
   w.key("keepalive_reuses").value(server.keepalive_reuses);
   w.key("idle_evictions").value(server.idle_evictions);
+  // Start time (wall clock, unix seconds) and uptime (steady clock): the
+  // pair dispatcher aggregation needs to turn per-node requests_total
+  // deltas into rates.
+  w.key("started_unix")
+      .value(static_cast<std::int64_t>(
+          std::chrono::duration_cast<std::chrono::seconds>(
+              start_wall_.time_since_epoch())
+              .count()));
+  w.key("uptime_seconds")
+      .value(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start_steady_)
+                 .count());
+  // Monotonic per-route/status-class tallies from the telemetry registry
+  // (all zero when ServerConfig::telemetry is off). Fixed route and class
+  // order so the document layout is stable.
+  w.key("requests_total").begin_object();
+  static constexpr const char* kClasses[kStatusClassCount] = {"2xx", "4xx",
+                                                              "5xx"};
+  for (std::size_t r = 0; r < kRouteCount; ++r) {
+    w.key(route_name(static_cast<Route>(r))).begin_object();
+    for (std::size_t c = 0; c < kStatusClassCount; ++c) {
+      w.key(kClasses[c]).value(requests_by_route_[r][c]->value());
+    }
+    w.end_object();
+  }
+  w.end_object();
   w.end_object();
   w.key("connection_pool").begin_object();
   w.key("threads").value(pool.size());
   w.key("queued").value(pool.queued());
   w.end_object();
+  // Full pool telemetry of the pool the SERVICE executes jobs on (the
+  // handler pool above only parses/serializes).
+  const runtime::ThreadPool::Stats job_pool = service_.pool_stats();
+  w.key("job_pool").begin_object();
+  w.key("threads").value(job_pool.threads);
+  w.key("queued").value(job_pool.queued);
+  w.key("active").value(job_pool.active);
+  w.key("tasks_submitted").value(job_pool.submitted);
+  w.key("tasks_completed").value(job_pool.completed);
+  w.end_object();
   w.end_object();
   return json_response(200, w.str());
+}
+
+http::Response Server::handle_metrics() {
+  // One merged exposition: the Service's registry (job stages + the
+  // cache/store/backend/pool collectors) followed by the server's HTTP-layer
+  // series. render_prometheus merges families by name, so the order here
+  // only decides which HELP text wins on a (non-existent) name clash.
+  std::vector<obs::Family> families = service_.telemetry().collect();
+  std::vector<obs::Family> http_families = http_registry_.collect();
+  families.insert(families.end(),
+                  std::make_move_iterator(http_families.begin()),
+                  std::make_move_iterator(http_families.end()));
+  http::Response res;
+  res.status = 200;
+  res.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  res.body = obs::render_prometheus(families);
+  return res;
 }
 
 }  // namespace tetris::net

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -7,6 +8,7 @@
 
 #include "net/http.h"
 #include "net/reactor.h"
+#include "obs/registry.h"
 #include "runtime/thread_pool.h"
 #include "service/service.h"
 
@@ -38,6 +40,13 @@ struct ServerConfig {
   std::size_t max_header_bytes = std::size_t{16} << 10;
   /// Body cap (also the json::parse max_bytes); larger bodies answer 413.
   std::size_t max_body_bytes = std::size_t{1} << 20;
+  /// HTTP-layer telemetry: the reactor's request-latency observation and the
+  /// per-route request counters recorded by handle(). On by default; off
+  /// compiles the recording out of the request path entirely — the mode
+  /// bench/serve_throughput.cpp compares against to bound telemetry overhead
+  /// (<= 3%). /metrics itself stays routable either way (its HTTP-layer
+  /// series just stop moving).
+  bool telemetry = true;
 };
 
 /// Monotonic traffic counters, readable while serving (GET /v1/status).
@@ -74,9 +83,22 @@ struct ServerCounters {
 ///                          byte-identical to the artifact store's file for
 ///                          the same job. 409 "no_artifact" unless the job
 ///                          is done
+///   GET    /v1/jobs/{id}/trace
+///                          the job's stage trace (serialize.h
+///                          trace_to_json): one span per pipeline/service
+///                          stage with offsets, durations, and attributes.
+///                          409 "no_trace" unless the job is terminal.
+///                          Timing lives ONLY here — the default job
+///                          document stays byte-identical with tracing on
 ///   DELETE /v1/jobs/{id}   cancel-if-queued; answers {"id", "cancelled",
 ///                          "state"}
-///   GET    /v1/status      service/cache/store/pool/server counters
+///   GET    /v1/status      service/cache/store/pool/server counters,
+///                          uptime, and per-route/status-class request
+///                          tallies
+///   GET    /metrics        Prometheus text exposition (format 0.0.4) of
+///                          the Service registry (job stages, cache, store,
+///                          backends, pool) merged with the server's
+///                          HTTP-layer series (docs/OBSERVABILITY.md)
 ///
 /// docs/API.md is the full route-by-route reference with request/response
 /// schemas and curl examples.
@@ -132,18 +154,50 @@ class Server {
   http::Response handle(const http::Request& request);
 
  private:
+  /// Normalized route keys for the per-route request counters: one label
+  /// value per route shape (ids collapse to "{id}"), so cardinality is fixed
+  /// whatever clients request.
+  enum class Route {
+    kJobs = 0,        // POST /v1/jobs
+    kJob,             // /v1/jobs/{id}
+    kJobArtifact,     // /v1/jobs/{id}/artifact
+    kJobTrace,        // /v1/jobs/{id}/trace
+    kStatus,          // /v1/status
+    kMetrics,         // /metrics
+    kOther,           // everything else (404s, bad paths)
+    kCount_,
+  };
+  static constexpr std::size_t kRouteCount =
+      static_cast<std::size_t>(Route::kCount_);
+  static constexpr std::size_t kStatusClassCount = 3;  // 2xx / 4xx / 5xx
+  static const char* route_name(Route route);
+
   runtime::ThreadPool& connection_pool();
 
   http::Response handle_submit(const http::Request& request);
   http::Response handle_job_get(std::uint64_t id, const http::Request& request);
   http::Response handle_job_artifact(std::uint64_t id);
+  http::Response handle_job_trace(std::uint64_t id);
   http::Response handle_job_delete(std::uint64_t id);
   http::Response handle_status();
+  http::Response handle_metrics();
+  http::Response route(const http::Request& request, Route& route_key);
 
   service::Service& service_;
   ServerConfig config_;
   std::unique_ptr<runtime::ThreadPool> private_pool_;
   std::unique_ptr<Reactor> reactor_;
+
+  /// HTTP-layer telemetry, separate from the Service's registry so neither
+  /// object holds a collector into the other's lifetime; /metrics renders
+  /// the two family lists merged. Instruments are pre-registered in the
+  /// constructor — the request path only touches stable references (one
+  /// relaxed fetch_add per request when telemetry is on).
+  obs::Registry http_registry_;
+  obs::Counter* requests_by_route_[kRouteCount][kStatusClassCount] = {};
+  obs::Histogram* request_latency_ = nullptr;
+  std::chrono::steady_clock::time_point start_steady_;
+  std::chrono::system_clock::time_point start_wall_;
 };
 
 }  // namespace tetris::net

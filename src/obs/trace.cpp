@@ -1,0 +1,61 @@
+#include "obs/trace.h"
+
+namespace tetris::obs {
+
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+Trace::Trace() : start_(std::chrono::steady_clock::now()) {}
+
+void Trace::record(std::string name, double start_seconds,
+                   double duration_seconds,
+                   std::vector<std::pair<std::string, std::string>> attrs) {
+  Span span;
+  span.name = std::move(name);
+  span.start_seconds = start_seconds;
+  span.duration_seconds = duration_seconds;
+  span.attrs = std::move(attrs);
+  spans_.push_back(std::move(span));
+}
+
+double Trace::elapsed() const {
+  return seconds_between(start_, std::chrono::steady_clock::now());
+}
+
+ScopedSpan::ScopedSpan(Trace* trace, std::string name)
+    : trace_(trace), name_(std::move(name)) {
+  if (trace_ == nullptr) return;
+  // Offset first, clock second: the measured duration is then never larger
+  // than the span's true window inside the trace, which keeps the
+  // "durations sum to <= job seconds" invariant exact.
+  start_seconds_ = trace_->elapsed();
+  begin_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan& ScopedSpan::attr(std::string key, std::string value) {
+  if (trace_ != nullptr) {
+    attrs_.emplace_back(std::move(key), std::move(value));
+  }
+  return *this;
+}
+
+ScopedSpan& ScopedSpan::attr(std::string key, std::uint64_t value) {
+  return attr(std::move(key), std::to_string(value));
+}
+
+void ScopedSpan::finish() {
+  if (trace_ == nullptr) return;
+  const double duration =
+      seconds_between(begin_, std::chrono::steady_clock::now());
+  trace_->record(std::move(name_), start_seconds_, duration,
+                 std::move(attrs_));
+  trace_ = nullptr;
+}
+
+}  // namespace tetris::obs

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tetris::obs {
+
+/// One timed stage of a job. Offsets are relative to the owning trace's
+/// start, so a trace is self-contained and never leaks absolute wall-clock
+/// timestamps into serialized output.
+struct Span {
+  std::string name;          ///< stage name, e.g. "lock.obfuscate"
+  double start_seconds = 0;  ///< offset from trace start
+  double duration_seconds = 0;
+  /// Free-form context, e.g. {"qubits","5"}, {"shots","4096"}. Ordered;
+  /// serialized in insertion order.
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/// Per-job stage trace: an append-only list of spans recorded by whichever
+/// thread executes the job. Recording is single-threaded by construction —
+/// the flow pipeline runs its stages sequentially on one worker — so Trace
+/// itself takes no locks; do not share one Trace across concurrently
+/// recording threads.
+///
+/// Spans are recorded via the RAII `ScopedSpan`, which measures on the
+/// steady clock and appends on destruction. Because the pipeline stages run
+/// back-to-back inside the same wall-clock window `Service` measures for
+/// `JobOutcome::seconds`, the span durations always sum to at most that
+/// figure (pinned in tests/test_obs.cpp).
+class Trace {
+ public:
+  Trace();
+
+  bool empty() const { return spans_.empty(); }
+  const std::vector<Span>& spans() const { return spans_; }
+
+  /// Appends a finished span with explicit timing (used by ScopedSpan and by
+  /// tests that need deterministic durations).
+  void record(std::string name, double start_seconds, double duration_seconds,
+              std::vector<std::pair<std::string, std::string>> attrs = {});
+
+  /// Seconds elapsed since the trace was constructed (steady clock).
+  double elapsed() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  std::vector<Span> spans_;
+};
+
+/// RAII span recorder: measures from construction to destruction (or to
+/// `finish()`), then appends to the trace. A null trace disables recording —
+/// callers pass their optional `Trace*` straight through:
+///
+///   obs::ScopedSpan span(trace, "lock.obfuscate");
+///   span.attr("qubits", num_qubits);
+///   ...stage body...
+class ScopedSpan {
+ public:
+  ScopedSpan(Trace* trace, std::string name);
+  ~ScopedSpan() { finish(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Movable so helpers can build a pre-attributed span and return it; the
+  /// moved-from span is disarmed.
+  ScopedSpan(ScopedSpan&& other) noexcept
+      : trace_(other.trace_),
+        name_(std::move(other.name_)),
+        start_seconds_(other.start_seconds_),
+        begin_(other.begin_),
+        attrs_(std::move(other.attrs_)) {
+    other.trace_ = nullptr;
+  }
+  ScopedSpan& operator=(ScopedSpan&&) = delete;
+
+  ScopedSpan& attr(std::string key, std::string value);
+  ScopedSpan& attr(std::string key, std::uint64_t value);
+
+  /// Ends the span early; the destructor becomes a no-op.
+  void finish();
+
+ private:
+  Trace* trace_;
+  std::string name_;
+  double start_seconds_ = 0;
+  std::chrono::steady_clock::time_point begin_;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+};
+
+}  // namespace tetris::obs

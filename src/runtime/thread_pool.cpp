@@ -57,8 +57,21 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    active_workers_.fetch_add(1, std::memory_order_relaxed);
     task();  // packaged_task: exceptions land in the future, never here
+    active_workers_.fetch_sub(1, std::memory_order_relaxed);
+    tasks_completed_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats out;
+  out.threads = size();
+  out.queued = queued();
+  out.active = active_workers_.load(std::memory_order_relaxed);
+  out.submitted = tasks_submitted_.load(std::memory_order_relaxed);
+  out.completed = tasks_completed_.load(std::memory_order_relaxed);
+  return out;
 }
 
 bool ThreadPool::on_worker_thread() { return t_worker_pool != nullptr; }

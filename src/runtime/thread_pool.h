@@ -3,6 +3,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
@@ -45,6 +46,19 @@ class ThreadPool {
   /// Number of tasks submitted but not yet started (diagnostic).
   std::size_t queued() const;
 
+  /// Point-in-time telemetry snapshot. `queued` + `active` can momentarily
+  /// disagree with `submitted - completed` (a task between dequeue and the
+  /// active increment), so treat the fields as independent gauges/counters,
+  /// not an exact conservation law.
+  struct Stats {
+    unsigned threads = 0;            ///< worker count (fixed at construction)
+    std::size_t queued = 0;          ///< tasks waiting in the queue
+    unsigned active = 0;             ///< workers currently running a task
+    std::uint64_t submitted = 0;     ///< tasks ever accepted by submit()
+    std::uint64_t completed = 0;     ///< tasks that finished running
+  };
+  Stats stats() const;
+
   /// Enqueues `fn` and returns a future for its result. The future rethrows
   /// any exception `fn` throws. Submitting after destruction has begun is a
   /// programming error and throws InvalidArgument.
@@ -58,6 +72,7 @@ class ThreadPool {
       std::lock_guard<std::mutex> lock(mutex_);
       TETRIS_REQUIRE(!stop_, "ThreadPool::submit: pool is shutting down");
       tasks_.push([task] { (*task)(); });
+      tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
     }
     cv_.notify_one();
     return future;
@@ -104,6 +119,9 @@ class ThreadPool {
   std::queue<std::function<void()>> tasks_;
   std::vector<std::thread> workers_;
   bool stop_ = false;
+  std::atomic<std::uint64_t> tasks_submitted_{0};
+  std::atomic<std::uint64_t> tasks_completed_{0};
+  std::atomic<unsigned> active_workers_{0};
 };
 
 /// Chunking knobs for `parallel_for`.

@@ -81,6 +81,34 @@ std::string to_json(const JobOutcome& outcome, bool include_timing,
   return w.str();
 }
 
+std::string trace_to_json(const JobOutcome& outcome, int indent) {
+  json::Writer w(indent);
+  w.begin_object();
+  w.key("schema").value("tetrislock.trace.v1");
+  w.key("id").value(outcome.id);
+  w.key("name").value(outcome.name);
+  w.key("state").value(job_state_name(outcome.state));
+  w.key("seconds").value(outcome.seconds);
+  w.key("spans").begin_array();
+  for (const obs::Span& span : outcome.trace.spans()) {
+    w.begin_object();
+    w.key("name").value(span.name);
+    w.key("start_seconds").value(span.start_seconds);
+    w.key("duration_seconds").value(span.duration_seconds);
+    if (!span.attrs.empty()) {
+      w.key("attrs").begin_object();
+      for (const auto& [key, value] : span.attrs) {
+        w.key(key).value(value);
+      }
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
 std::string batch_to_json(const std::vector<JobOutcome>& outcomes,
                           unsigned threads, double wall_seconds,
                           const CacheStats* cache, bool include_timing,

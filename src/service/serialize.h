@@ -45,6 +45,15 @@ void job_outcome_object(json::Writer& w, const JobOutcome& outcome,
 std::string to_json(const JobOutcome& outcome, bool include_timing = true,
                     int indent = 2);
 
+/// The standalone trace document of one job — `GET /v1/jobs/{id}/trace` and
+/// CLI `--trace`. Deliberately a SEPARATE document from the job JSON above:
+/// span timings are run-dependent by nature, and keeping them out of
+/// `job_outcome_object` is what keeps the default job document byte-identical
+/// across runs, thread counts, and telemetry on/off (docs/OBSERVABILITY.md).
+/// Layout: {schema, id, name, state, seconds, spans: [{name, start_seconds,
+/// duration_seconds, attrs{...}}]}.
+std::string trace_to_json(const JobOutcome& outcome, int indent = 2);
+
 /// A whole batch: summary counts, optional wall-clock/throughput timing,
 /// optional cache counters, and the per-job outcomes in submission order.
 /// This is the document `tetrislock_cli protect --batch --out-json` writes.

@@ -161,6 +161,8 @@ Service::Service(ServiceConfig config) : config_(std::move(config)) {
         ArtifactStoreConfig{config_.store_dir, config_.store_max_entries});
   }
   cache_stats_.capacity = config_.cache_capacity;
+  telemetry_.add_collector(
+      [this](std::vector<obs::Family>& out) { collect_families(out); });
 }
 
 Service::~Service() {
@@ -228,7 +230,12 @@ void Service::execute(const std::shared_ptr<JobRecord>& record) {
     record->state = JobState::kRunning;
   }
 
+  // Timing starts before the trace is constructed, so every span offset and
+  // duration fits inside the `seconds` window (the "span durations sum to
+  // <= seconds" contract tests pin). Tracing is pure observation — it never
+  // feeds back into the flow — so results stay bit-identical.
   const auto start = Clock::now();
+  obs::Trace trace;
   const bool cache_enabled = config_.cache_capacity > 0;
   const bool store_enabled = store_ != nullptr;
   CacheKey key;
@@ -239,21 +246,28 @@ void Service::execute(const std::shared_ptr<JobRecord>& record) {
     key.fingerprint = flow_fingerprint(record->job);
   }
   if (cache_enabled) {
-    std::lock_guard<std::mutex> lk(mutex_);
-    auto it = cache_index_.find(key);
-    if (it != cache_index_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);  // mark most recently used
-      cached = it->second->result;
-      ++cache_stats_.hits;
-    } else {
-      ++cache_stats_.misses;
+    obs::ScopedSpan span(&trace, "cache.lookup");
+    bool hit = false;
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      auto it = cache_index_.find(key);
+      if (it != cache_index_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);  // mark most recently used
+        cached = it->second->result;
+        hit = true;
+        ++cache_stats_.hits;
+      } else {
+        ++cache_stats_.misses;
+      }
     }
+    span.attr("tier", "memory").attr("hit", hit ? "1" : "0");
   }
 
   // Memory miss -> disk tier. The load (file read + decode) runs outside
   // mutex_: artifact I/O must never serialize unrelated jobs. A disk hit is
   // promoted into the memory LRU so the next repeat stops in RAM.
   if (!cached && store_enabled) {
+    obs::ScopedSpan span(&trace, "store.read");
     const ArtifactKey akey{key.circuit_hash, key.seed, key.fingerprint};
     if (auto loaded = store_->load(akey)) {
       cached = std::make_shared<const lock::FlowResult>(std::move(*loaded));
@@ -271,11 +285,14 @@ void Service::execute(const std::shared_ptr<JobRecord>& record) {
         }
       }
     }
+    span.attr("hit", cached ? "1" : "0");
   }
 
   if (cached) {
+    observe_stages(trace);
     std::lock_guard<std::mutex> lk(mutex_);
     record->result = std::move(cached);
+    record->trace = std::make_shared<const obs::Trace>(std::move(trace));
     record->cache_hit = true;
     record->state = JobState::kDone;
     record->seconds = seconds_since(start);
@@ -292,7 +309,7 @@ void Service::execute(const std::shared_ptr<JobRecord>& record) {
     Rng rng(record->seed);
     result = std::make_shared<const lock::FlowResult>(
         lock::run_flow(record->job.circuit, record->job.measured,
-                       record->job.target, record->job.config, rng));
+                       record->job.target, record->job.config, rng, &trace));
   } catch (...) {
     status = ServiceStatus::from_current_exception();
   }
@@ -301,11 +318,14 @@ void Service::execute(const std::shared_ptr<JobRecord>& record) {
   // synchronization and the write is atomic on its side). Failures are
   // absorbed by the store — a broken disk degrades durability, not the job.
   if (result && store_enabled) {
+    obs::ScopedSpan span(&trace, "store.write");
     store_->store(ArtifactKey{key.circuit_hash, key.seed, key.fingerprint},
                   *result);
   }
 
+  observe_stages(trace);
   std::lock_guard<std::mutex> lk(mutex_);
+  record->trace = std::make_shared<const obs::Trace>(std::move(trace));
   record->seconds = seconds_since(start);
   if (result) {
     // Insert only if a concurrent job with the same triple didn't beat us to
@@ -355,6 +375,9 @@ JobOutcome Service::outcome_locked(const JobRecord& record) const {
   out.fusion = record.job.config.fusion;
   out.backend = record.resolved_backend;
   out.warnings = record.job.warnings;
+  // A terminal record's trace pointer is immutable; the span list is small
+  // (a dozen entries), so the copy stays under the lock unlike the result.
+  if (record.trace) out.trace = *record.trace;
   return out;
 }
 
@@ -490,6 +513,109 @@ std::string Service::artifact_bytes(const JobHandle& handle) const {
 unsigned Service::threads() const {
   return private_pool_ ? private_pool_->size()
                        : runtime::ThreadPool::global().size();
+}
+
+runtime::ThreadPool::Stats Service::pool_stats() const {
+  return private_pool_ ? private_pool_->stats()
+                       : runtime::ThreadPool::global().stats();
+}
+
+void Service::observe_stages(const obs::Trace& trace) {
+  for (const obs::Span& span : trace.spans()) {
+    telemetry_
+        .histogram("tetris_job_stage_seconds",
+                   "Wall time of one pipeline/service stage of a job.",
+                   obs::latency_buckets(), {{"stage", span.name}})
+        .observe(span.duration_seconds);
+  }
+}
+
+void Service::collect_families(std::vector<obs::Family>& out) const {
+  std::size_t submitted = 0;
+  std::map<std::string, BackendCounters> backends;
+  CacheStats cache;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    submitted = records_.size();
+    backends = backend_counters_;
+    cache = cache_stats_;
+    cache.entries = lru_.size();
+    cache.capacity = config_.cache_capacity;
+  }
+
+  auto family = [&out](const char* name, const char* help, obs::Kind kind,
+                       double value, obs::Labels labels = {}) {
+    obs::Family f;
+    f.name = name;
+    f.help = help;
+    f.kind = kind;
+    f.samples.push_back(obs::Sample{std::move(labels), value});
+    out.push_back(std::move(f));
+  };
+  const auto kCounter = obs::Kind::kCounter;
+  const auto kGauge = obs::Kind::kGauge;
+
+  family("tetris_jobs_submitted_total", "Jobs accepted by the service.",
+         kCounter, static_cast<double>(submitted));
+  {
+    obs::Family f;
+    f.name = "tetris_jobs_terminal_total";
+    f.help = "Finished jobs by resolved engine and terminal state.";
+    f.kind = kCounter;
+    for (const auto& [engine, counters] : backends) {
+      f.samples.push_back(obs::Sample{
+          {{"backend", engine}, {"state", "done"}},
+          static_cast<double>(counters.done)});
+      f.samples.push_back(obs::Sample{
+          {{"backend", engine}, {"state", "failed"}},
+          static_cast<double>(counters.failed)});
+    }
+    out.push_back(std::move(f));
+  }
+
+  family("tetris_cache_hits_total", "Result-cache hits (memory LRU).",
+         kCounter, static_cast<double>(cache.hits));
+  family("tetris_cache_misses_total", "Result-cache misses (memory LRU).",
+         kCounter, static_cast<double>(cache.misses));
+  family("tetris_cache_evictions_total",
+         "Result-cache entries dropped by the capacity bound.", kCounter,
+         static_cast<double>(cache.evictions));
+  family("tetris_cache_entries", "Results resident in the memory LRU.",
+         kGauge, static_cast<double>(cache.entries));
+  family("tetris_cache_capacity", "Configured LRU bound (0 = disabled).",
+         kGauge, static_cast<double>(cache.capacity));
+
+  if (store_) {
+    const ArtifactStoreStats stats = store_->stats();
+    family("tetris_store_hits_total", "Artifact-store loads that hit.",
+           kCounter, static_cast<double>(stats.hits));
+    family("tetris_store_misses_total", "Artifact-store loads with no file.",
+           kCounter, static_cast<double>(stats.misses));
+    family("tetris_store_writes_total", "Artifacts persisted to disk.",
+           kCounter, static_cast<double>(stats.writes));
+    family("tetris_store_corrupt_total",
+           "Artifact loads rejected as corrupt.", kCounter,
+           static_cast<double>(stats.corrupt));
+    family("tetris_store_evictions_total",
+           "Artifact files removed by the entry cap.", kCounter,
+           static_cast<double>(stats.evictions));
+    family("tetris_store_entries", "Artifact files currently on disk.",
+           kGauge, static_cast<double>(stats.entries));
+  }
+
+  const runtime::ThreadPool::Stats pool = pool_stats();
+  family("tetris_pool_threads", "Worker threads of the service pool.",
+         kGauge, static_cast<double>(pool.threads));
+  family("tetris_pool_queue_depth", "Tasks waiting in the pool queue.",
+         kGauge, static_cast<double>(pool.queued));
+  family("tetris_pool_active_workers", "Workers currently running a task.",
+         kGauge, static_cast<double>(pool.active));
+  family("tetris_pool_tasks_submitted_total",
+         "Tasks ever accepted by the pool.", kCounter,
+         static_cast<double>(pool.submitted));
+  family("tetris_pool_tasks_completed_total",
+         "Tasks the pool finished running.", kCounter,
+         static_cast<double>(pool.completed));
 }
 
 }  // namespace tetris::service

@@ -13,6 +13,8 @@
 
 #include "common/rng.h"
 #include "lock/pipeline.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "runtime/thread_pool.h"
 #include "service/artifact_store.h"
 
@@ -94,6 +96,13 @@ struct JobOutcome {
   /// array only when non-empty, so warning-free documents stay byte-identical
   /// to the pre-warnings schema.
   std::vector<std::string> warnings;
+  /// Stage trace of this job's execution (docs/OBSERVABILITY.md): pipeline
+  /// spans from lock::run_flow plus the service's own cache.lookup /
+  /// store.read / store.write spans. Timing telemetry only — NOT part of the
+  /// default JSON document, the artifact bytes, or the flow fingerprint, so
+  /// every byte-identity pin is unaffected. Empty for cancelled jobs and for
+  /// jobs finished before tracing existed.
+  obs::Trace trace;
   lock::FlowResult result;    ///< valid only when state == kDone
 };
 
@@ -273,6 +282,17 @@ class Service {
   /// Width of the pool this service executes on.
   unsigned threads() const;
 
+  /// Point-in-time telemetry of the pool this service executes on.
+  runtime::ThreadPool::Stats pool_stats() const;
+
+  /// The service's metrics registry: per-stage duration histograms
+  /// (`tetris_job_stage_seconds{stage=...}`) plus snapshot collectors that
+  /// re-export the job/cache/store/backend/pool counters above as Prometheus
+  /// families. `GET /metrics` concatenates this with the server's own
+  /// HTTP-layer registry (obs::render_prometheus merges the two).
+  obs::Registry& telemetry() { return telemetry_; }
+  const obs::Registry& telemetry() const { return telemetry_; }
+
  private:
   struct JobRecord {
     std::uint64_t id = 0;
@@ -289,6 +309,9 @@ class Service {
     /// pointer so completion and delivery are O(1) under the service mutex —
     /// the per-outcome deep copy happens outside the lock.
     std::shared_ptr<const lock::FlowResult> result;
+    /// Stage trace recorded by execute(); attached when the record turns
+    /// terminal and immutable afterwards (same discipline as `result`).
+    std::shared_ptr<const obs::Trace> trace;
   };
 
   struct CacheKey {
@@ -311,6 +334,11 @@ class Service {
   runtime::ThreadPool& pool();
   void enqueue(const std::shared_ptr<JobRecord>& record);
   void execute(const std::shared_ptr<JobRecord>& record);
+  /// Collector callback: re-exports the ad-hoc job/cache/store/backend/pool
+  /// counters as metric families at scrape time.
+  void collect_families(std::vector<obs::Family>& out) const;
+  /// Records every span of a finished trace into the per-stage histograms.
+  void observe_stages(const obs::Trace& trace);
   /// Copies the metadata fields only; the result is attached by
   /// make_outcome, which drops the lock for the deep copy.
   JobOutcome outcome_locked(const JobRecord& record) const;
@@ -338,6 +366,11 @@ class Service {
   CacheStats cache_stats_;
   /// Terminal-job tallies per resolved engine name. Guarded by mutex_.
   std::map<std::string, BackendCounters> backend_counters_;
+
+  /// Internally synchronized; never touched while mutex_ is held (the
+  /// collector callback takes mutex_ from inside a registry collect, so the
+  /// reverse order would invert the lock hierarchy).
+  obs::Registry telemetry_;
 };
 
 }  // namespace tetris::service

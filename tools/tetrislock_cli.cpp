@@ -12,7 +12,7 @@
 //              designer-side qubit maps on stdout
 //   protect    --benchmark NAME | --in FILE | --batch DIR  [--seed N]
 //              [--shots N] [--sample-jobs N] [--fuse] [--backend KIND]
-//              [--cache] [--out-json FILE]
+//              [--cache] [--out-json FILE] [--trace]
 //              full flow through the service facade: obfuscate, split,
 //              split-compile, recombine, verify on the noisy simulated
 //              device; prints a Table-I row. --batch DIR runs the flow over
@@ -65,7 +65,7 @@
 //              [--seed N] [--shots N] [--sample-jobs N] [--fuse]
 //              [--backend KIND] [--max-gates N] [--alphabet ...]
 //              [--gap] [--poll-ms N]
-//              [--wait-s N] [--out-json FILE]
+//              [--wait-s N] [--out-json FILE] [--trace]
 //              network counterpart of `protect`: POSTs the circuit to a
 //              running `serve` instance, polls GET /v1/jobs/{id} until the
 //              job is terminal, prints the Table-I row, and optionally
@@ -119,6 +119,7 @@
 #include "net/client.h"
 #include "net/dispatch.h"
 #include "net/server.h"
+#include "obs/trace.h"
 #include "qir/qasm.h"
 #include "qir/render.h"
 #include "revlib/benchmarks.h"
@@ -177,7 +178,8 @@ struct Options {
 
 /// Flags that take no value.
 const std::set<std::string>& boolean_flags() {
-  static const std::set<std::string> kFlags = {"gap", "cache", "fuse"};
+  static const std::set<std::string> kFlags = {"gap", "cache", "fuse",
+                                               "trace"};
   return kFlags;
 }
 
@@ -193,7 +195,7 @@ const std::set<std::string>* allowed_flags(const std::string& cmd) {
       {"protect",
        {"benchmark", "in", "batch", "seed", "shots", "sample-jobs", "fuse",
         "backend", "max-gates", "alphabet", "gap", "cache", "store",
-        "out-json"}},
+        "out-json", "trace"}},
       {"complexity", {"n", "nmax", "k"}},
       {"serve",
        {"port", "cache", "store", "store-max", "max-body",
@@ -202,7 +204,7 @@ const std::set<std::string>* allowed_flags(const std::string& cmd) {
       {"submit",
        {"url", "benchmark", "in", "seed", "shots", "sample-jobs", "fuse",
         "backend", "max-gates", "alphabet", "gap", "poll-ms", "wait-s",
-        "out-json"}},
+        "out-json", "trace"}},
       {"fetch", {"url", "id", "in", "out"}},
   };
   auto it = kAllowed.find(cmd);
@@ -321,6 +323,47 @@ void print_store_stats(const service::Service& svc) {
             << s.writes << " writes, " << s.corrupt << " corrupt, "
             << s.evictions << " evictions, " << s.entries << " artifacts in "
             << store->config().dir << "\n";
+}
+
+/// --trace: one stderr line per pipeline span (stderr so --out-json and the
+/// stdout table stay machine-parseable with tracing on).
+void print_trace_summary(const obs::Trace& trace) {
+  double total = 0.0;
+  for (const obs::Span& span : trace.spans()) total += span.duration_seconds;
+  std::cerr << "trace: " << trace.spans().size() << " spans, "
+            << fmt_double(total, 3) << "s in stages\n";
+  for (const obs::Span& span : trace.spans()) {
+    std::cerr << "  " << pad_right(span.name, 18) << " +"
+              << fmt_double(span.start_seconds, 3) << "s  "
+              << fmt_double(span.duration_seconds, 3) << "s";
+    for (const auto& attr : span.attrs) {
+      std::cerr << "  " << attr.first << "=" << attr.second;
+    }
+    std::cerr << "\n";
+  }
+}
+
+/// Same summary from a GET /v1/jobs/{id}/trace document (submit path).
+void print_trace_document(const json::Value& doc) {
+  const json::Value::Array& spans = doc.at("spans").as_array();
+  double total = 0.0;
+  for (const json::Value& span : spans) {
+    total += span.at("duration_seconds").as_number();
+  }
+  std::cerr << "trace: " << spans.size() << " spans, " << fmt_double(total, 3)
+            << "s in stages\n";
+  for (const json::Value& span : spans) {
+    std::cerr << "  " << pad_right(span.at("name").as_string(), 18) << " +"
+              << fmt_double(span.at("start_seconds").as_number(), 3) << "s  "
+              << fmt_double(span.at("duration_seconds").as_number(), 3)
+              << "s";
+    if (const json::Value* attrs = span.find("attrs")) {
+      for (const auto& attr : attrs->as_object()) {
+        std::cerr << "  " << attr.first << "=" << attr.second.as_string();
+      }
+    }
+    std::cerr << "\n";
+  }
 }
 
 int cmd_info(const Options& o) {
@@ -517,6 +560,7 @@ int cmd_protect(const Options& o) {
   std::cout << "TVD restored      : " << fmt_double(r.tvd_restored, 3) << "\n";
   if (o.has("cache")) print_cache_stats(svc.cache_stats());
   print_store_stats(svc);
+  if (o.has("trace")) print_trace_summary(outcome.trace);
   if (o.has("out-json")) {
     write_or_print(service::to_json(outcome), o.get("out-json"));
   }
@@ -823,6 +867,14 @@ int cmd_submit(const Options& o) {
     std::cout << "server time       : " << fmt_double(seconds->as_number(), 3)
               << "s\n";
   }
+  if (o.has("trace")) {
+    auto traced = client.get("/v1/jobs/" + std::to_string(id) + "/trace");
+    if (traced.status == 200) {
+      print_trace_document(json::parse(traced.body));
+    } else {
+      std::cerr << "trace: unavailable (HTTP " << traced.status << ")\n";
+    }
+  }
   if (o.has("out-json")) {
     write_or_print(res.body, o.get("out-json"));
   }
@@ -846,6 +898,8 @@ int usage() {
                "auto = stabilizer for wide Clifford circuits)\n"
                "       protect: --cache --out-json FILE  (service result "
                "cache + JSON output)\n"
+               "       protect/submit: --trace  (per-stage span summary on "
+               "stderr; docs/OBSERVABILITY.md)\n"
                "       protect/serve: --store DIR  (durable artifact store; "
                "warm-starts across restarts)\n"
                "       serve:   --port N --cache  (REST server; port 0 = "
